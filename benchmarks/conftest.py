@@ -1,0 +1,74 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Profiles (select with ``REPRO_PROFILE``):
+
+- ``ci`` (default): scaled-down instances that finish on a laptop in
+  minutes while exercising the identical code paths,
+- ``paper``: the full-size experiments of the paper (43 tasks, up to 64
+  ECUs).  Expect long runtimes -- the original work reported hours on a
+  2006-era native-code PB solver; this is a pure-Python engine.
+
+Every benchmark prints a paper-style table (via ``repro.reporting``) and
+appends it to ``benchmarks/out/results.txt`` so EXPERIMENTS.md can quote
+the measured numbers.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+class Profile:
+    """Scale knobs per profile."""
+
+    def __init__(self, name: str):
+        self.name = name
+        if name == "paper":
+            self.table1_tasks = 43
+            self.table1_sa_iterations = 1000
+            self.table2_ecus = (8, 16, 25, 32, 45, 64)
+            self.table2_tasks = 30
+            self.table2_solve_limit = None
+            self.table3_tasks = (7, 12, 20, 30, 43)
+            self.table4_tasks = 43
+            self.ablation_tasks = 12
+            self.time_limit = None
+        else:
+            self.table1_tasks = 12
+            self.table1_sa_iterations = 400
+            self.table2_ecus = (8, 16, 25)
+            self.table2_tasks = 12
+            self.table2_solve_limit = 120.0
+            self.table3_tasks = (7, 12, 20)
+            self.table4_tasks = 10
+            self.ablation_tasks = 10
+            self.time_limit = 300.0
+
+
+@pytest.fixture(scope="session")
+def profile() -> Profile:
+    return Profile(os.environ.get("REPRO_PROFILE", "ci"))
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Print a table and append it to benchmarks/out/results.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "results.txt"
+
+    def _record(text: str) -> None:
+        print()
+        print(text)
+        with open(path, "a") as fh:
+            fh.write(text + "\n\n")
+
+    with open(path, "w") as fh:
+        fh.write("Reproduction benchmark results\n")
+        fh.write("==============================\n\n")
+    return _record

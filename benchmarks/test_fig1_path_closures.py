@@ -1,0 +1,99 @@
+"""Figure 1: path closures on a hierarchical topology.
+
+Regenerates the exact closure set the paper prints for the 5-ECU,
+3-media example, and benchmarks closure enumeration on growing chain /
+star / ring topologies (the combinatorial substrate of the section 4
+encoding).
+"""
+
+import pytest
+
+from repro.model import (
+    CAN,
+    Architecture,
+    Ecu,
+    Medium,
+    enumerate_path_closures,
+)
+from repro.reporting import ExperimentRow, format_table
+
+
+def fig1_architecture() -> Architecture:
+    return Architecture(
+        ecus=[Ecu(f"p{i}") for i in range(1, 6)],
+        media=[
+            Medium("k1", CAN, ("p1", "p2", "p3")),
+            Medium("k2", CAN, ("p2", "p4")),
+            Medium("k3", CAN, ("p3", "p5")),
+        ],
+    )
+
+
+def chain_topology(n_media: int) -> Architecture:
+    """k1 - k2 - ... - kn in a line, one gateway each."""
+    ecus = []
+    media = []
+    for i in range(n_media):
+        ecus.append(Ecu(f"e{i}"))
+        ecus.append(Ecu(f"g{i}"))
+    for i in range(n_media):
+        members = [f"e{i}", f"g{i}"]
+        if i > 0:
+            members.append(f"g{i-1}")
+        media.append(Medium(f"k{i}", CAN, tuple(members)))
+    return Architecture(ecus=ecus, media=media)
+
+
+def test_fig1_exact_closures(benchmark, record_table):
+    arch = fig1_architecture()
+    closures = benchmark.pedantic(
+        lambda: enumerate_path_closures(arch), rounds=3, iterations=1
+    )
+    longest = {ph.longest for ph in closures}
+    assert longest == {
+        (),
+        ("k1", "k2"),
+        ("k1", "k3"),
+        ("k2", "k1", "k3"),
+        ("k3", "k1", "k2"),
+    }
+    rendered = "\n".join(repr(ph) for ph in closures)
+    record_table("Figure 1 reproduction (path closures)\n" + rendered)
+
+
+def test_closure_enumeration_scaling(benchmark, record_table):
+    sizes = {}
+
+    def run():
+        for n in (2, 4, 8, 12):
+            arch = chain_topology(n)
+            sizes[n] = len(enumerate_path_closures(arch))
+        return sizes
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    # A chain of n media has one maximal simple path per start medium
+    # (two for interior starts) -> closures grow linearly, + ph0.
+    rows = []
+    for n, count in sizes.items():
+        assert count >= n
+        rows.append(
+            ExperimentRow(
+                label=f"chain of {n} media",
+                result=f"{count} closures",
+                seconds=0.0,
+                bool_vars=0,
+                literals=0,
+            )
+        )
+    record_table(format_table("Path-closure enumeration scaling", rows))
+
+
+def test_max_hops_bounds_closures(benchmark):
+    arch = chain_topology(10)
+
+    def run():
+        return len(enumerate_path_closures(arch, max_hops=2))
+
+    bounded = benchmark.pedantic(run, rounds=3, iterations=1)
+    unbounded = len(enumerate_path_closures(arch))
+    assert bounded <= unbounded

@@ -1,0 +1,106 @@
+"""Table 1: the case-study system of [5] on the 8-ECU token ring.
+
+Paper results:
+
+    Experiment    Result           Time     Var.   Lit.
+    [5]           TRT = 8.55 ms    48 min   175k   995k
+    [5] + CAN     U_CAN = 0.371    361 min  298k   1627k
+
+and the comparison point: simulated annealing [5] reported TRT = 8.7 ms,
+i.e. *above* the SAT-proved optimum.
+
+Shape targets of this reproduction (absolute values differ -- synthetic
+constants, different hardware, pure-Python solver):
+
+- the SAT route returns a feasible, independently verified optimum,
+- budgeted simulated annealing never beats it (usually lands above),
+- the CAN variant solves with a per-mille bus-load optimum.
+"""
+
+import pytest
+
+from repro.baselines import simulated_annealing
+from repro.core import Allocator, MinimizeCanUtilization, MinimizeTRT
+from repro.model import CAN
+from repro.reporting import ExperimentRow, format_table
+from repro.workloads import (
+    tindell_architecture,
+    tindell_partition,
+    ticks_to_ms,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return []
+
+
+def test_token_ring_optimum_vs_annealing(benchmark, profile, rows):
+    arch = tindell_architecture()
+    tasks = tindell_partition(profile.table1_tasks)
+
+    def run():
+        return Allocator(tasks, arch).minimize(
+            MinimizeTRT("ring"), time_limit=profile.time_limit
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.feasible
+    assert res.verified, res.verification.problems
+    benchmark.extra_info["trt_ticks"] = res.cost
+    benchmark.extra_info["trt_ms"] = ticks_to_ms(res.cost)
+    benchmark.extra_info.update(res.formula_size)
+
+    sa = simulated_annealing(
+        tasks,
+        arch,
+        objective="trt",
+        medium="ring",
+        iterations=profile.table1_sa_iterations,
+        seed=1,
+    )
+    benchmark.extra_info["sa_trt_ticks"] = sa.cost
+    # The heuristic can never beat the proved optimum (the paper's
+    # headline observation: SA found 8.7 ms vs the true 8.55 ms).
+    if sa.feasible:
+        assert sa.cost >= res.cost
+    rows.append(
+        ExperimentRow(
+            label=f"[5] ({len(tasks)} tasks)",
+            result=f"TRT = {ticks_to_ms(res.cost)} ms "
+            f"(SA: {ticks_to_ms(sa.cost) if sa.cost else 'infeasible'})",
+            seconds=res.solve_seconds,
+            bool_vars=res.formula_size["bool_vars"],
+            literals=res.formula_size["literals"],
+            extra={"probes": res.outcome.num_probes},
+        )
+    )
+
+
+def test_can_bus_utilization(benchmark, profile, rows, record_table):
+    arch = tindell_architecture(kind=CAN)
+    tasks = tindell_partition(profile.table1_tasks)
+
+    def run():
+        return Allocator(tasks, arch).minimize(
+            MinimizeCanUtilization("ring"), time_limit=profile.time_limit
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.feasible
+    assert res.verified, res.verification.problems
+    u = res.cost / 1000.0
+    assert 0.0 <= u < 1.0
+    benchmark.extra_info["u_can"] = u
+    benchmark.extra_info.update(res.formula_size)
+    rows.append(
+        ExperimentRow(
+            label=f"[5] + CAN ({len(tasks)} tasks)",
+            result=f"U_CAN = {u:.3f}",
+            seconds=res.solve_seconds,
+            bool_vars=res.formula_size["bool_vars"],
+            literals=res.formula_size["literals"],
+            extra={"probes": res.outcome.num_probes},
+        )
+    )
+    record_table(format_table("Table 1 reproduction", rows))

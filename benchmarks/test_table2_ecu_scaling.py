@@ -1,0 +1,71 @@
+"""Table 2: complexity vs architecture size.
+
+Paper results (30 tasks on a token ring with growing ECU count):
+
+    ECUs        8     16    25    32    45    64
+    Time [h]    0:13  0:18  1:30  2:10  4:30  13:00
+    Var.(10^3)  100   133   148   158   178   206
+    Lit.(10^3)  602   814   911   979   1117  1304
+
+Shape targets: formula size grows *mildly* (sub-linearly per ECU) with
+the architecture, much slower than it grows with the task count (table
+3) -- "in case of an architectural growth this is not the case" (the
+number of formulae does not depend directly on the ECU count).
+"""
+
+import pytest
+
+from repro.core import Allocator, MinimizeTRT, ProblemEncoding
+from repro.reporting import ExperimentRow, format_table
+from repro.workloads import ring_architecture, scaling_taskset, ticks_to_ms
+
+
+def test_ecu_scaling(benchmark, profile, record_table):
+    rows = []
+    sizes = []
+    results = {}
+
+    def run_all():
+        for n_ecus in profile.table2_ecus:
+            arch = ring_architecture(n_ecus)
+            tasks = scaling_taskset(n_ecus, n_tasks=profile.table2_tasks)
+            res = Allocator(tasks, arch).minimize(
+                MinimizeTRT("ring"),
+                time_limit=profile.table2_solve_limit,
+            )
+            results[n_ecus] = res
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for n_ecus in profile.table2_ecus:
+        res = results[n_ecus]
+        assert res.feasible
+        assert res.verified, res.verification.problems
+        sizes.append(res.formula_size["bool_vars"])
+        rows.append(
+            ExperimentRow(
+                label=f"{n_ecus} ECUs",
+                result=f"TRT = {ticks_to_ms(res.cost)} ms",
+                seconds=res.solve_seconds,
+                bool_vars=res.formula_size["bool_vars"],
+                literals=res.formula_size["literals"],
+                extra={"probes": res.outcome.num_probes},
+            )
+        )
+        benchmark.extra_info[f"ecus_{n_ecus}"] = {
+            "trt": res.cost,
+            "vars": res.formula_size["bool_vars"],
+            "literals": res.formula_size["literals"],
+            "seconds": round(res.solve_seconds, 2),
+        }
+
+    # Shape: formula size is monotone in the ECU count...
+    assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+    # ...but grows sub-proportionally: doubling the ECUs must not double
+    # the variables (the paper's key contrast with table 3).
+    first_n, last_n = profile.table2_ecus[0], profile.table2_ecus[-1]
+    growth = sizes[-1] / sizes[0]
+    ecu_growth = last_n / first_n
+    assert growth < ecu_growth, (growth, ecu_growth)
+    record_table(format_table("Table 2 reproduction (architecture scaling)", rows))

@@ -1,0 +1,73 @@
+"""Table 3: complexity vs task-set size.
+
+Paper results (partitions of the case study on the 8-ECU ring):
+
+    Tasks       7        12       20    30    43
+    Time [h]    0:00:23  0:00:01  0:00:38  0:17  0:48
+    Var.(10^3)  5        14       34    88    174
+    Lit.(10^3)  22       74       191   492   995
+
+Shape targets: formula size grows super-linearly in the task count
+(pairwise preemption constraints), and runtime grows much faster with
+tasks than with ECUs -- "an almost exponential blow-up".
+"""
+
+import pytest
+
+from repro.core import Allocator, MinimizeTRT
+from repro.reporting import ExperimentRow, format_table
+from repro.workloads import (
+    tindell_architecture,
+    tindell_partition,
+    ticks_to_ms,
+)
+
+
+def test_task_scaling(benchmark, profile, record_table):
+    arch = tindell_architecture()
+    rows = []
+    sizes = []
+    trts = []
+    results = {}
+
+    def run_all():
+        for n in profile.table3_tasks:
+            tasks = tindell_partition(n)
+            res = Allocator(tasks, arch).minimize(
+                MinimizeTRT("ring"), time_limit=profile.time_limit
+            )
+            results[n] = res
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for n in profile.table3_tasks:
+        res = results[n]
+        assert res.feasible
+        assert res.verified, res.verification.problems
+        sizes.append(res.formula_size["bool_vars"])
+        trts.append(res.cost)
+        rows.append(
+            ExperimentRow(
+                label=f"{n} tasks",
+                result=f"TRT = {ticks_to_ms(res.cost)} ms",
+                seconds=res.solve_seconds,
+                bool_vars=res.formula_size["bool_vars"],
+                literals=res.formula_size["literals"],
+                extra={"probes": res.outcome.num_probes},
+            )
+        )
+        benchmark.extra_info[f"tasks_{n}"] = {
+            "trt": res.cost,
+            "vars": res.formula_size["bool_vars"],
+            "literals": res.formula_size["literals"],
+            "seconds": round(res.solve_seconds, 2),
+        }
+
+    # Shape: strictly growing formulae, super-linear in the task count.
+    assert all(a < b for a, b in zip(sizes, sizes[1:]))
+    t0, t1 = profile.table3_tasks[0], profile.table3_tasks[-1]
+    assert sizes[-1] / sizes[0] > t1 / t0, "expected super-linear growth"
+    # More tasks -> more unavoidable traffic -> TRT never shrinks.
+    assert all(a <= b for a, b in zip(trts, trts[1:]))
+    record_table(format_table("Table 3 reproduction (task-set scaling)", rows))

@@ -1,0 +1,9 @@
+"""Ensure the in-tree package is importable when running pytest from the
+repository root, even without an editable install (this offline
+environment lacks the `wheel` package, so `pip install -e .` cannot build;
+a `.pth` file or this conftest provides the equivalent)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,98 @@
+"""Automotive body-electronics on a CAN bus: minimize bus load.
+
+Run:  python examples/automotive_can.py
+
+Models a door/seat/climate controller cluster: 4 ECUs on a 500 kbit/s
+CAN bus, tasks exchanging periodic frames.  The allocator finds the
+placement that minimizes the CAN utilization ``U_CAN = sum rho_m / t_m``
+(the table 1 objective): co-locating chatty task pairs removes their
+frames from the bus entirely, and the SAT route proves the reachable
+minimum.  A greedy utilization balancer is run for contrast -- it
+balances CPU load but leaves more traffic on the wire.
+"""
+
+from repro.baselines import evaluate_cost, greedy_first_fit
+from repro.core import Allocator, MinimizeCanUtilization
+from repro.model import (
+    CAN,
+    Architecture,
+    Ecu,
+    Medium,
+    Message,
+    Task,
+    TaskSet,
+)
+
+
+def build_system() -> tuple[TaskSet, Architecture]:
+    arch = Architecture(
+        ecus=[Ecu("door_fl"), Ecu("door_fr"), Ecu("seat"), Ecu("climate")],
+        media=[
+            Medium(
+                "can",
+                CAN,
+                ("door_fl", "door_fr", "seat", "climate"),
+                bit_rate=500_000,
+                frame_overhead_bits=47,  # CAN 2.0A worst case
+            )
+        ],
+    )
+    everywhere = {p: None for p in arch.ecu_names()}
+
+    def wcet(base):
+        return {p: base for p in arch.ecu_names()}
+
+    tasks = TaskSet(
+        [
+            # Window switch polling, wired to the front-left door node.
+            Task("win_switch", 20_000, {"door_fl": 800}, 5_000,
+                 allowed=frozenset({"door_fl"}),
+                 messages=(Message("win_motor", 64, 10_000),)),
+            Task("win_motor", 20_000, wcet(1_200), 20_000),
+            # Mirror adjustment: sensor on the right door.
+            Task("mirror_pos", 50_000, {"door_fr": 900}, 10_000,
+                 allowed=frozenset({"door_fr"}),
+                 messages=(Message("mirror_ctl", 64, 20_000),)),
+            Task("mirror_ctl", 50_000, wcet(1_500), 50_000),
+            # Seat memory recall talks to the climate model (occupancy).
+            Task("seat_mem", 100_000, {"seat": 2_000}, 50_000,
+                 allowed=frozenset({"seat"}),
+                 messages=(Message("occupancy", 128, 40_000),)),
+            Task("occupancy", 100_000, wcet(1_800), 100_000),
+            # Climate control loop, pinned to its node.
+            Task("climate_loop", 10_000, {"climate": 2_500}, 10_000,
+                 allowed=frozenset({"climate"}),
+                 messages=(Message("fan_ctl", 64, 5_000),)),
+            Task("fan_ctl", 10_000, wcet(900), 10_000),
+        ]
+    )
+    return tasks, arch
+
+
+def main() -> None:
+    tasks, arch = build_system()
+
+    result = Allocator(tasks, arch).minimize(MinimizeCanUtilization("can"))
+    assert result.feasible
+    print(f"SAT-optimal CAN load: {result.cost / 1000:.3f} "
+          f"({result.outcome.num_probes} probes, verified: "
+          f"{result.verified})")
+    print("Placement:")
+    for name, ecu in sorted(result.allocation.task_ecu.items()):
+        print(f"  {name:14s} -> {ecu}")
+    on_bus = [str(ref) for ref, path in
+              sorted(result.allocation.message_path.items()) if path]
+    print("Frames still on the bus:", ", ".join(on_bus) or "(none)")
+
+    greedy = greedy_first_fit(tasks, arch)
+    if greedy.feasible:
+        g_cost = evaluate_cost(tasks, arch, greedy.allocation,
+                               "can_util", "can")
+        print(f"\nGreedy balancer for contrast: U_CAN = {g_cost / 1000:.3f}")
+        assert g_cost >= result.cost
+    else:
+        print("\nGreedy balancer found no feasible placement")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro -- SAT-based optimal task allocation for hierarchical
+real-time architectures.
+
+A from-scratch reproduction of Metzner, Fränzle, Herde, Stierand:
+"An optimal approach to the task allocation problem on hierarchical
+architectures" (IPPS 2006).  See README.md for the tour, DESIGN.md for
+the system inventory and EXPERIMENTS.md for the paper-vs-measured
+record.
+
+Quick start::
+
+    from repro.core import Allocator, MinimizeTRT
+    from repro.model import (Architecture, Ecu, Medium, Message, Task,
+                             TaskSet, TOKEN_RING)
+
+    result = Allocator(tasks, arch).minimize(MinimizeTRT("ring"))
+
+Package map:
+
+- :mod:`repro.core` -- the paper's contribution: encoder + optimizer
+- :mod:`repro.arith`, :mod:`repro.pb`, :mod:`repro.sat` -- the solving
+  stack (triplets, bit-blasting, pseudo-Boolean, CDCL)
+- :mod:`repro.model`, :mod:`repro.analysis`, :mod:`repro.sim` -- system
+  model, exact response-time analysis, validating simulator
+- :mod:`repro.baselines`, :mod:`repro.workloads` -- comparison methods
+  and the paper's experimental setups
+- :mod:`repro.io`, :mod:`repro.cli` -- serialization and command line
+"""
+
+__version__ = "1.0.0"

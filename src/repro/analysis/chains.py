@@ -1,0 +1,97 @@
+"""End-to-end latency of task chains (transactions).
+
+The task model links tasks into chains via messages; the safe end-to-end
+latency bound of a chain under a concrete allocation is
+
+    sum over chain tasks of their worst-case response times
+  + sum over chain messages of their delivery bounds
+    (per-medium local deadlines + gateway service; 0 for intra-ECU),
+
+because each local deadline dominates the corresponding per-medium
+response time once :func:`repro.analysis.feasibility.check_allocation`
+has validated the allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.allocation import Allocation, MsgRef
+from repro.analysis.feasibility import FeasibilityReport
+from repro.model.architecture import Architecture
+from repro.model.task import TaskSet
+
+__all__ = ["ChainLatency", "chain_latencies"]
+
+
+@dataclass
+class ChainLatency:
+    """Latency decomposition of one chain."""
+
+    chain: list[str]
+    total: int
+    task_parts: dict[str, int] = field(default_factory=dict)
+    message_parts: dict[MsgRef, int] = field(default_factory=dict)
+
+    @property
+    def bus_share(self) -> float:
+        """Fraction of the bound spent in communication."""
+        if self.total == 0:
+            return 0.0
+        return sum(self.message_parts.values()) / self.total
+
+
+def chain_latencies(
+    tasks: TaskSet,
+    arch: Architecture,
+    alloc: Allocation,
+    report: FeasibilityReport,
+) -> list[ChainLatency]:
+    """Latency bounds for every chain of the task set.
+
+    Requires a schedulable ``report`` from
+    :func:`repro.analysis.feasibility.check_allocation` (task response
+    times must all be present).
+    """
+    out: list[ChainLatency] = []
+    for chain in tasks.chains():
+        task_parts: dict[str, int] = {}
+        message_parts: dict[MsgRef, int] = {}
+        for name in chain:
+            r = report.task_response.get(name)
+            if r is None:
+                raise ValueError(
+                    f"chain task {name} has no response time; run "
+                    "check_allocation first (and on a schedulable system)"
+                )
+            task_parts[name] = r
+        for src, dst in zip(chain, chain[1:]):
+            task = tasks[src]
+            idx = next(
+                i for i, m in enumerate(task.messages) if m.target == dst
+            )
+            ref = MsgRef(src, idx)
+            path = alloc.message_path.get(ref, ())
+            if not path:
+                message_parts[ref] = 0
+                continue
+            serv = sum(arch.media[k].gateway_service for k in path[1:])
+            bound = serv
+            for k in path:
+                dl = report.msg_local_deadline.get((ref, k))
+                if dl is None:
+                    raise ValueError(
+                        f"message {ref} missing local deadline on {k}"
+                    )
+                bound += dl
+            message_parts[ref] = bound
+        out.append(
+            ChainLatency(
+                chain=list(chain),
+                total=sum(task_parts.values())
+                + sum(message_parts.values()),
+                task_parts=task_parts,
+                message_parts=message_parts,
+            )
+        )
+    return out

@@ -1,0 +1,264 @@
+"""Complete feasibility check of a concrete allocation.
+
+Given an :class:`repro.analysis.allocation.Allocation`, verifies
+
+1. structural validity (placement restrictions pi_i, separation delta_i,
+   path endpoint/continuity conditions v(h)),
+2. task schedulability: eq. 1 fixed points <= deadlines on every ECU,
+3. message schedulability per medium: eq. 2 (CAN) / eq. 3 (token ring)
+   with the section 4 jitter inheritance
+   ``J^k_m = J_m + sum_{j < pos(k)} (d^{k_j}_m - beta^{k_j}(m))``,
+4. the local-deadline split ``sum_k d^k_m + serv_m <= Delta_m``,
+5. TDMA slot fit: every frame fits its sending ECU's slot.
+
+When the allocation does not carry explicit local deadlines (heuristic
+baselines), they are derived by splitting the end-to-end budget
+proportionally to the per-medium wire times.
+
+The checker is pure analysis code -- no SAT involved -- so it serves as
+an independent oracle for the optimizer's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.allocation import Allocation, MsgRef
+from repro.analysis.rta import ecu_response_times
+from repro.analysis.bus import can_response_time, tdma_response_time
+from repro.model.architecture import Architecture, MediumKind
+from repro.model.task import TaskSet
+
+__all__ = ["FeasibilityReport", "check_allocation", "sending_ecu_on"]
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of a feasibility check."""
+
+    schedulable: bool
+    problems: list[str] = field(default_factory=list)
+    task_response: dict[str, int | None] = field(default_factory=dict)
+    msg_response: dict[tuple[MsgRef, str], int | None] = field(
+        default_factory=dict
+    )
+    msg_local_deadline: dict[tuple[MsgRef, str], int] = field(
+        default_factory=dict
+    )
+    trt: dict[str, int] = field(default_factory=dict)
+    ecu_utilization: dict[str, float] = field(default_factory=dict)
+    bus_utilization: dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.schedulable
+
+
+def sending_ecu_on(
+    arch: Architecture, path: tuple[str, ...], src_ecu: str, hop: int
+) -> str:
+    """The ECU that injects the message into medium ``path[hop]``: the
+    original sender for hop 0, the upstream gateway afterwards."""
+    if hop == 0:
+        return src_ecu
+    gw = arch.gateway_between(path[hop - 1], path[hop])
+    assert gw is not None, "path continuity must be validated first"
+    return gw
+
+
+def _derive_local_deadlines(
+    alloc: Allocation,
+    tasks: TaskSet,
+    arch: Architecture,
+    ref: MsgRef,
+    path: tuple[str, ...],
+) -> dict[str, int] | None:
+    """Proportional split of the end-to-end deadline over the media of
+    ``path`` after subtracting gateway service cost.  None when the
+    budget cannot even cover the wire times."""
+    _, msg = ref.resolve(tasks)
+    serv = sum(
+        arch.media[k].gateway_service for k in path[1:]
+    )
+    budget = msg.deadline - serv
+    rhos = [arch.media[k].transmission_ticks(msg.size_bits) for k in path]
+    total_rho = sum(rhos)
+    if budget < total_rho:
+        return None
+    extra = budget - total_rho
+    out: dict[str, int] = {}
+    remaining = extra
+    for i, k in enumerate(path):
+        share = extra * rhos[i] // total_rho if total_rho else 0
+        if i == len(path) - 1:
+            share = remaining
+        remaining -= share
+        out[k] = rhos[i] + share
+    return out
+
+
+def check_allocation(
+    tasks: TaskSet, arch: Architecture, alloc: Allocation
+) -> FeasibilityReport:
+    """Run the full analysis; see the module docstring."""
+    report = FeasibilityReport(schedulable=True)
+    report.problems.extend(alloc.validate_structure(tasks, arch))
+
+    # ------------------------------------------------------------------
+    # Task schedulability per ECU (eq. 1).
+    # ------------------------------------------------------------------
+    jitter = {t.name: t.release_jitter for t in tasks}
+    for ecu in arch.ecu_names():
+        names = [t for t in alloc.tasks_on(ecu) if t in tasks.tasks]
+        group = [tasks[t] for t in names]
+        if not group:
+            continue
+        missing = [t.name for t in group if ecu not in t.wcet]
+        if missing:
+            # Structural problem already recorded; skip analysis here.
+            continue
+        wcet_of = {t.name: t.wcet[ecu] for t in group}
+        rts = ecu_response_times(group, wcet_of, alloc.task_prio, jitter)
+        report.task_response.update(rts)
+        for name, r in rts.items():
+            if r is None:
+                report.problems.append(
+                    f"task {name} misses its deadline on {ecu}"
+                )
+        report.ecu_utilization[ecu] = alloc.utilization(tasks, ecu)
+
+    # ------------------------------------------------------------------
+    # Per-medium message sets, local deadlines and jitters (section 4).
+    # ------------------------------------------------------------------
+    routed: list[tuple[MsgRef, tuple[str, ...]]] = sorted(
+        ((ref, path) for ref, path in alloc.message_path.items() if path),
+        key=lambda rp: rp[0],
+    )
+    local_dl: dict[tuple[MsgRef, str], int] = {}
+    msg_jitter: dict[tuple[MsgRef, str], int] = {}
+    for ref, path in routed:
+        task, msg = ref.resolve(tasks)
+        dls: dict[str, int] = {}
+        explicit = all((ref, k) in alloc.local_deadline for k in path)
+        if explicit:
+            dls = {k: alloc.local_deadline[(ref, k)] for k in path}
+        else:
+            derived = _derive_local_deadlines(alloc, tasks, arch, ref, path)
+            if derived is None:
+                report.problems.append(
+                    f"message {ref}: deadline {msg.deadline} cannot cover "
+                    "wire times plus gateway service"
+                )
+                continue
+            dls = derived
+        serv = sum(arch.media[k].gateway_service for k in path[1:])
+        if sum(dls.values()) + serv > msg.deadline:
+            report.problems.append(
+                f"message {ref}: local deadlines + gateway service exceed "
+                f"the end-to-end deadline {msg.deadline}"
+            )
+        # Jitter inheritance along the path.
+        j = task.release_jitter
+        for hop, k in enumerate(path):
+            local_dl[(ref, k)] = dls[k]
+            msg_jitter[(ref, k)] = j
+            beta = arch.media[k].transmission_ticks(msg.size_bits)
+            j += dls[k] - beta
+    report.msg_local_deadline = dict(local_dl)
+
+    # Message priorities: pinned ranks first, otherwise deadline-monotonic
+    # over end-to-end deadlines with a deterministic name tie-break.
+    def prio_of(ref: MsgRef) -> tuple:
+        if ref in alloc.msg_prio:
+            return (0, alloc.msg_prio[ref], ref.sender, ref.index)
+        _, msg = ref.resolve(tasks)
+        return (1, msg.deadline, ref.sender, ref.index)
+
+    # ------------------------------------------------------------------
+    # Per-medium response times (eqs. 2 and 3).
+    # ------------------------------------------------------------------
+    for medium in arch.medium_names():
+        k = arch.media[medium]
+        on_medium = [
+            (ref, path) for ref, path in routed if medium in path
+        ]
+        if k.kind is MediumKind.TOKEN_RING:
+            report.trt[medium] = alloc.trt(arch, medium)
+        if not on_medium:
+            continue
+        report.bus_utilization[medium] = alloc.bus_utilization(
+            tasks, arch, medium
+        )
+        for ref, path in on_medium:
+            if (ref, medium) not in local_dl:
+                continue  # earlier problem recorded
+            task, msg = ref.resolve(tasks)
+            hop = path.index(medium)
+            rho = k.transmission_ticks(msg.size_bits)
+            dl = local_dl[(ref, medium)]
+            # The local deadline budgets the delay *from arrival at this
+            # medium*; the message's own inherited jitter is already paid
+            # for by the previous hops' local deadlines.  Jitter enters
+            # the analysis only through the interferers' ceil terms.
+            my_prio = prio_of(ref)
+            sender = sending_ecu_on(
+                arch, path, alloc.ecu_of(task.name), hop
+            )
+            if k.kind is MediumKind.CAN:
+                interferers = []
+                blocking = 0
+                for oref, opath in on_medium:
+                    if oref == ref:
+                        continue
+                    otask, omsg = oref.resolve(tasks)
+                    orho = k.transmission_ticks(omsg.size_bits)
+                    if prio_of(oref) < my_prio:
+                        interferers.append(
+                            (
+                                orho,
+                                otask.period,
+                                msg_jitter.get((oref, medium), 0),
+                            )
+                        )
+                    elif k.nonpreemptive_blocking:
+                        # One lower-priority frame already on the wire
+                        # cannot be preempted.
+                        blocking = max(blocking, orho)
+                r = can_response_time(
+                    rho, interferers, deadline=dl, blocking=blocking
+                )
+            else:
+                lam = alloc.slot_ticks.get((medium, sender), k.min_slot)
+                interferers = []
+                for oref, opath in on_medium:
+                    if oref == ref or prio_of(oref) >= my_prio:
+                        continue
+                    ohop = opath.index(medium)
+                    otask, omsg = oref.resolve(tasks)
+                    osender = sending_ecu_on(
+                        arch, opath, alloc.ecu_of(otask.name), ohop
+                    )
+                    if osender != sender:
+                        continue  # other slots are covered by the round
+                    interferers.append(
+                        (
+                            k.transmission_ticks(omsg.size_bits),
+                            otask.period,
+                            msg_jitter.get((oref, medium), 0),
+                        )
+                    )
+                r = tdma_response_time(
+                    rho,
+                    interferers,
+                    round_length=report.trt[medium],
+                    own_slot=lam,
+                    deadline=dl,
+                )
+            report.msg_response[(ref, medium)] = r
+            if r is None:
+                report.problems.append(
+                    f"message {ref} misses its local deadline {dl} "
+                    f"on {medium}"
+                )
+
+    report.schedulable = not report.problems
+    return report

@@ -1,0 +1,304 @@
+"""Expression AST for bounded-integer formulae.
+
+Two expression families:
+
+- :class:`IntExpr`: integer-valued terms built from bounded variables,
+  constants, ``+``, ``-``, ``*`` (Python operators overloaded).
+- :class:`BoolExpr`: propositional structure over comparisons
+  (``==, !=, <, <=, >, >=`` on IntExpr) and Boolean variables with
+  ``And/Or/Not/Implies/Iff``.
+
+Note on ``==``: like other solver DSLs (z3py), comparing two IntExpr
+builds a constraint rather than testing object identity; hashing is by
+identity so expressions can still live in dicts/sets.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "IntExpr",
+    "IntVar",
+    "IntConst",
+    "Add",
+    "Sub",
+    "Mul",
+    "BoolExpr",
+    "BoolVar",
+    "Cmp",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Iff",
+    "BoolConst",
+    "TRUE",
+    "FALSE",
+    "as_int",
+]
+
+
+def as_int(value) -> "IntExpr":
+    """Coerce a Python int to :class:`IntConst`; pass IntExpr through."""
+    if isinstance(value, IntExpr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("bool is not an integer expression")
+    if isinstance(value, int):
+        return IntConst(value)
+    raise TypeError(f"cannot use {value!r} as an integer expression")
+
+
+class IntExpr:
+    """Base class for integer-valued expressions."""
+
+    __slots__ = ()
+
+    def __add__(self, other) -> "IntExpr":
+        return Add(self, as_int(other))
+
+    def __radd__(self, other) -> "IntExpr":
+        return Add(as_int(other), self)
+
+    def __sub__(self, other) -> "IntExpr":
+        return Sub(self, as_int(other))
+
+    def __rsub__(self, other) -> "IntExpr":
+        return Sub(as_int(other), self)
+
+    def __mul__(self, other) -> "IntExpr":
+        return Mul(self, as_int(other))
+
+    def __rmul__(self, other) -> "IntExpr":
+        return Mul(as_int(other), self)
+
+    def __neg__(self) -> "IntExpr":
+        return Sub(IntConst(0), self)
+
+    # Comparisons build constraints.
+    def __eq__(self, other) -> "Cmp":  # type: ignore[override]
+        return Cmp("==", self, as_int(other))
+
+    def __ne__(self, other) -> "Cmp":  # type: ignore[override]
+        return Cmp("!=", self, as_int(other))
+
+    def __le__(self, other) -> "Cmp":
+        return Cmp("<=", self, as_int(other))
+
+    def __lt__(self, other) -> "Cmp":
+        return Cmp("<", self, as_int(other))
+
+    def __ge__(self, other) -> "Cmp":
+        return Cmp(">=", self, as_int(other))
+
+    def __gt__(self, other) -> "Cmp":
+        return Cmp(">", self, as_int(other))
+
+    __hash__ = object.__hash__
+
+
+class IntVar(IntExpr):
+    """A bounded integer variable ``lo <= v <= hi``."""
+
+    __slots__ = ("name", "lo", "hi")
+
+    def __init__(self, name: str, lo: int, hi: int):
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}] for {name}")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+
+    def __repr__(self) -> str:
+        return f"IntVar({self.name}:[{self.lo},{self.hi}])"
+
+
+class IntConst(IntExpr):
+    """An integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"IntConst({self.value})"
+
+
+class Add(IntExpr):
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: IntExpr, b: IntExpr):
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} + {self.b!r})"
+
+
+class Sub(IntExpr):
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: IntExpr, b: IntExpr):
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} - {self.b!r})"
+
+
+class Mul(IntExpr):
+    """Multiplication; either factor may be a variable (the paper's
+    encoding needs variable*variable for the TDMA blocking term)."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: IntExpr, b: IntExpr):
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} * {self.b!r})"
+
+
+# ---------------------------------------------------------------------------
+# Boolean layer
+# ---------------------------------------------------------------------------
+
+
+class BoolExpr:
+    """Base class for propositional formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other) -> "BoolExpr":
+        return And(self, other)
+
+    def __or__(self, other) -> "BoolExpr":
+        return Or(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+    def implies(self, other) -> "BoolExpr":
+        """``self -> other``."""
+        return Implies(self, other)
+
+    def iff(self, other) -> "BoolExpr":
+        """``self <-> other``."""
+        return Iff(self, other)
+
+    __hash__ = object.__hash__
+
+
+class BoolVar(BoolExpr):
+    """A free propositional variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"BoolVar({self.name})"
+
+
+class BoolConst(BoolExpr):
+    """Propositional constant; use the module-level TRUE / FALSE."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+class Cmp(BoolExpr):
+    """Comparison ``a OP b`` with OP in {==, !=, <, <=, >, >=}."""
+
+    __slots__ = ("op", "a", "b")
+
+    OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+    def __init__(self, op: str, a: IntExpr, b: IntExpr):
+        if op not in self.OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} {self.op} {self.b!r})"
+
+
+class And(BoolExpr):
+    """N-ary conjunction."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: BoolExpr):
+        flat: list[BoolExpr] = []
+        for p in parts:
+            if isinstance(p, And):
+                flat.extend(p.parts)
+            else:
+                flat.append(p)
+        self.parts = tuple(flat)
+
+    def __repr__(self) -> str:
+        return "And(" + ", ".join(map(repr, self.parts)) + ")"
+
+
+class Or(BoolExpr):
+    """N-ary disjunction."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: BoolExpr):
+        flat: list[BoolExpr] = []
+        for p in parts:
+            if isinstance(p, Or):
+                flat.extend(p.parts)
+            else:
+                flat.append(p)
+        self.parts = tuple(flat)
+
+    def __repr__(self) -> str:
+        return "Or(" + ", ".join(map(repr, self.parts)) + ")"
+
+
+class Not(BoolExpr):
+    __slots__ = ("a",)
+
+    def __init__(self, a: BoolExpr):
+        self.a = a
+
+    def __repr__(self) -> str:
+        return f"Not({self.a!r})"
+
+
+class Implies(BoolExpr):
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: BoolExpr, b: BoolExpr):
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} -> {self.b!r})"
+
+
+class Iff(BoolExpr):
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: BoolExpr, b: BoolExpr):
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} <-> {self.b!r})"

@@ -1,0 +1,388 @@
+"""Propositional axiomatization of triplets over 2's-complement vectors.
+
+This is the second half of the paper's section 5.1: the arithmetic
+triplets produced by :mod:`repro.arith.triplet` are rewritten into
+propositional logic "by using a 2's complement -- and thus logarithmic
+size -- representation for integer variables and a propositional
+axiomatization for the arithmetic operators on that representation".
+
+Circuits:
+
+- addition/subtraction: ripple-carry chains of the full adder of eq. 19,
+- multiplication: shift-add partial-product array (works for
+  constant*variable and variable*variable operands -- the latter is
+  required by the TDMA blocking term of section 3),
+- comparisons: signed comparators via the flip-MSB-and-compare-unsigned
+  identity, with a Tseitin gate library that constant-folds aggressively
+  so comparisons against constants cost almost nothing.
+
+All clauses are emitted into a :class:`repro.sat.solver.Solver`; when
+``pb_mode`` is enabled the full-adder axioms are emitted as the paper's
+pseudo-Boolean pair ``2*cout + s = x + y + cin`` (section 5.1's PB
+formulation) instead of CNF.
+"""
+
+from __future__ import annotations
+
+from repro.arith.ast import IntConst, IntVar
+from repro.arith.ranges import Range, infer_range, width_for
+from repro.arith.triplet import TOK_FALSE, TOK_TRUE, ArithDef, BoolDef, CmpDef
+from repro.sat.literals import mklit, neg
+from repro.sat.solver import Solver
+
+__all__ = ["Blaster"]
+
+
+class Blaster:
+    """Incremental triplet-to-SAT compiler.
+
+    Keeps per-variable bit vectors and a gate cache so repeated blasting
+    of shared subcircuits is free.
+    """
+
+    def __init__(self, solver: Solver, pb_mode: bool = False):
+        self.solver = solver
+        self.pb_mode = pb_mode
+        self._true_lit: int | None = None
+        self._vectors: dict[int, list[int]] = {}   # id(IntVar) -> bit lits
+        self._vec_vars: dict[int, IntVar] = {}
+        self._token_lit: dict[int, int] = {}       # triplet token -> lit
+        self._lit_token: dict[int, int] = {}       # lit base -> token base
+        self._and_cache: dict[tuple, int] = {}
+        self._or_cache: dict[tuple, int] = {}
+        self._xor_cache: dict[tuple, int] = {}
+        self.range_cache: dict[int, Range] = {}
+
+    # ------------------------------------------------------------------
+    # Constants and token mapping
+    # ------------------------------------------------------------------
+
+    @property
+    def lit_true(self) -> int:
+        """Literal that is constrained true (created lazily)."""
+        if self._true_lit is None:
+            v = self.solver.new_var()
+            self._true_lit = mklit(v)
+            self.solver.add_clause([self._true_lit])
+        return self._true_lit
+
+    @property
+    def lit_false(self) -> int:
+        return neg(self.lit_true)
+
+    def _is_const(self, lit: int) -> bool | None:
+        """True/False when ``lit`` is the constant literal, else None."""
+        if self._true_lit is None:
+            return None
+        if lit == self._true_lit:
+            return True
+        if lit == neg(self._true_lit):
+            return False
+        return None
+
+    def token_lit(self, tok: int) -> int:
+        """SAT literal for a triplet Boolean token."""
+        if tok == TOK_TRUE:
+            return self.lit_true
+        if tok == TOK_FALSE:
+            return self.lit_false
+        base = self._token_lit.get(tok & ~1)
+        if base is None:
+            base = mklit(self.solver.new_var())
+            self._token_lit[tok & ~1] = base
+            self._lit_token[base] = tok & ~1
+        return base ^ (tok & 1)
+
+    # ------------------------------------------------------------------
+    # Bit vectors
+    # ------------------------------------------------------------------
+
+    def vector(self, var: IntVar) -> list[int]:
+        """Bit vector (LSB first) of an integer variable; created on first
+        use with range constraints asserted for declared variables."""
+        vec = self._vectors.get(id(var))
+        if vec is not None:
+            return vec
+        r = self.range_cache.get(id(var))
+        if r is None:
+            r = Range(var.lo, var.hi)
+            self.range_cache[id(var)] = r
+        w = width_for(r)
+        vec = [mklit(self.solver.new_var()) for _ in range(w)]
+        self._vectors[id(var)] = vec
+        self._vec_vars[id(var)] = var
+        # Assert lo <= var <= hi unless the width makes it vacuous.
+        if r.lo != -(1 << (w - 1)):
+            lo_bits = self.const_bits(r.lo, w)
+            ge = self._unsigned_le_signed_flip(lo_bits, vec)
+            self.solver.add_clause([ge])
+        if r.hi != (1 << (w - 1)) - 1:
+            hi_bits = self.const_bits(r.hi, w)
+            le = self._unsigned_le_signed_flip(vec, hi_bits)
+            self.solver.add_clause([le])
+        return vec
+
+    def const_bits(self, value: int, w: int) -> list[int]:
+        """2's-complement constant as a vector of constant literals."""
+        t, f = self.lit_true, self.lit_false
+        mask = value & ((1 << w) - 1)
+        return [t if (mask >> i) & 1 else f for i in range(w)]
+
+    def extend(self, bits: list[int], w: int) -> list[int]:
+        """Sign-extend a vector to width ``w``."""
+        if len(bits) >= w:
+            return bits[:w]
+        return bits + [bits[-1]] * (w - len(bits))
+
+    # ------------------------------------------------------------------
+    # Gate library (with eager constant folding)
+    # ------------------------------------------------------------------
+
+    def gate_and(self, a: int, b: int) -> int:
+        ca, cb = self._is_const(a), self._is_const(b)
+        if ca is False or cb is False:
+            return self.lit_false
+        if ca is True:
+            return b
+        if cb is True:
+            return a
+        if a == b:
+            return a
+        if a == neg(b):
+            return self.lit_false
+        key = (min(a, b), max(a, b))
+        out = self._and_cache.get(key)
+        if out is None:
+            out = mklit(self.solver.new_var())
+            add = self.solver.add_clause
+            add([neg(out), a])
+            add([neg(out), b])
+            add([out, neg(a), neg(b)])
+            self._and_cache[key] = out
+        return out
+
+    def gate_or(self, a: int, b: int) -> int:
+        return neg(self.gate_and(neg(a), neg(b)))
+
+    def gate_xor(self, a: int, b: int) -> int:
+        ca, cb = self._is_const(a), self._is_const(b)
+        if ca is not None:
+            return neg(b) if ca else b
+        if cb is not None:
+            return neg(a) if cb else a
+        if a == b:
+            return self.lit_false
+        if a == neg(b):
+            return self.lit_true
+        # xor(~a, b) == ~xor(a, b): cache one gate per variable pair on
+        # the positive polarities and fold the sign parity into the output.
+        parity = (a ^ b) & 1
+        pa, pb = a & ~1, b & ~1
+        if pa > pb:
+            pa, pb = pb, pa
+        key = (pa, pb)
+        out = self._xor_cache.get(key)
+        if out is None:
+            out = mklit(self.solver.new_var())
+            add = self.solver.add_clause
+            add([neg(out), pa, pb])
+            add([neg(out), neg(pa), neg(pb)])
+            add([out, neg(pa), pb])
+            add([out, pa, neg(pb)])
+            self._xor_cache[key] = out
+        return out ^ parity
+
+    def gate_ite(self, c: int, t: int, e: int) -> int:
+        cc = self._is_const(c)
+        if cc is True:
+            return t
+        if cc is False:
+            return e
+        if t == e:
+            return t
+        return self.gate_or(self.gate_and(c, t), self.gate_and(neg(c), e))
+
+    def gate_iff(self, a: int, b: int) -> int:
+        return neg(self.gate_xor(a, b))
+
+    def full_adder(self, x: int, y: int, cin: int) -> tuple[int, int]:
+        """Full adder (paper eq. 19): returns (sum, carry-out).
+
+        In ``pb_mode`` the carry is defined by the pseudo-Boolean pair
+        ``2*cout + ~x + ~y + ~cin >= 2`` / ``2*~cout + x + y + cin >= 2``
+        exactly as the paper describes for GOBLIN; otherwise by the CNF
+        majority gate.
+        """
+        s = self.gate_xor(self.gate_xor(x, y), cin)
+        if self.pb_mode and all(
+            self._is_const(l) is None for l in (x, y, cin)
+        ):
+            cout = mklit(self.solver.new_var())
+            # cout <-> (x + y + cin >= 2), as two PB constraints.
+            self.solver.add_pb([neg(cout), x, y, cin], [2, 1, 1, 1], 2)
+            self.solver.add_pb(
+                [cout, neg(x), neg(y), neg(cin)], [2, 1, 1, 1], 2
+            )
+        else:
+            cout = self.gate_or(
+                self.gate_and(x, y),
+                self.gate_and(cin, self.gate_xor(x, y)),
+            )
+        return s, cout
+
+    # ------------------------------------------------------------------
+    # Arithmetic circuits
+    # ------------------------------------------------------------------
+
+    def add_vec(
+        self, x: list[int], y: list[int], w: int, cin: int | None = None
+    ) -> list[int]:
+        """w-bit sum of sign-extended x and y (with optional carry-in)."""
+        x = self.extend(x, w)
+        y = self.extend(y, w)
+        carry = cin if cin is not None else self.lit_false
+        out = []
+        for i in range(w):
+            s, carry = self.full_adder(x[i], y[i], carry)
+            out.append(s)
+        return out
+
+    def sub_vec(self, x: list[int], y: list[int], w: int) -> list[int]:
+        """w-bit difference via x + ~y + 1."""
+        x = self.extend(x, w)
+        y = [neg(b) for b in self.extend(y, w)]
+        return self.add_vec(x, y, w, cin=self.lit_true)
+
+    def mul_vec(self, x: list[int], y: list[int], w: int) -> list[int]:
+        """w-bit product (mod 2^w) of sign-extended operands.
+
+        2's-complement multiplication mod 2^w is exact whenever the true
+        product fits in w bits, which range inference guarantees.
+        """
+        x = self.extend(x, w)
+        y = self.extend(y, w)
+        # Accumulate partial products x_i ? (y << i) : 0.
+        acc = [self.lit_false] * w
+        for i in range(w):
+            xi = x[i]
+            if self._is_const(xi) is False:
+                continue
+            partial = [self.lit_false] * i + [
+                self.gate_and(xi, y[j]) for j in range(w - i)
+            ]
+            acc = self.add_vec(acc, partial, w)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Comparators
+    # ------------------------------------------------------------------
+
+    def _unsigned_lt(self, x: list[int], y: list[int]) -> int:
+        """Literal for unsigned x < y (equal widths)."""
+        lt = self.lit_false
+        for xi, yi in zip(x, y):  # LSB to MSB
+            lt = self.gate_ite(self.gate_xor(xi, yi), self.gate_and(neg(xi), yi), lt)
+        return lt
+
+    def _unsigned_le_signed_flip(self, x: list[int], y: list[int]) -> int:
+        """Literal for signed x <= y via MSB flip + unsigned compare."""
+        w = max(len(x), len(y))
+        x = self.extend(x, w)
+        y = self.extend(y, w)
+        fx = x[:-1] + [neg(x[-1])]
+        fy = y[:-1] + [neg(y[-1])]
+        return neg(self._unsigned_lt(fy, fx))
+
+    def cmp_lit(self, op: str, x: list[int], y: list[int]) -> int:
+        """Literal for a signed comparison of two vectors."""
+        w = max(len(x), len(y))
+        x = self.extend(x, w)
+        y = self.extend(y, w)
+        if op == "==":
+            acc = self.lit_true
+            for xi, yi in zip(x, y):
+                acc = self.gate_and(acc, self.gate_iff(xi, yi))
+            return acc
+        fx = x[:-1] + [neg(x[-1])]
+        fy = y[:-1] + [neg(y[-1])]
+        if op == "<":
+            return self._unsigned_lt(fx, fy)
+        if op == "<=":
+            return neg(self._unsigned_lt(fy, fx))
+        raise ValueError(f"unknown comparison op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Triplet encoding
+    # ------------------------------------------------------------------
+
+    def _atom_bits(self, atom, w: int | None = None) -> list[int]:
+        if isinstance(atom, IntConst):
+            r = Range(atom.value, atom.value)
+            width = w if w is not None else width_for(r)
+            return self.const_bits(atom.value, max(width, width_for(r)))
+        assert isinstance(atom, IntVar)
+        return self.vector(atom)
+
+    def encode_cmp_def(self, d: CmpDef) -> None:
+        """Encode ``token <-> (a OP b)``."""
+        xa = self._atom_bits(d.a)
+        xb = self._atom_bits(d.b)
+        lit = self.cmp_lit(d.op, xa, xb)
+        out = self.token_lit(d.out)
+        self.solver.add_clause([neg(out), lit])
+        self.solver.add_clause([out, neg(lit)])
+
+    def encode_arith_def(self, d: ArithDef) -> None:
+        """Encode ``out = a OP b`` by building the circuit and equating it
+        with out's vector bit by bit."""
+        out_vec = self.vector(d.out)
+        w = len(out_vec)
+        xa = self.extend(self._atom_bits(d.a, w), w)
+        xb = self.extend(self._atom_bits(d.b, w), w)
+        if d.op == "+":
+            res = self.add_vec(xa, xb, w)
+        elif d.op == "-":
+            res = self.sub_vec(xa, xb, w)
+        elif d.op == "*":
+            res = self.mul_vec(xa, xb, w)
+        else:
+            raise ValueError(f"unknown arithmetic op {d.op!r}")
+        add = self.solver.add_clause
+        for ob, rb in zip(out_vec, res):
+            add([neg(ob), rb])
+            add([ob, neg(rb)])
+
+    def encode_bool_def(self, d: BoolDef) -> None:
+        """Tseitin encoding of ``token <-> AND/OR(args)``."""
+        out = self.token_lit(d.out)
+        args = [self.token_lit(t) for t in d.args]
+        add = self.solver.add_clause
+        if d.op == "and":
+            for a in args:
+                add([neg(out), a])
+            add([out] + [neg(a) for a in args])
+        elif d.op == "or":
+            for a in args:
+                add([out, neg(a)])
+            add([neg(out)] + args)
+        else:
+            raise ValueError(f"unknown Boolean op {d.op!r}")
+
+    # ------------------------------------------------------------------
+    # Model readback
+    # ------------------------------------------------------------------
+
+    def decode_var(self, var: IntVar) -> int:
+        """Integer value of ``var`` in the solver's current model."""
+        vec = self._vectors.get(id(var))
+        if vec is None:
+            # Never blasted: unconstrained, any in-range value works.
+            return var.lo
+        w = len(vec)
+        value = 0
+        for i, lit in enumerate(vec):
+            if self.solver.model_value(lit):
+                value |= 1 << i
+        if value >= 1 << (w - 1):
+            value -= 1 << w
+        return value

@@ -1,0 +1,224 @@
+"""IntSolver: the user-facing integer-constraint satisfiability engine.
+
+Ties the section 5.1 pipeline together:
+
+    formula --(triplet transform)--> definitions --(bit-blast)--> CDCL/PB
+
+Supports *guarded* constraints and solving under assumptions, which is
+what makes the paper's binary-search optimization incremental: each probe
+``phi AND i >= L AND i <= M`` adds the bound constraints under a fresh
+guard literal and solves with that guard assumed, so learnt clauses carry
+over to later probes (the section 7 speedup) while expired bounds are
+simply never assumed again.
+"""
+
+from __future__ import annotations
+
+from repro.arith.ast import BoolExpr, BoolVar, IntVar
+from repro.arith.bitblast import Blaster
+from repro.arith.triplet import TOK_FALSE, TOK_TRUE, Tripletizer
+from repro.sat.literals import neg
+from repro.sat.solver import Solver, SolverStats
+
+__all__ = ["IntSolver"]
+
+
+class IntSolver:
+    """Incremental solver for Boolean combinations of bounded-integer
+    constraints.
+
+    Example::
+
+        s = IntSolver()
+        x = s.int_var("x", 0, 20)
+        y = s.int_var("y", 0, 20)
+        s.require((x + y == 12) & (x * y == 35))
+        assert s.solve()
+        s.value(x), s.value(y)   # -> 5, 7 (or 7, 5)
+    """
+
+    def __init__(self, pb_mode: bool = False):
+        self.sat = Solver()
+        self.trip = Tripletizer()
+        self.blaster = Blaster(self.sat, pb_mode=pb_mode)
+        # Share the range cache between the two stages.
+        self.blaster.range_cache = self.trip.range_cache
+        self._vars: dict[str, IntVar] = {}
+        self._guard_count = 0
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def int_var(self, name: str, lo: int, hi: int) -> IntVar:
+        """Declare a bounded integer variable."""
+        if name in self._vars:
+            raise ValueError(f"variable {name!r} already declared")
+        v = IntVar(name, lo, hi)
+        self._vars[name] = v
+        return v
+
+    def bool_var(self, name: str) -> BoolVar:
+        """Declare a free Boolean variable."""
+        return BoolVar(name)
+
+    def new_guard(self) -> BoolVar:
+        """Fresh guard variable for retractable constraints."""
+        self._guard_count += 1
+        return BoolVar(f"$guard{self._guard_count}")
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    def require(self, formula: BoolExpr, guard: BoolVar | None = None) -> bool:
+        """Assert ``formula`` (or ``guard -> formula``).
+
+        Returns False when the problem became unsatisfiable at the top
+        level (without any guard).
+        """
+        root = self.trip.transform(formula)
+        self._flush_new_defs()
+        if guard is None:
+            if root == TOK_TRUE:
+                return self.sat.ok
+            if root == TOK_FALSE:
+                self.sat.ok = False
+                return False
+            return self.sat.add_clause([self.blaster.token_lit(root)])
+        gtok = self.trip.token_for_boolvar(guard)
+        glit = self.blaster.token_lit(gtok)
+        if root == TOK_TRUE:
+            return self.sat.ok
+        if root == TOK_FALSE:
+            return self.sat.add_clause([neg(glit)])
+        return self.sat.add_clause([neg(glit), self.blaster.token_lit(root)])
+
+    def _flush_new_defs(self) -> None:
+        bool_defs, cmp_defs, arith_defs = self.trip.drain_new_defs()
+        # Arithmetic first: comparison encodings may reference the fresh
+        # vectors, and vectors assert their range constraints on creation.
+        for d in arith_defs:
+            self.blaster.encode_arith_def(d)
+        for d in cmp_defs:
+            self.blaster.encode_cmp_def(d)
+        for d in bool_defs:
+            self.blaster.encode_bool_def(d)
+
+    # ------------------------------------------------------------------
+    # Solving and models
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: list[BoolExpr] | None = None) -> bool:
+        """Solve, optionally under assumption literals.
+
+        Assumptions are BoolVar or Not(BoolVar) expressions.
+        """
+        lits: list[int] = []
+        for a in assumptions or []:
+            lits.append(self._assumption_lit(a))
+        return self.sat.solve(assumptions=lits)
+
+    def _assumption_lit(self, expr: BoolExpr) -> int:
+        from repro.arith.ast import Not
+
+        negated = False
+        while isinstance(expr, Not):
+            negated = not negated
+            expr = expr.a
+        if not isinstance(expr, BoolVar):
+            raise TypeError("assumptions must be (negated) Boolean variables")
+        tok = self.trip.token_for_boolvar(expr)
+        lit = self.blaster.token_lit(tok)
+        return neg(lit) if negated else lit
+
+    def literal(self, formula: BoolExpr) -> int:
+        """SAT literal representing ``formula``'s truth value.
+
+        Tripletizes (and bit-blasts) the formula and returns the literal
+        of its root token.  Used by encoder extensions that attach
+        engine-level pseudo-Boolean constraints over formula truth values
+        (e.g. per-ECU memory capacities).
+        """
+        tok = self.trip.transform(formula)
+        self._flush_new_defs()
+        return self.blaster.token_lit(tok)
+
+    def boost(self, var, amount: float = 1.0) -> None:
+        """Seed VSIDS activity for a declared variable's SAT bits.
+
+        Accepts an IntVar (boosts every bit of its vector, materializing
+        it if needed) or a BoolVar.  Used to steer early decisions toward
+        the problem's primary decision variables.
+        """
+        if isinstance(var, BoolVar):
+            tok = self.trip.token_for_boolvar(var)
+            lit = self.blaster.token_lit(tok)
+            self.sat.boost_activity([lit >> 1], amount)
+            return
+        if isinstance(var, IntVar):
+            vec = self.blaster.vector(var)
+            self.sat.boost_activity([l >> 1 for l in vec], amount)
+            return
+        raise TypeError(f"cannot boost {var!r}")
+
+    def value(self, var: IntVar) -> int:
+        """Value of an integer variable in the last model."""
+        return self.blaster.decode_var(var)
+
+    def minimize(self, var: IntVar, time_limit: float | None = None):
+        """Minimize an integer variable by the paper's BIN_SEARCH scheme
+        (section 5.2) directly at the arithmetic level.
+
+        Returns an :class:`repro.core.optimize.OptimizationOutcome`; the
+        solver's model afterwards belongs to the last satisfiable probe
+        (the optimum when one exists).  Convenience wrapper so the
+        optimization loop is usable for *any* integer constraint problem,
+        not just allocation instances.
+        """
+        from repro.core.optimize import bin_search
+
+        return bin_search(self, var, var.lo, var.hi, time_limit=time_limit)
+
+    def last_core(self) -> list[BoolExpr]:
+        """Assumption core of the last UNSAT answer, mapped back to the
+        (possibly negated) Boolean variables that were assumed.
+
+        Empty when the last answer was SAT, when the problem is UNSAT
+        without any assumptions, or when no core literal corresponds to a
+        user-visible variable."""
+        from repro.arith.ast import Not
+
+        out: list[BoolExpr] = []
+        for lit in self.sat.conflict_core:
+            tok_base = self.blaster._lit_token.get(lit & ~1)
+            if tok_base is None:
+                continue
+            bv = self.trip.boolvar_by_index.get(tok_base >> 1)
+            if bv is None:
+                continue
+            out.append(Not(bv) if lit & 1 else bv)
+        return out
+
+    def value_bool(self, var: BoolVar) -> bool:
+        """Value of a Boolean variable in the last model."""
+        tok = self.trip.token_for_boolvar(var)
+        return self.sat.model_value(self.blaster.token_lit(tok))
+
+    # ------------------------------------------------------------------
+    # Introspection (the paper's Var./Lit. complexity columns)
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> SolverStats:
+        return self.sat.stats
+
+    def formula_size(self) -> dict:
+        """Boolean variable / literal counts of the generated formula,
+        mirroring the complexity metrics of the paper's tables 1-3."""
+        return {
+            "bool_vars": self.sat.nvars,
+            "literals": self.sat.num_literals(),
+            "clauses": self.sat.num_clauses(),
+            "pb_constraints": len(self.sat.pbs),
+        }

@@ -1,0 +1,368 @@
+"""Rewriting to triplet form (paper section 5.1, eqs. 15-18).
+
+The overall formula ``phi`` is translated into ``[phi] /\\ T(phi)`` where
+``[phi]`` is a fresh propositional variable representing the truth value
+of ``phi`` and ``T`` introduces one definition per Boolean junctor
+(eq. 15), per relational operator (eq. 16) and per arithmetic operator
+(eq. 17), with variables passed through unchanged (eq. 18).  The result
+is an equisatisfiable conjunction of *triplets*: definitions with at most
+3 variables, at most one binary operator and exactly one relational or
+Boolean operator.
+
+Fresh arithmetic variables get their ranges inferred from the ranges of
+the subexpressions, exactly as the paper notes ("for which appropriate
+ranges are inferred from the ranges of the subexpressions").
+
+Boolean tokens use the same packed-int literal trick as the SAT layer:
+``token = index*2 (+1 when negated)``; constants fold eagerly so no
+definition is ever emitted for TRUE/FALSE subformulas.
+"""
+
+from __future__ import annotations
+
+from repro.arith.ast import (
+    Add,
+    And,
+    BoolConst,
+    BoolExpr,
+    BoolVar,
+    Cmp,
+    Iff,
+    Implies,
+    IntConst,
+    IntExpr,
+    IntVar,
+    Mul,
+    Not,
+    Or,
+    Sub,
+)
+from repro.arith.ranges import Range, infer_range
+
+__all__ = [
+    "Tripletizer",
+    "BoolDef",
+    "CmpDef",
+    "ArithDef",
+    "TOK_TRUE",
+    "TOK_FALSE",
+]
+
+#: Sentinel tokens for folded constants (never valid packed tokens, which
+#: are non-negative).
+TOK_TRUE = -2
+TOK_FALSE = -3
+
+
+def tok_neg(tok: int) -> int:
+    """Negate a Boolean token (constants fold)."""
+    if tok == TOK_TRUE:
+        return TOK_FALSE
+    if tok == TOK_FALSE:
+        return TOK_TRUE
+    return tok ^ 1
+
+
+class BoolDef:
+    """``out <-> OP(args)`` with OP in {and, or}; args are tokens."""
+
+    __slots__ = ("out", "op", "args")
+
+    def __init__(self, out: int, op: str, args: list[int]):
+        self.out = out
+        self.op = op
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"BoolDef(t{self.out} <-> {self.op}{self.args})"
+
+
+class CmpDef:
+    """``out <-> (a OP b)`` with OP in {==, <=, <}; a, b are IntVar or
+    IntConst atoms."""
+
+    __slots__ = ("out", "op", "a", "b")
+
+    def __init__(self, out: int, op: str, a, b):
+        self.out = out
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"CmpDef(t{self.out} <-> {self.a!r} {self.op} {self.b!r})"
+
+
+class ArithDef:
+    """``out = a OP b`` with OP in {+, -, *}; out is a fresh IntVar."""
+
+    __slots__ = ("out", "op", "a", "b")
+
+    def __init__(self, out: IntVar, op: str, a, b):
+        self.out = out
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"ArithDef({self.out!r} = {self.a!r} {self.op} {self.b!r})"
+
+
+class Tripletizer:
+    """Incremental triplet transformer with structural sharing.
+
+    A single instance is reused across all `require` calls of an
+    :class:`repro.arith.solver.IntSolver` so common subexpressions (the
+    same ``a_i = p`` comparison appearing in dozens of formulae, say)
+    are defined exactly once.
+    """
+
+    def __init__(self):
+        self.ntokens = 0
+        self.bool_defs: list[BoolDef] = []
+        self.cmp_defs: list[CmpDef] = []
+        self.arith_defs: list[ArithDef] = []
+        self.range_cache: dict[int, Range] = {}
+        # Memo tables.
+        self._boolvar_tok: dict[int, int] = {}       # id(BoolVar) -> token
+        self._formula_tok: dict[int, int] = {}        # id(BoolExpr) -> token
+        self._expr_atom: dict[int, object] = {}       # id(IntExpr) -> atom
+        self._struct_bool: dict[tuple, int] = {}      # (op, args) -> token
+        self._struct_cmp: dict[tuple, int] = {}       # (op, a, b) -> token
+        self._struct_arith: dict[tuple, IntVar] = {}  # (op, a, b) -> IntVar
+        self._fresh_count = 0
+        #: New definitions since the last drain (for incremental blasting).
+        self._new_bool: list[BoolDef] = []
+        self._new_cmp: list[CmpDef] = []
+        self._new_arith: list[ArithDef] = []
+        #: BoolVar objects by token index (for model readback).
+        self.boolvar_by_index: dict[int, BoolVar] = {}
+        #: Strong references to every transformed root formula.  All memo
+        #: tables key by id(); without pinning, a garbage-collected
+        #: temporary could let a new object reuse the address and alias a
+        #: stale cache entry.  Pinning the root keeps its whole subtree
+        #: (and hence every cached id) alive.
+        self._pins: list = []
+
+    # -- token allocation ------------------------------------------------
+
+    def _new_token(self) -> int:
+        tok = self.ntokens * 2
+        self.ntokens += 1
+        return tok
+
+    def token_for_boolvar(self, bv: BoolVar) -> int:
+        """Token of a user Boolean variable (stable across calls)."""
+        tok = self._boolvar_tok.get(id(bv))
+        if tok is None:
+            tok = self._new_token()
+            self._boolvar_tok[id(bv)] = tok
+            self.boolvar_by_index[tok >> 1] = bv
+        return tok
+
+    # -- arithmetic atoms --------------------------------------------------
+
+    def _atom_key(self, atom) -> tuple:
+        if isinstance(atom, IntConst):
+            return ("c", atom.value)
+        return ("v", id(atom))
+
+    def flatten_expr(self, expr: IntExpr):
+        """Reduce an expression to an atom (IntVar or IntConst), emitting
+        ArithDefs for every operator node (eq. 17)."""
+        if isinstance(expr, (IntVar, IntConst)):
+            return expr
+        hit = self._expr_atom.get(id(expr))
+        if hit is not None:
+            return hit
+        if isinstance(expr, Add):
+            op = "+"
+        elif isinstance(expr, Sub):
+            op = "-"
+        elif isinstance(expr, Mul):
+            op = "*"
+        else:
+            raise TypeError(f"unsupported expression {expr!r}")
+        a = self.flatten_expr(expr.a)
+        b = self.flatten_expr(expr.b)
+        # Constant folding.
+        if isinstance(a, IntConst) and isinstance(b, IntConst):
+            value = {
+                "+": a.value + b.value,
+                "-": a.value - b.value,
+                "*": a.value * b.value,
+            }[op]
+            atom = IntConst(value)
+            self._expr_atom[id(expr)] = atom
+            return atom
+        key = (op, self._atom_key(a), self._atom_key(b))
+        out = self._struct_arith.get(key)
+        if out is None:
+            ra = infer_range(a, self.range_cache)
+            rb = infer_range(b, self.range_cache)
+            r = {"+": ra.add, "-": ra.sub, "*": ra.mul}[op](rb)
+            self._fresh_count += 1
+            out = IntVar(f"$t{self._fresh_count}", r.lo, r.hi)
+            self.range_cache[id(out)] = r
+            d = ArithDef(out, op, a, b)
+            self.arith_defs.append(d)
+            self._new_arith.append(d)
+            self._struct_arith[key] = out
+        self._expr_atom[id(expr)] = out
+        return out
+
+    # -- Boolean formulas ---------------------------------------------------
+
+    def transform(self, formula: BoolExpr) -> int:
+        """Transform a formula, returning its root token (eq. 15/16)."""
+        self._pins.append(formula)
+        return self._transform(formula)
+
+    def _transform(self, formula: BoolExpr) -> int:
+        hit = self._formula_tok.get(id(formula))
+        if hit is not None:
+            return hit
+        tok = self._transform_uncached(formula)
+        self._formula_tok[id(formula)] = tok
+        return tok
+
+    def _transform_uncached(self, formula: BoolExpr) -> int:
+        if isinstance(formula, BoolConst):
+            return TOK_TRUE if formula.value else TOK_FALSE
+        if isinstance(formula, BoolVar):
+            return self.token_for_boolvar(formula)
+        if isinstance(formula, Not):
+            return tok_neg(self._transform(formula.a))
+        if isinstance(formula, Implies):
+            a = self._transform(formula.a)
+            b = self._transform(formula.b)
+            return self._mk_or([tok_neg(a), b])
+        if isinstance(formula, Iff):
+            a = self._transform(formula.a)
+            b = self._transform(formula.b)
+            # a <-> b == (a -> b) & (b -> a)
+            left = self._mk_or([tok_neg(a), b])
+            right = self._mk_or([tok_neg(b), a])
+            return self._mk_and([left, right])
+        if isinstance(formula, And):
+            return self._mk_and([self._transform(p) for p in formula.parts])
+        if isinstance(formula, Or):
+            return self._mk_or([self._transform(p) for p in formula.parts])
+        if isinstance(formula, Cmp):
+            return self._transform_cmp(formula)
+        raise TypeError(f"unsupported formula {formula!r}")
+
+    def _transform_cmp(self, cmp: Cmp) -> int:
+        a = self.flatten_expr(cmp.a)
+        b = self.flatten_expr(cmp.b)
+        op = cmp.op
+        negate = False
+        # Canonicalize to {==, <=, <}.
+        if op == "!=":
+            op, negate = "==", True
+        elif op == ">":
+            op, a, b = "<", b, a
+        elif op == ">=":
+            op, a, b = "<=", b, a
+        # Constant fold.
+        if isinstance(a, IntConst) and isinstance(b, IntConst):
+            holds = {
+                "==": a.value == b.value,
+                "<=": a.value <= b.value,
+                "<": a.value < b.value,
+            }[op]
+            tok = TOK_TRUE if holds != negate else TOK_FALSE
+            return tok
+        # Range-based fold: disjoint ranges decide comparisons statically.
+        ra = infer_range(a, self.range_cache)
+        rb = infer_range(b, self.range_cache)
+        folded = _fold_by_range(op, ra, rb)
+        if folded is not None:
+            return (
+                TOK_TRUE if folded != negate else TOK_FALSE
+            )
+        key = (op, self._atom_key(a), self._atom_key(b))
+        tok = self._struct_cmp.get(key)
+        if tok is None:
+            tok = self._new_token()
+            d = CmpDef(tok, op, a, b)
+            self.cmp_defs.append(d)
+            self._new_cmp.append(d)
+            self._struct_cmp[key] = tok
+        return tok_neg(tok) if negate else tok
+
+    def _mk_and(self, toks: list[int]) -> int:
+        out: list[int] = []
+        for t in toks:
+            if t == TOK_FALSE:
+                return TOK_FALSE
+            if t == TOK_TRUE:
+                continue
+            out.append(t)
+        if not out:
+            return TOK_TRUE
+        if len(out) == 1:
+            return out[0]
+        key = ("and", tuple(sorted(out)))
+        tok = self._struct_bool.get(key)
+        if tok is None:
+            tok = self._new_token()
+            d = BoolDef(tok, "and", list(key[1]))
+            self.bool_defs.append(d)
+            self._new_bool.append(d)
+            self._struct_bool[key] = tok
+        return tok
+
+    def _mk_or(self, toks: list[int]) -> int:
+        # De Morgan onto the AND path would lose sharing; keep a direct
+        # OR definition instead.
+        out: list[int] = []
+        for t in toks:
+            if t == TOK_TRUE:
+                return TOK_TRUE
+            if t == TOK_FALSE:
+                continue
+            out.append(t)
+        if not out:
+            return TOK_FALSE
+        if len(out) == 1:
+            return out[0]
+        key = ("or", tuple(sorted(out)))
+        tok = self._struct_bool.get(key)
+        if tok is None:
+            tok = self._new_token()
+            d = BoolDef(tok, "or", list(key[1]))
+            self.bool_defs.append(d)
+            self._new_bool.append(d)
+            self._struct_bool[key] = tok
+        return tok
+
+    # -- incremental drain -------------------------------------------------
+
+    def drain_new_defs(self):
+        """Return (and clear) definitions added since the previous drain."""
+        out = (self._new_bool, self._new_cmp, self._new_arith)
+        self._new_bool = []
+        self._new_cmp = []
+        self._new_arith = []
+        return out
+
+
+def _fold_by_range(op: str, ra: Range, rb: Range):
+    """Decide a comparison statically when the operand ranges permit."""
+    if op == "==":
+        if ra.lo == ra.hi == rb.lo == rb.hi:
+            return True
+        if ra.hi < rb.lo or rb.hi < ra.lo:
+            return False
+    elif op == "<=":
+        if ra.hi <= rb.lo:
+            return True
+        if ra.lo > rb.hi:
+            return False
+    elif op == "<":
+        if ra.hi < rb.lo:
+            return True
+        if ra.lo >= rb.hi:
+            return False
+    return None

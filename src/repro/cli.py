@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+- ``info <system.json>`` -- summarize a system (tasks, utilization,
+  media, path closures),
+- ``solve <system.json> --objective trt:ring`` -- find the optimal
+  allocation and print (or ``-o`` write) it as JSON,
+- ``check <system.json> <allocation.json>`` -- re-run the independent
+  schedulability analysis on a stored allocation,
+- ``diagnose <system.json>`` -- explain an infeasible system by a
+  minimal conflicting set of requirements,
+- ``export <system.json> --format opb|dimacs`` -- dump the bit-blasted
+  constraint system for external solvers.
+
+Objectives: ``trt:<medium>``, ``sum_trt``, ``can:<medium>``,
+``sum_resp``, ``max_util``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.feasibility import check_allocation
+from repro.core import (
+    Allocator,
+    EncoderConfig,
+    MinimizeCanUtilization,
+    MinimizeMaxUtilization,
+    MinimizeSumResponseTimes,
+    MinimizeSumTRT,
+    MinimizeTRT,
+    ProblemEncoding,
+)
+from repro.core.diagnose import diagnose
+from repro.io import (
+    allocation_from_dict,
+    allocation_to_dict,
+    load_system,
+)
+from repro.model.paths import enumerate_path_closures
+
+__all__ = ["main", "build_parser"]
+
+
+def _objective_from_spec(spec: str):
+    kind, _, arg = spec.partition(":")
+    if kind == "trt":
+        if not arg:
+            raise SystemExit("objective trt needs a medium: trt:<medium>")
+        return MinimizeTRT(arg)
+    if kind == "sum_trt":
+        return MinimizeSumTRT()
+    if kind == "can":
+        if not arg:
+            raise SystemExit("objective can needs a medium: can:<medium>")
+        return MinimizeCanUtilization(arg)
+    if kind == "sum_resp":
+        return MinimizeSumResponseTimes()
+    if kind == "max_util":
+        return MinimizeMaxUtilization()
+    raise SystemExit(f"unknown objective {spec!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAT-based optimal task allocation "
+        "(Metzner et al., IPPS 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="summarize a system file")
+    p_info.add_argument("system")
+
+    p_solve = sub.add_parser("solve", help="find an optimal allocation")
+    p_solve.add_argument("system")
+    p_solve.add_argument(
+        "--objective", default=None,
+        help="trt:<medium> | sum_trt | can:<medium> | sum_resp | max_util "
+        "(omit for a plain feasibility check)",
+    )
+    p_solve.add_argument("--time-limit", type=float, default=None)
+    p_solve.add_argument("--no-reuse", action="store_true",
+                         help="rebuild the encoding per binary-search probe")
+    p_solve.add_argument("--pb", action="store_true",
+                         help="pseudo-Boolean adder axioms (GOBLIN mode)")
+    p_solve.add_argument("-o", "--output", default=None,
+                         help="write the allocation JSON here")
+
+    p_check = sub.add_parser("check", help="verify a stored allocation")
+    p_check.add_argument("system")
+    p_check.add_argument("allocation")
+
+    p_diag = sub.add_parser("diagnose", help="explain infeasibility")
+    p_diag.add_argument("system")
+    p_diag.add_argument("--no-minimize", action="store_true")
+
+    p_exp = sub.add_parser("export", help="dump the constraint system")
+    p_exp.add_argument("system")
+    p_exp.add_argument("--format", choices=("opb", "dimacs"),
+                       default="opb")
+    p_exp.add_argument("-o", "--output", default=None)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="render an allocation with sensitivity and chain latencies",
+    )
+    p_an.add_argument("system")
+    p_an.add_argument("allocation")
+    p_an.add_argument("--simulate", action="store_true",
+                      help="also simulate and cross-check the bounds")
+    return parser
+
+
+def _cmd_info(args) -> int:
+    tasks, arch = load_system(args.system)
+    print(f"system: {tasks.name}")
+    print(f"  tasks: {len(tasks)}  messages: {len(tasks.all_messages())}  "
+          f"chains: {len(tasks.chains())}")
+    print(f"  ECUs: {len(arch.ecus)}  media: {len(arch.media)}  "
+          f"gateways: {arch.gateways() or '-'}")
+    print(f"  total utilization (best case): "
+          f"{tasks.total_utilization(arch):.2f}")
+    closures = enumerate_path_closures(arch)
+    print(f"  path closures: {len(closures)}")
+    for ph in closures:
+        print(f"    {ph}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    tasks, arch = load_system(args.system)
+    cfg = EncoderConfig(pb_mode=args.pb)
+    allocator = Allocator(tasks, arch, cfg)
+    if args.objective:
+        objective = _objective_from_spec(args.objective)
+        res = allocator.minimize(
+            objective,
+            time_limit=args.time_limit,
+            reuse_learned=not args.no_reuse,
+        )
+    else:
+        res = allocator.find_feasible()
+    if not res.feasible:
+        print("INFEASIBLE (try: repro diagnose)", file=sys.stderr)
+        return 1
+    print(f"feasible; cost = {res.cost}")
+    print(f"probes = {res.outcome.num_probes}, "
+          f"solve = {res.solve_seconds:.1f}s, "
+          f"vars = {res.formula_size['bool_vars']}, "
+          f"literals = {res.formula_size['literals']}")
+    print(f"independently verified: {res.verified}")
+    payload = allocation_to_dict(res.allocation)
+    payload["cost"] = res.cost
+    text = json.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"allocation written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_check(args) -> int:
+    tasks, arch = load_system(args.system)
+    with open(args.allocation) as fh:
+        alloc = allocation_from_dict(json.load(fh))
+    report = check_allocation(tasks, arch, alloc)
+    if report.schedulable:
+        print("SCHEDULABLE")
+        for name, r in sorted(report.task_response.items()):
+            print(f"  r({name}) = {r}")
+        return 0
+    print("NOT SCHEDULABLE:")
+    for p in report.problems:
+        print(f"  - {p}")
+    return 1
+
+
+def _cmd_diagnose(args) -> int:
+    tasks, arch = load_system(args.system)
+    d = diagnose(tasks, arch, minimize=not args.no_minimize)
+    if d.feasible:
+        print("system is feasible; nothing to diagnose")
+        return 0
+    if not d.core:
+        print("infeasible due to structural constraints alone "
+              "(placement domains / routing / frame sizes)")
+        return 1
+    print(f"infeasible; minimal conflicting requirement set "
+          f"({d.solve_calls} solver calls):")
+    for kind, items in sorted(d.by_kind().items()):
+        for item in items:
+            print(f"  - {kind}: {item}")
+    return 1
+
+
+def _cmd_export(args) -> int:
+    tasks, arch = load_system(args.system)
+    enc = ProblemEncoding(tasks, arch)
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.format == "opb":
+            enc.to_opb(out)
+        else:
+            enc.to_dimacs(out)
+    finally:
+        if args.output:
+            out.close()
+            print(f"{args.format} written to {args.output}",
+                  file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (
+        chain_latencies,
+        task_wcet_slack,
+        wcet_scaling_margin,
+    )
+    from repro.reporting import render_allocation
+
+    tasks, arch = load_system(args.system)
+    with open(args.allocation) as fh:
+        alloc = allocation_from_dict(json.load(fh))
+    report = check_allocation(tasks, arch, alloc)
+    if not report.schedulable:
+        print("NOT SCHEDULABLE:")
+        for p in report.problems:
+            print(f"  - {p}")
+        return 1
+    print(render_allocation(tasks, arch, alloc, report=report))
+    print(f"\nWCET scaling margin: "
+          f"{wcet_scaling_margin(tasks, arch, alloc)}%")
+    print("Per-task WCET slack (ticks):")
+    for t in tasks:
+        print(f"  {t.name}: {task_wcet_slack(tasks, arch, alloc, t.name)}")
+    chains = chain_latencies(tasks, arch, alloc, report)
+    if chains:
+        print("Chain latencies:")
+        for lat in chains:
+            print(f"  {' -> '.join(lat.chain)}: {lat.total} "
+                  f"({lat.bus_share:.0%} bus)")
+    if args.simulate:
+        from repro.sim import validate_against_analysis
+
+        out = validate_against_analysis(tasks, arch, alloc, report)
+        print(f"simulation cross-check: "
+              f"{'OK' if out.ok else 'VIOLATIONS'}")
+        for v in out.violations:
+            print(f"  - {v}")
+        if not out.ok:
+            return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "solve": _cmd_solve,
+        "check": _cmd_check,
+        "diagnose": _cmd_diagnose,
+        "export": _cmd_export,
+        "analyze": _cmd_analyze,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""High-level facade: encode, optimize, decode, and re-verify.
+
+:class:`Allocator` is the public entry point of the library::
+
+    from repro.core import Allocator, MinimizeTRT
+
+    result = Allocator(tasks, arch).minimize(MinimizeTRT("ring"))
+    if result.feasible:
+        print(result.cost, result.allocation.task_ecu)
+
+Every allocation the optimizer emits is re-checked by the independent
+analysis of :mod:`repro.analysis.feasibility` (defence in depth: a bug in
+the encoder or the SAT stack would surface as a verification failure, not
+as a silently wrong "optimal" answer).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.allocation import Allocation
+from repro.analysis.feasibility import FeasibilityReport, check_allocation
+from repro.core.config import EncoderConfig
+from repro.core.encoder import ProblemEncoding
+from repro.core.objectives import Objective
+from repro.core.optimize import OptimizationOutcome, bin_search
+from repro.model.architecture import Architecture
+from repro.model.task import TaskSet
+
+__all__ = ["Allocator", "AllocationResult"]
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of an allocation run."""
+
+    feasible: bool
+    cost: int | None
+    allocation: Allocation | None
+    outcome: OptimizationOutcome | None
+    formula_size: dict = field(default_factory=dict)
+    solver_stats: dict = field(default_factory=dict)
+    verification: FeasibilityReport | None = None
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def verified(self) -> bool:
+        """True when the independent analysis confirmed the allocation."""
+        return bool(self.verification and self.verification.schedulable)
+
+
+class Allocator:
+    """SAT-based optimal task/message allocator (the paper's method)."""
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        arch: Architecture,
+        config: EncoderConfig | None = None,
+    ):
+        self.tasks = tasks
+        self.arch = arch
+        self.config = config or EncoderConfig()
+
+    def _encode(self, objective: Objective | None):
+        t0 = time.perf_counter()
+        enc = ProblemEncoding(self.tasks, self.arch, self.config)
+        cost_var = None
+        lo = hi = 0
+        if objective is not None:
+            expr, lo, hi = objective.build(enc)
+            cost_var = enc.solver.int_var("$cost", lo, hi)
+            enc.solver.require(cost_var == expr)
+        return enc, cost_var, lo, hi, time.perf_counter() - t0
+
+    def minimize(
+        self,
+        objective: Objective,
+        time_limit: float | None = None,
+        reuse_learned: bool = True,
+        verify: bool = True,
+    ) -> AllocationResult:
+        """Find the cost-minimal feasible allocation.
+
+        ``reuse_learned=False`` rebuilds the encoding from scratch for
+        every binary-search probe (the paper's pre-section-7 baseline;
+        used by the clause-reuse ablation benchmark).
+        """
+        if reuse_learned:
+            return self._minimize_incremental(objective, time_limit, verify)
+        return self._minimize_rebuild(objective, time_limit, verify)
+
+    def _minimize_incremental(
+        self, objective: Objective, time_limit: float | None, verify: bool
+    ) -> AllocationResult:
+        enc, cost_var, lo, hi, enc_secs = self._encode(objective)
+        assert cost_var is not None
+        best: list[Allocation | None] = [None]
+
+        def snapshot() -> None:
+            best[0] = enc.decode()
+
+        outcome = bin_search(
+            enc.solver, cost_var, lo, hi, on_sat=snapshot,
+            time_limit=time_limit,
+        )
+        return self._finish(enc, outcome, best[0], enc_secs, verify)
+
+    def _minimize_rebuild(
+        self, objective: Objective, time_limit: float | None, verify: bool
+    ) -> AllocationResult:
+        """BIN_SEARCH with a fresh solver per probe (no clause reuse)."""
+        from repro.core.optimize import OptimizationOutcome, ProbeLog
+
+        t0 = time.perf_counter()
+        enc, cost_var, lo, hi, enc_secs = self._encode(objective)
+        outcome = OptimizationOutcome(feasible=False, optimum=None)
+        best: Allocation | None = None
+        last_enc = enc
+
+        def probe(lo_b: int | None, hi_b: int | None):
+            nonlocal best, last_enc, enc_secs
+            if lo_b is None and hi_b is None:
+                probe_enc, pcost = enc, cost_var
+            else:
+                probe_enc, pcost, _, _, secs = self._encode(objective)
+                enc_secs += secs
+                if lo_b is not None and lo_b > lo:
+                    probe_enc.solver.require(pcost >= lo_b)
+                if hi_b is not None:
+                    probe_enc.solver.require(pcost <= hi_b)
+            last_enc = probe_enc
+            p0 = time.perf_counter()
+            sat = probe_enc.solver.solve()
+            secs = time.perf_counter() - p0
+            cost = probe_enc.solver.value(pcost) if sat else None
+            outcome.probes.append(
+                ProbeLog(
+                    lo=lo_b if lo_b is not None else lo,
+                    hi=hi_b if hi_b is not None else hi,
+                    sat=sat,
+                    cost=cost,
+                    seconds=secs,
+                    conflicts=probe_enc.solver.stats.conflicts,
+                    decisions=probe_enc.solver.stats.decisions,
+                )
+            )
+            if sat:
+                best = probe_enc.decode()
+            return sat, cost
+
+        sat, cost = probe(None, None)
+        if sat:
+            outcome.feasible = True
+            assert cost is not None
+            left, right = lo, cost
+            while left < right:
+                if (
+                    time_limit is not None
+                    and time.perf_counter() - t0 > time_limit
+                ):
+                    break
+                mid = (left + right) // 2
+                sat, cost = probe(left, mid)
+                if not sat:
+                    left = mid + 1
+                else:
+                    assert cost is not None
+                    right = cost
+            outcome.optimum = right
+        outcome.seconds = time.perf_counter() - t0
+        return self._finish(last_enc, outcome, best, enc_secs, verify)
+
+    def find_feasible(self, verify: bool = True) -> AllocationResult:
+        """One SOLVE call: any allocation satisfying all constraints."""
+        enc, _, _, _, enc_secs = self._encode(None)
+        t0 = time.perf_counter()
+        sat = enc.solver.solve()
+        outcome = OptimizationOutcome(feasible=sat, optimum=None)
+        outcome.seconds = time.perf_counter() - t0
+        alloc = enc.decode() if sat else None
+        return self._finish(enc, outcome, alloc, enc_secs, verify)
+
+    def _finish(
+        self,
+        enc: ProblemEncoding,
+        outcome: OptimizationOutcome,
+        alloc: Allocation | None,
+        enc_secs: float,
+        verify: bool,
+    ) -> AllocationResult:
+        report = None
+        if verify and alloc is not None:
+            report = check_allocation(self.tasks, self.arch, alloc)
+        return AllocationResult(
+            feasible=outcome.feasible,
+            cost=outcome.optimum,
+            allocation=alloc,
+            outcome=outcome,
+            formula_size=enc.formula_size(),
+            solver_stats=enc.solver.stats.snapshot(),
+            verification=report,
+            encode_seconds=enc_secs,
+            solve_seconds=outcome.seconds,
+        )

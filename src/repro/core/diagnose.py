@@ -1,0 +1,115 @@
+"""Infeasibility diagnosis via assumption cores.
+
+When a system has no schedulable allocation, the interesting question is
+*which requirements conflict*.  With ``EncoderConfig(diagnostics=True)``
+every obligation -- task deadline, message deadline, separation pair,
+memory capacity -- is guarded by a fresh assumption literal; solving
+under all guards and extracting the CDCL engine's assumption core yields
+a subset of obligations that is already unsatisfiable together.
+
+``minimize=True`` shrinks the core further by the classic deletion
+filter (drop one obligation at a time and re-solve; thanks to learnt-
+clause reuse the follow-up queries are cheap), yielding a minimal
+conflicting requirement set.
+
+Example::
+
+    from repro.core.diagnose import diagnose
+
+    report = diagnose(tasks, arch)
+    if not report.feasible:
+        print("conflicting requirements:", report.core)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import EncoderConfig
+from repro.core.encoder import ProblemEncoding
+from repro.model.architecture import Architecture
+from repro.model.task import TaskSet
+
+__all__ = ["Diagnosis", "diagnose"]
+
+
+@dataclass
+class Diagnosis:
+    """Result of an infeasibility diagnosis."""
+
+    feasible: bool
+    core: list[str] = field(default_factory=list)
+    minimized: bool = False
+    solve_calls: int = 0
+
+    def by_kind(self) -> dict[str, list[str]]:
+        """Group the core labels by obligation kind
+        (deadline / msg-deadline / separation / memory)."""
+        out: dict[str, list[str]] = {}
+        for label in self.core:
+            kind, _, rest = label.partition(":")
+            out.setdefault(kind, []).append(rest)
+        return out
+
+
+def diagnose(
+    tasks: TaskSet,
+    arch: Architecture,
+    config: EncoderConfig | None = None,
+    minimize: bool = True,
+) -> Diagnosis:
+    """Explain why a system has no feasible allocation.
+
+    Returns ``Diagnosis(feasible=True)`` when the system is in fact
+    schedulable; otherwise a (by default minimized) set of obligation
+    labels that conflict.  An empty core on an infeasible system means
+    the *structural* constraints alone (placement domains, routing,
+    response-time definitions) are contradictory.
+    """
+    cfg = config or EncoderConfig()
+    if not cfg.diagnostics:
+        from dataclasses import replace
+
+        cfg = replace(cfg, diagnostics=True)
+    enc = ProblemEncoding(tasks, arch, cfg)
+    solver = enc.solver
+    labels = sorted(enc.obligations)
+    guard_of = {label: enc.obligations[label] for label in labels}
+    calls = 0
+
+    def solve_with(active: list[str]) -> bool:
+        nonlocal calls
+        calls += 1
+        return solver.solve(
+            assumptions=[guard_of[l] for l in active]
+        )
+
+    if solve_with(labels):
+        return Diagnosis(feasible=True, solve_calls=calls)
+
+    # Map the engine's assumption core back to labels.
+    core_vars = {id(v) for v in solver.last_core()}
+    core = [l for l in labels if id(guard_of[l]) in core_vars]
+    if not core:
+        return Diagnosis(feasible=False, core=[], solve_calls=calls)
+
+    if minimize:
+        # Deletion filter: drop one obligation at a time; if still UNSAT
+        # without it, it was not needed.
+        kept = list(core)
+        i = 0
+        while i < len(kept):
+            candidate = kept[:i] + kept[i + 1 :]
+            if not solve_with(candidate):
+                # Still UNSAT; additionally tighten to the new core.
+                core_vars = {id(v) for v in solver.last_core()}
+                kept = [
+                    l for l in candidate if id(guard_of[l]) in core_vars
+                ] or candidate
+            else:
+                i += 1
+        core = kept
+        return Diagnosis(
+            feasible=False, core=core, minimized=True, solve_calls=calls
+        )
+    return Diagnosis(feasible=False, core=core, solve_calls=calls)

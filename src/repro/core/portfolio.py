@@ -1,0 +1,149 @@
+"""Portfolio solving: heuristics race the exact method.
+
+Runs the greedy, annealing and genetic baselines (cheap) alongside the
+SAT optimizer and reports everything: the heuristics provide instant
+upper bounds, the SAT route the proven optimum.  Baselines run in worker
+processes via :mod:`repro.parallel` so the (GIL-bound) SAT search keeps
+one core to itself in the meantime -- the sweep-style parallelism the
+hpc-parallel guides recommend when real shared-memory threading is
+unavailable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.common import evaluate_cost
+from repro.core.allocator import AllocationResult, Allocator
+from repro.core.config import EncoderConfig
+from repro.core.objectives import (
+    MinimizeCanUtilization,
+    MinimizeSumTRT,
+    MinimizeTRT,
+    Objective,
+)
+from repro.model.architecture import Architecture
+from repro.model.task import TaskSet
+from repro.parallel import run_sweep
+
+__all__ = ["PortfolioEntry", "PortfolioResult", "solve_portfolio"]
+
+
+@dataclass
+class PortfolioEntry:
+    """One contender's outcome."""
+
+    method: str
+    feasible: bool
+    cost: int | None
+    seconds: float
+    optimal: bool = False
+
+
+@dataclass
+class PortfolioResult:
+    entries: list[PortfolioEntry] = field(default_factory=list)
+    exact: AllocationResult | None = None
+
+    @property
+    def best(self) -> PortfolioEntry | None:
+        feas = [e for e in self.entries if e.feasible]
+        return min(feas, key=lambda e: e.cost) if feas else None
+
+
+def _objective_spec(objective: Objective) -> tuple[str, str | None]:
+    if isinstance(objective, MinimizeTRT):
+        return "trt", objective.medium
+    if isinstance(objective, MinimizeSumTRT):
+        return "sum_trt", None
+    if isinstance(objective, MinimizeCanUtilization):
+        return "can_util", objective.medium
+    return "sum_resp", None
+
+
+def _baseline_cell(param):
+    method, system_blob, spec = param
+    from repro.io import system_from_dict
+
+    tasks, arch = system_from_dict(system_blob)
+    objective, medium = spec
+    t0 = time.perf_counter()
+    if method == "greedy":
+        from repro.baselines.greedy import greedy_first_fit
+
+        out = greedy_first_fit(tasks, arch)
+        cost = (
+            evaluate_cost(tasks, arch, out.allocation, objective, medium)
+            if out.feasible
+            else None
+        )
+        return (out.feasible, cost, time.perf_counter() - t0)
+    if method == "annealing":
+        from repro.baselines.annealing import simulated_annealing
+
+        out = simulated_annealing(
+            tasks, arch, objective=objective, medium=medium,
+            iterations=800, seed=1,
+        )
+        return (out.feasible, out.cost, time.perf_counter() - t0)
+    if method == "genetic":
+        from repro.baselines.genetic import genetic_allocator
+
+        out = genetic_allocator(
+            tasks, arch, objective=objective, medium=medium,
+            population=24, generations=25, seed=1,
+        )
+        return (out.feasible, out.cost, time.perf_counter() - t0)
+    raise ValueError(method)
+
+
+def solve_portfolio(
+    tasks: TaskSet,
+    arch: Architecture,
+    objective: Objective,
+    config: EncoderConfig | None = None,
+    time_limit: float | None = None,
+    processes: int | None = None,
+) -> PortfolioResult:
+    """Race heuristics against the exact SAT route.
+
+    Heuristic contenders run in worker processes; the SAT optimization
+    runs in this process.  Heuristic costs can never beat the proven
+    optimum -- the portfolio asserts that invariant.
+    """
+    from repro.io import system_to_dict
+
+    result = PortfolioResult()
+    spec = _objective_spec(objective)
+    blob = system_to_dict(tasks, arch)
+    cells = [(m, blob, spec) for m in ("greedy", "annealing", "genetic")]
+    sweep = run_sweep(_baseline_cell, cells, processes=processes)
+
+    t0 = time.perf_counter()
+    exact = Allocator(tasks, arch, config).minimize(
+        objective, time_limit=time_limit
+    )
+    exact_secs = time.perf_counter() - t0
+    result.exact = exact
+    for cell, res in zip(cells, sweep):
+        if not res.ok:
+            result.entries.append(
+                PortfolioEntry(cell[0], False, None, 0.0)
+            )
+            continue
+        feasible, cost, secs = res.value
+        if feasible and exact.feasible and exact.cost is not None:
+            assert cost >= exact.cost, (
+                f"heuristic {cell[0]} beat the proven optimum: "
+                f"{cost} < {exact.cost}"
+            )
+        result.entries.append(
+            PortfolioEntry(cell[0], feasible, cost, secs)
+        )
+    result.entries.append(
+        PortfolioEntry(
+            "sat", exact.feasible, exact.cost, exact_secs, optimal=True
+        )
+    )
+    return result

@@ -1,0 +1,25 @@
+"""Serialization of systems and allocations.
+
+JSON is the interchange format: a *system file* bundles an architecture
+and a task set; an *allocation file* records an optimizer result so it
+can be re-checked or deployed.  See :mod:`repro.io.json_codec` for the
+schema and the :mod:`repro.cli` command-line front end for typical use.
+"""
+
+from repro.io.json_codec import (
+    allocation_from_dict,
+    allocation_to_dict,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+
+__all__ = [
+    "system_to_dict",
+    "system_from_dict",
+    "load_system",
+    "save_system",
+    "allocation_to_dict",
+    "allocation_from_dict",
+]

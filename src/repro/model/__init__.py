@@ -1,0 +1,36 @@
+"""System model: architectures, media, tasks and messages (paper section 2).
+
+An architecture is a tuple ``A = (P, K, kappa)``: a set of ECUs ``P``, a
+set of communication media ``K`` (each medium is the subset of ECUs it
+connects), and per-medium parameters ``kappa`` (access method, transfer
+rate, frame overheads, slot table).  The application is a task set ``T``
+of tuples ``tau_i = (t_i, c_i, gamma_i, pi_i, delta_i, d_i)``.
+
+All times are integer **microsecond ticks**; the reporting layer converts
+to the milliseconds the paper's tables use.
+"""
+
+from repro.model.architecture import (
+    CAN,
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+    MediumKind,
+)
+from repro.model.paths import PathClosure, enumerate_path_closures
+from repro.model.task import Message, Task, TaskSet
+
+__all__ = [
+    "Architecture",
+    "Ecu",
+    "Medium",
+    "MediumKind",
+    "CAN",
+    "TOKEN_RING",
+    "Task",
+    "Message",
+    "TaskSet",
+    "PathClosure",
+    "enumerate_path_closures",
+]

@@ -1,0 +1,75 @@
+"""Process-parallel experiment sweeps.
+
+Binary-search optimization is inherently sequential, but the paper's
+*evaluations* are embarrassingly parallel: every (workload, architecture,
+objective) cell of tables 1-4 is independent.  This module runs such
+sweeps across processes with the standard-library executor (the offline
+counterpart of an mpi4py scatter/gather, cf. the hpc-parallel guides):
+
+    from repro.parallel import run_sweep
+
+    results = run_sweep(solve_cell, cells, processes=4)
+
+Requirements: the worker function and its parameters must be picklable
+(top-level functions, plain data).  ``processes=0`` or ``1`` falls back
+to in-process execution (useful under coverage tools and on platforms
+with constrained ``fork``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["SweepResult", "run_sweep", "default_processes"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep cell."""
+
+    param: Any
+    value: Any = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def default_processes() -> int:
+    """A conservative worker count: physical parallelism minus one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _guarded(fn: Callable, param) -> SweepResult:
+    try:
+        return SweepResult(param=param, value=fn(param))
+    except Exception as exc:  # noqa: BLE001 - sweep isolation by design
+        return SweepResult(param=param, error=f"{type(exc).__name__}: {exc}")
+
+
+def run_sweep(
+    fn: Callable[[Any], Any],
+    params: Sequence[Any] | Iterable[Any],
+    processes: int | None = None,
+) -> list[SweepResult]:
+    """Apply ``fn`` to every parameter, optionally across processes.
+
+    Results keep the parameter order.  Exceptions inside a worker are
+    captured per cell (``SweepResult.error``) instead of killing the
+    sweep -- one diverging experiment must not lose the others.
+    """
+    params = list(params)
+    if processes is None:
+        processes = default_processes()
+    if processes <= 1 or len(params) <= 1:
+        return [_guarded(fn, p) for p in params]
+    out: list[SweepResult] = []
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        futures = [pool.submit(_guarded, fn, p) for p in params]
+        for fut in futures:
+            out.append(fut.result())
+    return out

@@ -1,0 +1,36 @@
+"""Pseudo-Boolean (PB) modeling layer.
+
+The paper encodes the bit-blasted allocation problem as *Pseudo-Boolean
+formulae* -- conjunctions of linear constraints over Boolean literals,
+"similar to the constraint part of a 0-1 linear program" [15] -- and
+solves them with the PB solver GOBLIN [8].  This package provides:
+
+- :class:`repro.pb.constraint.PBConstraint` and
+  :func:`repro.pb.constraint.normalize` -- normalization of arbitrary
+  linear PB (in)equalities (>=, <=, =, <, >, mixed-sign coefficients,
+  repeated and complementary literals) into the canonical
+  ``sum c_i * l_i >= b`` form with positive coefficients the engine
+  expects,
+- :mod:`repro.pb.encoder` -- PB-to-CNF compilation (BDD/ITE-style and
+  sequential-counter cardinality encodings) so every constraint can
+  alternatively be solved purely clausally,
+- :mod:`repro.pb.opb` -- reader/writer for the OPB exchange format.
+
+The engine-level propagation for PB constraints lives inside
+:mod:`repro.sat.solver` (counter-based watching); reasons for learnt
+clauses are obtained by *weakening* a PB constraint to the clausal
+implicate over its currently-false literals, which is sound because
+removing satisfied/unassigned terms only strengthens the implication.
+"""
+
+from repro.pb.constraint import PBConstraint, Relation, add_constraint, normalize
+from repro.pb.encoder import EncodeMode, encode_pb
+
+__all__ = [
+    "PBConstraint",
+    "Relation",
+    "normalize",
+    "add_constraint",
+    "encode_pb",
+    "EncodeMode",
+]

@@ -1,0 +1,194 @@
+"""PB-to-CNF compilation.
+
+The paper keeps PB constraints native ("we take advantage of
+Pseudo-Boolean formulae rather than use an encoding by conjunctive normal
+form", section 5.1); this module provides the CNF route as well so the two
+can be compared (see ``benchmarks/test_ablation_encodings.py``):
+
+- **BDD/ITE encoding** for general weighted constraints: the constraint
+  ``sum_{j>=i} c_j l_j >= b`` is compiled top-down into an if-then-else
+  DAG with memoization on ``(i, b)``; each node becomes a fresh variable
+  with the four standard ITE clauses. Polynomial for the
+  coefficient-structure our bit-blaster emits.
+- **Sequential-counter (Sinz) encoding** for cardinality constraints
+  (all coefficients 1), which produces the well-known at-most-k ladder.
+- **Pairwise encoding** for tiny at-most-one constraints.
+
+All encoders add clauses directly to a :class:`repro.sat.solver.Solver`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.pb.constraint import PBConstraint
+from repro.sat.literals import mklit, neg
+from repro.sat.solver import Solver
+
+__all__ = ["EncodeMode", "encode_pb", "encode_at_most_k", "encode_bdd"]
+
+#: Constant node markers used while building the ITE DAG.
+_TRUE = "T"
+_FALSE = "F"
+
+
+class EncodeMode(Enum):
+    """Strategy selector for :func:`encode_pb`."""
+
+    AUTO = "auto"
+    BDD = "bdd"
+    SEQUENTIAL = "sequential"
+    NATIVE = "native"
+
+
+def encode_pb(solver: Solver, con: PBConstraint, mode: EncodeMode) -> bool:
+    """Add ``con`` to ``solver`` using the requested encoding.
+
+    Returns False when the solver became unsatisfiable.
+    """
+    if con.trivial:
+        return True
+    if con.unsatisfiable:
+        solver.ok = False
+        return False
+    if mode is EncodeMode.NATIVE:
+        return solver.add_pb(list(con.lits), list(con.coefs), con.bound)
+    if con.is_clause():
+        return solver.add_clause(list(con.lits))
+    if mode is EncodeMode.AUTO:
+        mode = EncodeMode.SEQUENTIAL if con.is_cardinality() else EncodeMode.BDD
+    if mode is EncodeMode.SEQUENTIAL:
+        if not con.is_cardinality():
+            raise ValueError("sequential encoding requires unit coefficients")
+        # at-least-k over lits == at-most-(n-k) over negated lits.
+        k = len(con.lits) - con.bound
+        return encode_at_most_k(solver, [neg(l) for l in con.lits], k)
+    assert mode is EncodeMode.BDD
+    return encode_bdd(solver, con)
+
+
+def encode_at_most_k(solver: Solver, lits: list[int], k: int) -> bool:
+    """Sinz sequential-counter at-most-k over ``lits``.
+
+    ``k >= len(lits)`` is vacuous; ``k == 0`` forces all literals false;
+    ``k == 1`` with few literals falls back to the pairwise encoding.
+    """
+    n = len(lits)
+    if k >= n:
+        return True
+    if k < 0:
+        solver.ok = False
+        return False
+    if k == 0:
+        ok = True
+        for l in lits:
+            ok = solver.add_clause([neg(l)]) and ok
+        return ok
+    if k == 1 and n <= 5:
+        return solver.add_at_most_one(lits)
+    # Registers s[i][j]: "at least j+1 of lits[0..i] are true".
+    s = [[solver.new_var() for _ in range(k)] for _ in range(n)]
+    ok = True
+    ok = solver.add_clause([neg(lits[0]), mklit(s[0][0])]) and ok
+    for j in range(1, k):
+        ok = solver.add_clause([neg(mklit(s[0][j]))]) and ok
+    for i in range(1, n):
+        ok = solver.add_clause([neg(lits[i]), mklit(s[i][0])]) and ok
+        ok = solver.add_clause([neg(mklit(s[i - 1][0])), mklit(s[i][0])]) and ok
+        for j in range(1, k):
+            ok = (
+                solver.add_clause(
+                    [neg(lits[i]), neg(mklit(s[i - 1][j - 1])), mklit(s[i][j])]
+                )
+                and ok
+            )
+            ok = (
+                solver.add_clause([neg(mklit(s[i - 1][j])), mklit(s[i][j])])
+                and ok
+            )
+        ok = (
+            solver.add_clause([neg(lits[i]), neg(mklit(s[i - 1][k - 1]))])
+            and ok
+        )
+    return ok
+
+
+def encode_bdd(solver: Solver, con: PBConstraint) -> bool:
+    """BDD/ITE encoding of a general canonical PB constraint.
+
+    Builds the decision DAG over literals in decreasing-coefficient order
+    with memoization on the residual bound, Tseitin-encodes every internal
+    node, and asserts the root.
+    """
+    order = sorted(
+        range(len(con.lits)), key=lambda i: -con.coefs[i]
+    )
+    lits = [con.lits[i] for i in order]
+    coefs = [con.coefs[i] for i in order]
+    n = len(lits)
+    # Suffix sums for the early-False cut.
+    suffix = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + coefs[i]
+
+    memo: dict[tuple[int, int], object] = {}
+    ok_flag = [True]
+
+    def build(i: int, b: int):
+        if b <= 0:
+            return _TRUE
+        if suffix[i] < b:
+            return _FALSE
+        key = (i, b)
+        node = memo.get(key)
+        if node is not None:
+            return node
+        hi = build(i + 1, b - coefs[i])
+        lo = build(i + 1, b)
+        if hi is lo:
+            memo[key] = hi
+            return hi
+        x = solver.new_var()
+        xl = mklit(x)
+        l = lits[i]
+        add = solver.add_clause
+        # x <-> ITE(l, hi, lo). Since b > 0 and suffix[i] >= b, the hi
+        # child is never constant-False and the lo child never
+        # constant-True, leaving four shapes:
+        if hi is _TRUE and lo is _FALSE:
+            # x <-> l
+            ok_flag[0] = add([neg(xl), l]) and ok_flag[0]
+            ok_flag[0] = add([xl, neg(l)]) and ok_flag[0]
+        elif hi is _TRUE:
+            # x <-> (l | lo)
+            ll = _as_lit(lo)
+            ok_flag[0] = add([neg(xl), l, ll]) and ok_flag[0]
+            ok_flag[0] = add([xl, neg(l)]) and ok_flag[0]
+            ok_flag[0] = add([xl, neg(ll)]) and ok_flag[0]
+        elif lo is _FALSE:
+            # x <-> (l & hi)
+            hl = _as_lit(hi)
+            ok_flag[0] = add([neg(xl), l]) and ok_flag[0]
+            ok_flag[0] = add([neg(xl), hl]) and ok_flag[0]
+            ok_flag[0] = add([xl, neg(l), neg(hl)]) and ok_flag[0]
+        else:
+            hl = _as_lit(hi)
+            ll = _as_lit(lo)
+            ok_flag[0] = add([neg(xl), neg(l), hl]) and ok_flag[0]
+            ok_flag[0] = add([neg(xl), l, ll]) and ok_flag[0]
+            ok_flag[0] = add([xl, neg(l), neg(hl)]) and ok_flag[0]
+            ok_flag[0] = add([xl, l, neg(ll)]) and ok_flag[0]
+        memo[key] = xl
+        return xl
+
+    def _as_lit(node) -> int:
+        assert node is not _TRUE and node is not _FALSE
+        return node  # type: ignore[return-value]
+
+    root = build(0, con.bound)
+    if root is _TRUE:
+        return ok_flag[0]
+    if root is _FALSE:
+        solver.ok = False
+        return False
+    return solver.add_clause([root]) and ok_flag[0]

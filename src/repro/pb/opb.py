@@ -1,0 +1,133 @@
+"""OPB (pseudo-Boolean competition) format reader/writer.
+
+Format subset::
+
+    * comment
+    +3 x1 -2 x2 >= 1 ;
+    min: +1 x1 +2 x3 ;
+
+Variables are 1-based ``x<i>``; ``~x<i>`` denotes negation. Only the
+linear fragment is supported (which is all the paper needs).
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.pb.constraint import PBConstraint, Relation, normalize
+from repro.sat.literals import mklit
+
+__all__ = ["parse_opb", "write_opb", "OpbProblem"]
+
+
+class OpbProblem:
+    """Parsed OPB instance: constraints in canonical form plus an optional
+    minimization objective as (coef, lit) terms."""
+
+    def __init__(
+        self,
+        nvars: int,
+        constraints: list[PBConstraint],
+        objective: list[tuple[int, int]] | None,
+    ):
+        self.nvars = nvars
+        self.constraints = constraints
+        self.objective = objective
+
+
+def _parse_term_tokens(tokens: list[str]) -> tuple[list[tuple[int, int]], int]:
+    """Parse ``coef var coef var ...`` token pairs.
+
+    Returns the terms and the maximum variable index seen (1-based).
+    """
+    terms: list[tuple[int, int]] = []
+    maxvar = 0
+    i = 0
+    while i < len(tokens):
+        coef = int(tokens[i])
+        name = tokens[i + 1]
+        negated = name.startswith("~")
+        if negated:
+            name = name[1:]
+        if not name.startswith("x"):
+            raise ValueError(f"bad OPB variable token {tokens[i + 1]!r}")
+        idx = int(name[1:])
+        maxvar = max(maxvar, idx)
+        terms.append((coef, mklit(idx - 1, negated)))
+        i += 2
+    return terms, maxvar
+
+
+_RELATIONS = {
+    ">=": Relation.GE,
+    "<=": Relation.LE,
+    "=": Relation.EQ,
+    ">": Relation.GT,
+    "<": Relation.LT,
+}
+
+
+def parse_opb(text: str) -> OpbProblem:
+    """Parse OPB text into an :class:`OpbProblem`."""
+    constraints: list[PBConstraint] = []
+    objective: list[tuple[int, int]] | None = None
+    nvars = 0
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if stripped.startswith("*"):
+            # The standard OPB size header fixes the variable count even
+            # when trailing variables appear in no constraint.
+            if "#variable=" in stripped:
+                try:
+                    nvars = max(
+                        nvars,
+                        int(stripped.split("#variable=")[1].split()[0]),
+                    )
+                except (IndexError, ValueError):
+                    pass
+            continue
+        line = stripped.rstrip(";").strip()
+        if not line:
+            continue
+        if line.startswith("min:"):
+            terms, mv = _parse_term_tokens(line[4:].split())
+            objective = terms
+            nvars = max(nvars, mv)
+            continue
+        tokens = line.split()
+        rel_idx = next(
+            (i for i, t in enumerate(tokens) if t in _RELATIONS), None
+        )
+        if rel_idx is None:
+            raise ValueError(f"no relation in OPB line {raw!r}")
+        terms, mv = _parse_term_tokens(tokens[:rel_idx])
+        nvars = max(nvars, mv)
+        rel = _RELATIONS[tokens[rel_idx]]
+        rhs = int(tokens[rel_idx + 1])
+        normed = normalize(terms, rel, rhs)
+        if normed is object():  # pragma: no cover - defensive
+            raise ValueError("constraint unsatisfiable at parse time")
+        from repro.pb.constraint import UNSAT
+
+        if normed is UNSAT:
+            raise ValueError(f"OPB constraint is trivially UNSAT: {raw!r}")
+        constraints.extend(normed)  # type: ignore[arg-type]
+    return OpbProblem(nvars, constraints, objective)
+
+
+def write_opb(problem: OpbProblem, out: TextIO) -> None:
+    """Write an :class:`OpbProblem` in OPB syntax."""
+    ncon = len(problem.constraints)
+    out.write(f"* #variable= {problem.nvars} #constraint= {ncon}\n")
+    if problem.objective is not None:
+        terms = " ".join(
+            f"{c:+d} {'~' if l & 1 else ''}x{(l >> 1) + 1}"
+            for c, l in problem.objective
+        )
+        out.write(f"min: {terms} ;\n")
+    for con in problem.constraints:
+        terms = " ".join(
+            f"{c:+d} {'~' if l & 1 else ''}x{(l >> 1) + 1}"
+            for c, l in zip(con.coefs, con.lits)
+        )
+        out.write(f"{terms} >= {con.bound} ;\n")

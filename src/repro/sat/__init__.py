@@ -1,0 +1,30 @@
+"""CDCL SAT solving substrate.
+
+This package provides the propositional engine underlying the whole
+reproduction: a conflict-driven clause-learning (CDCL) solver in the style
+of MiniSat/Chaff [11, 12] with native counter-based propagation for
+pseudo-Boolean constraints (the paper's GOBLIN solver [8] is a
+pseudo-Boolean DPLL engine; see DESIGN.md for the substitution note).
+
+Public API
+----------
+- :class:`repro.sat.solver.Solver` -- the CDCL engine
+- :class:`repro.sat.solver.SolverStats` -- search statistics
+- :func:`repro.sat.literals.mklit` / :func:`neg` / :func:`lit_var` /
+  :func:`lit_sign` -- literal encoding helpers
+- :mod:`repro.sat.dimacs` -- DIMACS CNF reader/writer
+- :mod:`repro.sat.reference` -- tiny brute-force reference solver used by
+  the test suite to cross-check the CDCL engine on small instances
+"""
+
+from repro.sat.literals import lit_sign, lit_var, mklit, neg
+from repro.sat.solver import Solver, SolverStats
+
+__all__ = [
+    "Solver",
+    "SolverStats",
+    "mklit",
+    "neg",
+    "lit_var",
+    "lit_sign",
+]

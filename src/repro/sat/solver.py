@@ -1,0 +1,954 @@
+"""Conflict-driven clause-learning SAT engine with native PB propagation.
+
+The engine follows the Chaff/MiniSat lineage the paper cites [11, 12]:
+
+- two-watched-literal propagation for clauses,
+- counter-based propagation for pseudo-Boolean (PB) constraints
+  ``sum a_i * l_i >= b`` (the paper's GOBLIN solver [8] is a PB-native
+  DPLL engine, so PB constraints are first-class here too),
+- first-UIP conflict analysis with recursive clause minimization,
+- VSIDS decision heuristic with phase saving,
+- Luby-sequence restarts and activity-based learnt-clause deletion,
+- solving under assumptions (used to retract objective bounds between
+  the binary-search probes of :mod:`repro.core.optimize` while *keeping*
+  learnt clauses -- the incremental-reuse idea of the paper's section 7).
+
+Performance notes (see the hpc-parallel guides referenced in DESIGN.md):
+the hot loop (:meth:`Solver._propagate`) works exclusively on flat Python
+ints held in plain lists -- no tuples, no namedtuples, no attribute
+chasing beyond one level -- and never allocates while scanning a watch
+list. Profiling on the paper's workloads shows >80% of time inside
+``_propagate``; that is the intended shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sat.literals import (
+    VAL_FALSE,
+    VAL_TRUE,
+    VAL_UNASSIGNED,
+    mklit,
+    neg,
+)
+
+__all__ = ["Solver", "SolverStats", "Clause", "PBConstraintRef"]
+
+
+class Clause:
+    """A disjunction of literals, possibly learnt.
+
+    ``lits[0]`` and ``lits[1]`` are the watched literals (invariant kept
+    by :meth:`Solver._propagate`).
+    """
+
+    __slots__ = ("lits", "learnt", "activity", "lbd")
+
+    def __init__(self, lits: list[int], learnt: bool = False):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+        self.lbd = 0
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "L" if self.learnt else "P"
+        return f"Clause<{kind}:{self.lits}>"
+
+
+class PBConstraintRef:
+    """Engine-level pseudo-Boolean constraint ``sum coefs[i]*lits[i] >= bound``.
+
+    Coefficients are positive; normalization (sign folding, saturation,
+    trimming) happens in :mod:`repro.pb.constraint` before constraints
+    reach the engine.  Propagation is counter-based: ``slack`` is the
+    amount by which the maximum achievable left-hand side (over non-false
+    literals) exceeds the bound.  ``slack < 0`` is a conflict; an
+    unassigned literal with ``coef > slack`` is forced true.
+    """
+
+    __slots__ = ("lits", "coefs", "bound", "slack", "max_coef")
+
+    def __init__(self, lits: list[int], coefs: list[int], bound: int):
+        self.lits = lits
+        self.coefs = coefs
+        self.bound = bound
+        self.slack = sum(coefs) - bound
+        self.max_coef = max(coefs) if coefs else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        terms = " + ".join(f"{c}*x{l}" for c, l in zip(self.coefs, self.lits))
+        return f"PB<{terms} >= {self.bound}>"
+
+
+@dataclass
+class SolverStats:
+    """Search statistics, matching the counters the paper reports
+    (variables / literals) plus the usual CDCL counters."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learnt_clauses: int = 0
+    learnt_literals: int = 0
+    deleted_clauses: int = 0
+    max_trail: int = 0
+    solve_calls: int = 0
+
+    def snapshot(self) -> dict:
+        """Return the counters as a plain dict (for reporting tables)."""
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learnt_clauses": self.learnt_clauses,
+            "learnt_literals": self.learnt_literals,
+            "deleted_clauses": self.deleted_clauses,
+            "max_trail": self.max_trail,
+            "solve_calls": self.solve_calls,
+        }
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    1,1,2,1,1,2,4,... (MiniSat's formulation, power base 2)."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Solver:
+    """CDCL SAT solver with clause and pseudo-Boolean constraints.
+
+    Typical use::
+
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([mklit(a), mklit(b)])
+        s.add_pb([mklit(a), mklit(b)], [1, 1], 1)     # at-least-one
+        if s.solve():
+            model = s.model()        # list of bools indexed by variable
+
+    ``solve(assumptions=...)`` solves under temporary unit assumptions;
+    learnt clauses persist across calls, which implements the
+    learned-knowledge reuse between binary-search probes described in
+    section 7 of the paper.
+    """
+
+    VAR_DECAY = 1.0 / 0.95
+    CLA_DECAY = 1.0 / 0.999
+    RESCALE_LIMIT = 1e100
+
+    def __init__(self, luby_base: int = 128):
+        self.nvars = 0
+        # Per-variable state (flat arrays; indexed by var).
+        self.assigns: list[int] = []
+        self.level: list[int] = []
+        self.trail_pos: list[int] = []   # trail index of the assignment
+        self.reason: list[object] = []
+        self.activity: list[float] = []
+        self.saved_phase: list[int] = []
+        self._seen: list[int] = []
+        # Watches indexed by literal.
+        self.watches: list[list] = []     # clause watches
+        self.pbwatches: list[list] = []   # PB watches: constraint refs
+        # Trail.
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        # Constraint databases.
+        self.clauses: list[Clause] = []
+        self.learnts: list[Clause] = []
+        self.pbs: list[PBConstraintRef] = []
+        # Heuristics.
+        self.var_inc = 1.0
+        self.cla_inc = 1.0
+        self.order_heap: list[int] = []   # binary heap of vars by activity
+        self.heap_pos: list[int] = []     # var -> heap index or -1
+        self.luby_base = luby_base
+        self.ok = True                    # False once UNSAT at level 0
+        self._model: list[bool] = []      # snapshot of the last SAT answer
+        #: After an UNSAT answer under assumptions: the subset of the
+        #: assumption literals that already suffices for unsatisfiability
+        #: (the assumption core; empty when the problem is UNSAT outright).
+        self.conflict_core: list[int] = []
+        self.stats = SolverStats()
+        self.max_learnts = 4000.0
+        self.learnt_growth = 1.15
+
+    # ------------------------------------------------------------------
+    # Variable / constraint creation
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        v = self.nvars
+        self.nvars += 1
+        self.assigns.append(VAL_UNASSIGNED)
+        self.level.append(-1)
+        self.trail_pos.append(-1)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.saved_phase.append(0)
+        self._seen.append(0)
+        self.watches.append([])
+        self.watches.append([])
+        self.pbwatches.append([])
+        self.pbwatches.append([])
+        self.heap_pos.append(-1)
+        self._heap_insert(v)
+        return v
+
+    def new_vars(self, n: int) -> list[int]:
+        """Allocate ``n`` fresh variables."""
+        return [self.new_var() for _ in range(n)]
+
+    def value_lit(self, lit: int) -> int:
+        """Current value of a literal (VAL_TRUE/VAL_FALSE/VAL_UNASSIGNED)."""
+        v = self.assigns[lit >> 1]
+        if v == VAL_UNASSIGNED:
+            return VAL_UNASSIGNED
+        return v ^ (lit & 1)
+
+    def add_clause(self, lits: list[int]) -> bool:
+        """Add a problem clause. Returns False if the solver became UNSAT.
+
+        Must be called at decision level 0 (the standard incremental-SAT
+        restriction). Performs the usual simplifications: drops false and
+        duplicate literals, discards tautologies and satisfied clauses.
+        """
+        if not self.ok:
+            return False
+        self._cancel_until(0)  # adding constraints resets any search state
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            if lit >> 1 >= self.nvars:
+                raise ValueError(f"literal {lit} references unknown variable")
+            v = self.value_lit(lit)
+            if v == VAL_TRUE or neg(lit) in seen:
+                return True  # satisfied or tautology
+            if v == VAL_FALSE or lit in seen:
+                continue
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            self._unchecked_enqueue(out[0], None)
+            conf = self._propagate()
+            if conf is not None:
+                self.ok = False
+                return False
+            return True
+        c = Clause(out)
+        self.clauses.append(c)
+        self._attach_clause(c)
+        return True
+
+    def add_pb(self, lits: list[int], coefs: list[int], bound: int) -> bool:
+        """Add an engine-level PB constraint ``sum coefs[i]*lits[i] >= bound``.
+
+        Coefficients must be positive and literals distinct over distinct
+        variables (callers normalize via :mod:`repro.pb.constraint`).
+        Returns False if the solver became UNSAT.
+        """
+        if not self.ok:
+            return False
+        self._cancel_until(0)
+        if bound <= 0:
+            return True  # trivially satisfied
+        # Fold in literals already fixed at level 0.
+        flits: list[int] = []
+        fcoefs: list[int] = []
+        for lit, coef in zip(lits, coefs):
+            if coef <= 0:
+                raise ValueError("PB coefficients must be positive")
+            v = self.value_lit(lit)
+            if v == VAL_TRUE:
+                bound -= coef
+            elif v == VAL_UNASSIGNED:
+                flits.append(lit)
+                fcoefs.append(coef)
+        if bound <= 0:
+            return True
+        # Saturation: a coefficient above the bound acts like the bound.
+        fcoefs = [min(c, bound) for c in fcoefs]
+        if sum(fcoefs) < bound:
+            self.ok = False
+            return False
+        con = PBConstraintRef(flits, fcoefs, bound)
+        self.pbs.append(con)
+        for lit, coef in zip(flits, fcoefs):
+            # Constraint must react when `lit` becomes FALSE, i.e. when
+            # neg(lit) is asserted; index the watch list by the asserted
+            # literal for a direct hit, and carry the coefficient so the
+            # enqueue-time slack update is O(1).
+            self.pbwatches[neg(lit)].append((con, coef))
+        # Initial propagation: literals forced immediately.
+        if con.slack < 0:
+            self.ok = False
+            return False
+        if con.slack < con.max_coef:
+            for lit, coef in zip(flits, fcoefs):
+                if coef > con.slack and self.value_lit(lit) == VAL_UNASSIGNED:
+                    self._unchecked_enqueue(lit, con)
+            conf = self._propagate()
+            if conf is not None:
+                self.ok = False
+                return False
+        return True
+
+    def add_at_most_one(self, lits: list[int]) -> bool:
+        """Convenience: pairwise at-most-one over ``lits``."""
+        ok = True
+        for i in range(len(lits)):
+            for j in range(i + 1, len(lits)):
+                ok = self.add_clause([neg(lits[i]), neg(lits[j])]) and ok
+        return ok
+
+    def add_exactly_one(self, lits: list[int]) -> bool:
+        """Convenience: exactly-one over ``lits`` (clause + pairwise AMO)."""
+        ok = self.add_clause(list(lits))
+        return self.add_at_most_one(lits) and ok
+
+    # ------------------------------------------------------------------
+    # Watched-literal machinery
+    # ------------------------------------------------------------------
+
+    def _attach_clause(self, c: Clause) -> None:
+        lits = c.lits
+        self.watches[neg(lits[0])].append(c)
+        self.watches[neg(lits[1])].append(c)
+
+    def _detach_clause(self, c: Clause) -> None:
+        lits = c.lits
+        self.watches[neg(lits[0])].remove(c)
+        self.watches[neg(lits[1])].remove(c)
+
+    # ------------------------------------------------------------------
+    # Assignment / trail
+    # ------------------------------------------------------------------
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _unchecked_enqueue(self, lit: int, reason: object) -> None:
+        var = lit >> 1
+        self.assigns[var] = VAL_TRUE ^ (lit & 1)
+        self.level[var] = len(self.trail_lim)
+        self.trail_pos[var] = len(self.trail)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        # PB slack bookkeeping happens at assignment time (and is undone in
+        # _cancel_until) so that it stays consistent regardless of how far
+        # the propagation queue got before a conflict.
+        for con, coef in self.pbwatches[lit]:
+            con.slack -= coef
+        if len(self.trail) > self.stats.max_trail:
+            self.stats.max_trail = len(self.trail)
+
+    def _new_decision_level(self) -> None:
+        self.trail_lim.append(len(self.trail))
+
+    def _cancel_until(self, lvl: int) -> None:
+        """Backtrack to decision level ``lvl``."""
+        if len(self.trail_lim) <= lvl:
+            return
+        bound = self.trail_lim[lvl]
+        trail = self.trail
+        assigns = self.assigns
+        pbwatches = self.pbwatches
+        saved_phase = self.saved_phase
+        reason = self.reason
+        heap_pos = self.heap_pos
+        heap_insert = self._heap_insert
+        for pos in range(len(trail) - 1, bound - 1, -1):
+            lit = trail[pos]
+            var = lit >> 1
+            saved_phase[var] = assigns[var]
+            assigns[var] = VAL_UNASSIGNED
+            reason[var] = None
+            if heap_pos[var] < 0:
+                heap_insert(var)
+            # Undo PB slack bookkeeping: `lit` was asserted, so the
+            # constraint literals equal to neg(lit) cease to be false.
+            for con, coef in pbwatches[lit]:
+                con.slack += coef
+        del trail[bound:]
+        del self.trail_lim[lvl:]
+        self.qhead = len(trail)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self):
+        """Propagate all enqueued facts. Returns a conflicting constraint
+        (Clause or PBConstraintRef) or None.
+
+        Hot loop: everything is hoisted into locals and the enqueue is
+        inlined (see the profiling note in the module docstring).
+        """
+        trail = self.trail
+        assigns = self.assigns
+        watches = self.watches
+        pbwatches = self.pbwatches
+        level = self.level
+        reason = self.reason
+        trail_pos = self.trail_pos
+        nprops = 0
+        qhead = self.qhead
+        cur_level = len(self.trail_lim)
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
+            nprops += 1
+            # --- clause watches -----------------------------------------
+            wl = watches[p]
+            i = 0
+            j = 0
+            n = len(wl)
+            np = p ^ 1
+            while i < n:
+                c = wl[i]
+                i += 1
+                lits = c.lits
+                # Make sure the false literal is lits[1].
+                if lits[0] == np:
+                    lits[0] = lits[1]
+                    lits[1] = np
+                first = lits[0]
+                fv = assigns[first >> 1]
+                if fv != VAL_UNASSIGNED and fv ^ (first & 1) == VAL_TRUE:
+                    wl[j] = c
+                    j += 1
+                    continue
+                # Search a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    vk = assigns[lk >> 1]
+                    if vk == VAL_UNASSIGNED or vk ^ (lk & 1) == VAL_TRUE:
+                        lits[1] = lk
+                        lits[k] = np
+                        watches[lk ^ 1].append(c)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                wl[j] = c
+                j += 1
+                if fv != VAL_UNASSIGNED:  # first is FALSE -> conflict
+                    # Keep remaining watches in place.
+                    while i < n:
+                        wl[j] = wl[i]
+                        j += 1
+                        i += 1
+                    del wl[j:]
+                    self.qhead = len(trail)
+                    self.stats.propagations += nprops
+                    return c
+                # Inlined _unchecked_enqueue(first, c).
+                var = first >> 1
+                assigns[var] = VAL_TRUE ^ (first & 1)
+                level[var] = cur_level
+                trail_pos[var] = len(trail)
+                reason[var] = c
+                trail.append(first)
+                for con, coef in pbwatches[first]:
+                    con.slack -= coef
+            del wl[j:]
+            # --- PB watches ---------------------------------------------
+            # Slack was already updated when the literal was enqueued; here
+            # we only detect conflicts and implied literals.
+            pwl = pbwatches[p]
+            if pwl:
+                for con, _coef in pwl:
+                    slack = con.slack
+                    if slack < 0:
+                        self.qhead = qhead
+                        self.stats.propagations += nprops
+                        return con
+                    if slack < con.max_coef:
+                        coefs = con.coefs
+                        clits = con.lits
+                        for idx in range(len(clits)):
+                            if coefs[idx] > slack:
+                                lit = clits[idx]
+                                v = assigns[lit >> 1]
+                                if v == VAL_UNASSIGNED:
+                                    self._unchecked_enqueue(lit, con)
+                                # A false literal with coef > slack would
+                                # have made slack negative already.
+        self.qhead = qhead
+        if len(trail) > self.stats.max_trail:
+            self.stats.max_trail = len(trail)
+        self.stats.propagations += nprops
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _reason_lits(self, confl: object, for_lit: int) -> list[int]:
+        """Literals of the constraint explaining a conflict or propagation.
+
+        For clauses this is the clause itself. For PB constraints we build
+        a clausal implicate: the propagated/conflict literal(s) plus the
+        negation of every constraint literal that was already false at the
+        relevant trail position (see the PB reason-weakening discussion in
+        the module docstring of :mod:`repro.pb`).
+        """
+        if isinstance(confl, Clause):
+            return confl.lits
+        # PB constraint: build a clausal implicate over the literals that
+        # were already false when the propagation/conflict fired.
+        con = confl
+        out: list[int] = []
+        assigns = self.assigns
+        trail_pos = self.trail_pos
+        if for_lit == -1:
+            pos_limit = len(self.trail)
+        else:
+            # Reasons may only mention literals assigned before `for_lit`.
+            out.append(for_lit)
+            pos_limit = trail_pos[for_lit >> 1]
+            assert self.level[for_lit >> 1] >= 0
+        for lit in con.lits:
+            if lit == for_lit:
+                continue
+            v = assigns[lit >> 1]
+            if (
+                v != VAL_UNASSIGNED
+                and v ^ (lit & 1) == VAL_FALSE
+                and trail_pos[lit >> 1] < pos_limit
+            ):
+                out.append(lit)
+        return out
+
+    def _analyze(self, confl: object) -> tuple[list[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learnt clause (asserting literal first) and the level
+        to backtrack to.
+        """
+        seen = self._seen
+        level = self.level
+        trail = self.trail
+        cur_level = len(self.trail_lim)
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        counter = 0
+        p = -1
+        index = len(trail) - 1
+        to_clear: list[int] = []
+        first = True
+        while True:
+            lits = self._reason_lits(confl, -1 if first else p)
+            if isinstance(confl, Clause) and confl.learnt:
+                self._bump_clause(confl)
+            start = 0 if first else 1
+            first = False
+            for k in range(start, len(lits)):
+                q = lits[k]
+                v = q >> 1
+                if not seen[v] and level[v] > 0:
+                    seen[v] = 1
+                    to_clear.append(v)
+                    self._bump_var(v)
+                    if level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Pick next literal to expand from the trail.
+            while not seen[trail[index] >> 1]:
+                index -= 1
+            p = trail[index]
+            index -= 1
+            pv = p >> 1
+            confl = self.reason[pv]
+            seen[pv] = 0
+            counter -= 1
+            if counter == 0:
+                break
+        learnt[0] = p ^ 1
+        # Recursive clause minimization (conflict-clause shrinking).
+        abstract_levels = 0
+        for q in learnt[1:]:
+            abstract_levels |= 1 << (level[q >> 1] & 31)
+        i_keep = [learnt[0]]
+        for q in learnt[1:]:
+            if self.reason[q >> 1] is None or not self._lit_redundant(
+                q, abstract_levels, to_clear
+            ):
+                i_keep.append(q)
+        learnt = i_keep
+        # Find backtrack level = second-highest level in the clause.
+        if len(learnt) == 1:
+            bt = 0
+        else:
+            max_i = 1
+            for k in range(2, len(learnt)):
+                if level[learnt[k] >> 1] > level[learnt[max_i] >> 1]:
+                    max_i = k
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt = level[learnt[1] >> 1]
+        for v in to_clear:
+            seen[v] = 0
+        return learnt, bt
+
+    def _analyze_final(self, p: int, assumptions: list[int]) -> None:
+        """Compute the assumption core when assumption ``neg(p)`` turned
+        out false: walk the implication graph of ``p`` back to the
+        assumption decisions (MiniSat's analyzeFinal).
+
+        Stores the core -- a subset of ``assumptions`` sufficient for
+        UNSAT -- in :attr:`conflict_core`.
+        """
+        assumption_set = set(assumptions)
+        core = []
+        if neg(p) in assumption_set:
+            core.append(neg(p))
+        if self._decision_level() == 0:
+            self.conflict_core = core
+            return
+        seen = self._seen
+        marked: list[int] = [p >> 1]
+        seen[p >> 1] = 1
+        trail = self.trail
+        for pos in range(len(trail) - 1, self.trail_lim[0] - 1, -1):
+            q = trail[pos]
+            v = q >> 1
+            if not seen[v]:
+                continue
+            r = self.reason[v]
+            if r is None:
+                # Decision: under assumptions, every decision inside the
+                # assumption prefix IS an assumption literal.
+                if q in assumption_set:
+                    core.append(q)
+            else:
+                for lit in self._reason_lits(r, q):
+                    lv = lit >> 1
+                    if lv != v and not seen[lv] and self.level[lv] > 0:
+                        seen[lv] = 1
+                        marked.append(lv)
+        for v in marked:
+            seen[v] = 0
+        self.conflict_core = core
+
+    def _lit_redundant(
+        self, lit: int, abstract_levels: int, to_clear: list[int]
+    ) -> bool:
+        """Check whether ``lit`` is implied by other learnt-clause literals
+        (MiniSat's ``litRedundant``)."""
+        seen = self._seen
+        level = self.level
+        stack = [lit]
+        top = len(to_clear)
+        while stack:
+            q = stack.pop()
+            r = self.reason[q >> 1]
+            if r is None:
+                # Decision reached: lit is not redundant; undo markings.
+                for v in to_clear[top:]:
+                    seen[v] = 0
+                del to_clear[top:]
+                return False
+            # q is a FALSE literal of the clause being minimized; the
+            # literal actually propagated (and on the trail) is neg(q).
+            lits = self._reason_lits(r, q ^ 1)
+            for k in range(1, len(lits)):
+                p = lits[k]
+                pv = p >> 1
+                if not seen[pv] and level[pv] > 0:
+                    if (
+                        self.reason[pv] is not None
+                        and (1 << (level[pv] & 31)) & abstract_levels
+                    ):
+                        seen[pv] = 1
+                        to_clear.append(pv)
+                        stack.append(p)
+                    else:
+                        for v in to_clear[top:]:
+                            seen[v] = 0
+                        del to_clear[top:]
+                        return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Heuristics
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        act = self.activity[var] + self.var_inc
+        self.activity[var] = act
+        if act > self.RESCALE_LIMIT:
+            inv = 1.0 / self.RESCALE_LIMIT
+            for v in range(self.nvars):
+                self.activity[v] *= inv
+            self.var_inc *= inv
+        if self.heap_pos[var] >= 0:
+            self._heap_sift_up(self.heap_pos[var])
+
+    def _bump_clause(self, c: Clause) -> None:
+        c.activity += self.cla_inc
+        if c.activity > self.RESCALE_LIMIT:
+            inv = 1.0 / self.RESCALE_LIMIT
+            for cl in self.learnts:
+                cl.activity *= inv
+            self.cla_inc *= inv
+
+    def _decay(self) -> None:
+        self.var_inc *= self.VAR_DECAY
+        self.cla_inc *= self.CLA_DECAY
+
+    def boost_activity(self, variables: list[int], amount: float = 1.0) -> None:
+        """Seed the VSIDS activity of chosen variables.
+
+        The encoder boosts the primary decision variables (allocation
+        bits, path-closure selectors, media-usage bits) so early search
+        branches on them first -- exploiting the paper's observation that
+        most Boolean variables functionally depend on "a small set of
+        primary decision variables".
+        """
+        for var in variables:
+            self.activity[var] += amount * self.var_inc
+            if self.heap_pos[var] >= 0:
+                self._heap_sift_up(self.heap_pos[var])
+
+    # Indexed binary max-heap over variable activities.
+
+    def _heap_insert(self, var: int) -> None:
+        self.order_heap.append(var)
+        self.heap_pos[var] = len(self.order_heap) - 1
+        self._heap_sift_up(len(self.order_heap) - 1)
+
+    def _heap_sift_up(self, i: int) -> None:
+        heap = self.order_heap
+        pos = self.heap_pos
+        act = self.activity
+        v = heap[i]
+        a = act[v]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pv = heap[parent]
+            if act[pv] >= a:
+                break
+            heap[i] = pv
+            pos[pv] = i
+            i = parent
+        heap[i] = v
+        pos[v] = i
+
+    def _heap_sift_down(self, i: int) -> None:
+        heap = self.order_heap
+        pos = self.heap_pos
+        act = self.activity
+        n = len(heap)
+        v = heap[i]
+        a = act[v]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            right = left + 1
+            child = left
+            if right < n and act[heap[right]] > act[heap[left]]:
+                child = right
+            cv = heap[child]
+            if act[cv] <= a:
+                break
+            heap[i] = cv
+            pos[cv] = i
+            i = child
+        heap[i] = v
+        pos[v] = i
+
+    def _heap_pop(self) -> int:
+        heap = self.order_heap
+        pos = self.heap_pos
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._heap_sift_down(0)
+        return top
+
+    def _pick_branch_var(self) -> int:
+        while self.order_heap:
+            v = self._heap_pop()
+            if self.assigns[v] == VAL_UNASSIGNED:
+                return v
+        return -1
+
+    # ------------------------------------------------------------------
+    # Learnt-clause DB management
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Remove roughly half of the learnt clauses with lowest activity."""
+        learnts = self.learnts
+        learnts.sort(key=lambda c: c.activity)
+        limit = self.cla_inc / max(len(learnts), 1)
+        keep: list[Clause] = []
+        half = len(learnts) // 2
+        for i, c in enumerate(learnts):
+            locked = (
+                self.value_lit(c.lits[0]) == VAL_TRUE
+                and self.reason[c.lits[0] >> 1] is c
+            )
+            if len(c.lits) > 2 and not locked and (i < half or c.activity < limit):
+                self._detach_clause(c)
+                self.stats.deleted_clauses += 1
+            else:
+                keep.append(c)
+        self.learnts = keep
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: list[int] | None = None) -> bool:
+        """Solve under the given assumption literals.
+
+        Returns True (SAT) or False (UNSAT under the assumptions). The
+        model is available via :meth:`model` after a SAT answer. Learnt
+        clauses are retained across calls.
+        """
+        self.stats.solve_calls += 1
+        self.conflict_core = []
+        if not self.ok:
+            return False
+        assumptions = list(assumptions or [])
+        self._cancel_until(0)
+        conflicts_this_restart = 0
+        restart_num = 0
+        restart_limit = self.luby_base * luby(1)
+        max_learnts = self.max_learnts
+
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.stats.conflicts += 1
+                conflicts_this_restart += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    return False
+                learnt, bt = self._analyze(confl)
+                self._cancel_until(bt)
+                if len(learnt) == 1:
+                    self._unchecked_enqueue(learnt[0], None)
+                else:
+                    c = Clause(learnt, learnt=True)
+                    self.learnts.append(c)
+                    self._attach_clause(c)
+                    self._bump_clause(c)
+                    self.stats.learnt_clauses += 1
+                    self.stats.learnt_literals += len(learnt)
+                    self._unchecked_enqueue(learnt[0], c)
+                self._decay()
+            else:
+                if conflicts_this_restart >= restart_limit:
+                    # Restart (keep assumptions semantics: just backtrack).
+                    restart_num += 1
+                    self.stats.restarts += 1
+                    conflicts_this_restart = 0
+                    restart_limit = self.luby_base * luby(restart_num + 1)
+                    self._cancel_until(0)
+                    continue
+                if len(self.learnts) >= max_learnts + len(self.trail):
+                    self._reduce_db()
+                    max_learnts *= self.learnt_growth
+                # Re-apply assumptions not yet on the trail.
+                lvl = self._decision_level()
+                if lvl < len(assumptions):
+                    p = assumptions[lvl]
+                    v = self.value_lit(p)
+                    if v == VAL_TRUE:
+                        # Already satisfied: open a dummy level to keep the
+                        # level <-> assumption-index correspondence.
+                        self._new_decision_level()
+                        continue
+                    if v == VAL_FALSE:
+                        self._analyze_final(neg(p), assumptions)
+                        return False  # conflicting assumptions
+                    self._new_decision_level()
+                    self._unchecked_enqueue(p, None)
+                    continue
+                var = self._pick_branch_var()
+                if var == -1:
+                    self.max_learnts = max_learnts
+                    self._model = [
+                        self.assigns[v] == VAL_TRUE for v in range(self.nvars)
+                    ]
+                    return True  # all variables assigned: SAT
+                self.stats.decisions += 1
+                self._new_decision_level()
+                phase = self.saved_phase[var]
+                lit = mklit(var, phase == VAL_FALSE)
+                self._unchecked_enqueue(lit, None)
+
+    def model(self) -> list[bool]:
+        """The satisfying assignment of the last successful solve().
+
+        The model is a snapshot: it stays valid even after further
+        constraints are added (which resets the search state).
+        Variables created after that solve() read as False.
+        """
+        m = list(self._model)
+        m.extend([False] * (self.nvars - len(m)))
+        return m
+
+    def model_value(self, lit: int) -> bool:
+        """Truth value of ``lit`` in the last model."""
+        var = lit >> 1
+        val = self._model[var] if var < len(self._model) else False
+        return (not val) if lit & 1 else val
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and the reporting layer
+    # ------------------------------------------------------------------
+
+    def num_clauses(self) -> int:
+        """Number of problem clauses currently in the database."""
+        return len(self.clauses)
+
+    def num_literals(self) -> int:
+        """Total literal count over problem clauses and PB constraints —
+        the 'Lit.' column of the paper's tables."""
+        n = sum(len(c.lits) for c in self.clauses)
+        n += sum(len(p.lits) for p in self.pbs)
+        return n
+
+    def check_model(self) -> bool:
+        """Verify the last model against every original constraint
+        (used by the test suite; independent of the propagation code)."""
+        for c in self.clauses:
+            if not any(self.model_value(l) for l in c.lits):
+                return False
+        for con in self.pbs:
+            total = sum(
+                coef
+                for coef, lit in zip(con.coefs, con.lits)
+                if self.model_value(lit)
+            )
+            if total < con.bound:
+                return False
+        return True

@@ -1,0 +1,285 @@
+"""Tick-accurate platform simulator.
+
+Model (one tick = one model time unit, matching the analysis):
+
+- **Tasks**: released periodically (offset configurable), executed on
+  their allocated ECU under preemptive fixed priorities.  A job that
+  completes sends each of the task's messages.
+- **Token-ring media**: a cyclic slot schedule (one slot per attached
+  ECU, lengths from the allocation's slot table).  During ECU p's slot,
+  p's highest-priority queued frame transmits; transmission is
+  *packetized* -- progress accumulates across the sender's successive
+  slot occurrences, matching the service model behind eq. 3 (Tindell's
+  token ring splits messages into per-token packets [5]).  The slot
+  overhead is modelled as margin inside the slot (the encoder sizes
+  slots as rho + overhead), so the analytical bound stays safe.
+- **CAN media**: whenever the bus idles, the highest-priority queued
+  frame starts; transmission is non-preemptive.
+- **Gateways**: a frame finishing hop i is held for the medium's
+  ``gateway_service`` ticks, then queued at the gateway for hop i+1.
+
+The simulator is deliberately independent of the analysis code: it reads
+only the model and a concrete :class:`repro.analysis.Allocation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.allocation import Allocation, MsgRef
+from repro.analysis.feasibility import sending_ecu_on
+from repro.model.architecture import Architecture, MediumKind
+from repro.model.task import TaskSet
+
+__all__ = ["SimulationResult", "simulate"]
+
+
+@dataclass
+class _Job:
+    task: str
+    release: int
+    remaining: int
+    prio: int
+    finished: int | None = None
+
+
+@dataclass
+class _Frame:
+    ref: MsgRef
+    created: int          # job completion time (message "release")
+    path: tuple[str, ...]
+    hop: int
+    rho: int              # wire ticks on the current hop's medium
+    prio: int
+    sender: str           # ECU injecting on the current hop
+    hop_arrival: int      # when it became ready at the current hop
+    progress: int = 0
+    hop_done: dict[str, int] = field(default_factory=dict)
+    delivered: int | None = None
+
+
+@dataclass
+class SimulationResult:
+    """Observed worst cases over the simulated horizon."""
+
+    horizon: int
+    task_response: dict[str, int] = field(default_factory=dict)
+    msg_delivery: dict[MsgRef, int] = field(default_factory=dict)
+    msg_hop_delay: dict[tuple[MsgRef, str], int] = field(
+        default_factory=dict
+    )
+    completed_jobs: dict[str, int] = field(default_factory=dict)
+    delivered_msgs: dict[MsgRef, int] = field(default_factory=dict)
+    deadline_misses: list[str] = field(default_factory=list)
+
+
+def _hyperperiod(periods: list[int]) -> int:
+    from math import gcd
+
+    h = 1
+    for p in periods:
+        h = h * p // gcd(h, p)
+    return h
+
+
+def simulate(
+    tasks: TaskSet,
+    arch: Architecture,
+    alloc: Allocation,
+    horizon: int | None = None,
+    offsets: dict[str, int] | None = None,
+) -> SimulationResult:
+    """Run the simulation; see the module docstring.
+
+    ``horizon`` defaults to two hyperperiods plus the largest deadline;
+    ``offsets`` shifts task releases (default 0 = synchronous release,
+    the critical-instant-like scenario).
+    """
+    offsets = offsets or {}
+    periods = [t.period for t in tasks]
+    if horizon is None:
+        horizon = 2 * _hyperperiod(periods) + max(
+            t.deadline for t in tasks
+        )
+
+    # --- static tables -------------------------------------------------
+    ecu_of = dict(alloc.task_ecu)
+    prio = dict(alloc.task_prio)
+    msg_prio = {
+        ref: alloc.msg_prio.get(ref, i)
+        for i, ref in enumerate(sorted(alloc.message_path))
+    }
+    # Token-ring slot schedule per medium: list of (ecu, length).
+    ring_sched: dict[str, list[tuple[str, int]]] = {}
+    ring_round: dict[str, int] = {}
+    for kname, k in arch.media.items():
+        if k.kind is MediumKind.TOKEN_RING:
+            sched = [
+                (p, alloc.slot_ticks.get((kname, p), k.min_slot))
+                for p in k.ecus
+            ]
+            ring_sched[kname] = sched
+            ring_round[kname] = sum(length for _, length in sched)
+
+    # --- dynamic state ---------------------------------------------------
+    ready: dict[str, list[_Job]] = {p: [] for p in arch.ecu_names()}
+    queues: dict[str, list[_Frame]] = {k: [] for k in arch.media}
+    # CAN: one frame on the wire per medium.  Token ring: one in-progress
+    # frame per (medium, slot owner), resumed whenever the slot returns.
+    transmitting: dict[str, _Frame | None] = {k: None for k in arch.media}
+    ring_current: dict[tuple[str, str], _Frame | None] = {}
+    gateway_hold: list[tuple[int, _Frame]] = []  # (ready time, frame)
+    result = SimulationResult(horizon=horizon)
+
+    def observe_task(job: _Job, now: int) -> None:
+        resp = now - job.release
+        prev = result.task_response.get(job.task, 0)
+        result.task_response[job.task] = max(prev, resp)
+        result.completed_jobs[job.task] = (
+            result.completed_jobs.get(job.task, 0) + 1
+        )
+        if resp > tasks[job.task].deadline:
+            result.deadline_misses.append(
+                f"task {job.task} response {resp} at t={now}"
+            )
+
+    def send_messages(task_name: str, now: int) -> None:
+        task = tasks[task_name]
+        for i, msg in enumerate(task.messages):
+            ref = MsgRef(task_name, i)
+            path = alloc.message_path.get(ref)
+            if path is None:
+                continue
+            if not path:
+                # Intra-ECU: instantaneous delivery.
+                result.msg_delivery[ref] = max(
+                    result.msg_delivery.get(ref, 0), 0
+                )
+                result.delivered_msgs[ref] = (
+                    result.delivered_msgs.get(ref, 0) + 1
+                )
+                continue
+            k = arch.media[path[0]]
+            frame = _Frame(
+                ref=ref,
+                created=now,
+                path=path,
+                hop=0,
+                rho=k.transmission_ticks(msg.size_bits),
+                prio=msg_prio[ref],
+                sender=sending_ecu_on(arch, path, ecu_of[task_name], 0),
+                hop_arrival=now,
+            )
+            queues[path[0]].append(frame)
+
+    def finish_hop(frame: _Frame, now: int) -> None:
+        medium = frame.path[frame.hop]
+        delay = now - frame.hop_arrival
+        key = (frame.ref, medium)
+        result.msg_hop_delay[key] = max(
+            result.msg_hop_delay.get(key, 0), delay
+        )
+        if frame.hop == len(frame.path) - 1:
+            total = now - frame.created
+            result.msg_delivery[frame.ref] = max(
+                result.msg_delivery.get(frame.ref, 0), total
+            )
+            result.delivered_msgs[frame.ref] = (
+                result.delivered_msgs.get(frame.ref, 0) + 1
+            )
+            _, msg = frame.ref.resolve(tasks)
+            if total > msg.deadline:
+                result.deadline_misses.append(
+                    f"message {frame.ref} delivery {total} at t={now}"
+                )
+            return
+        nxt = frame.path[frame.hop + 1]
+        service = arch.media[nxt].gateway_service
+        frame.hop += 1
+        frame.rho = arch.media[nxt].transmission_ticks(
+            frame.ref.resolve(tasks)[1].size_bits
+        )
+        frame.sender = sending_ecu_on(
+            arch, frame.path, ecu_of[frame.ref.sender], frame.hop
+        )
+        frame.progress = 0
+        gateway_hold.append((now + service, frame))
+
+    # --- main loop -------------------------------------------------------
+    for now in range(horizon):
+        # Releases.
+        for t in tasks:
+            off = offsets.get(t.name, 0)
+            if now >= off and (now - off) % t.period == 0:
+                ready[ecu_of[t.name]].append(
+                    _Job(
+                        task=t.name,
+                        release=now,
+                        remaining=t.wcet[ecu_of[t.name]],
+                        prio=prio[t.name],
+                    )
+                )
+        # Gateway holds maturing.
+        still: list[tuple[int, _Frame]] = []
+        for when, frame in gateway_hold:
+            if when <= now:
+                frame.hop_arrival = now
+                queues[frame.path[frame.hop]].append(frame)
+            else:
+                still.append((when, frame))
+        gateway_hold[:] = still
+
+        # CPUs: run the highest-priority ready job one tick.
+        for ecu, jobs in ready.items():
+            if not jobs:
+                continue
+            jobs.sort(key=lambda j: (j.prio, j.release))
+            job = jobs[0]
+            job.remaining -= 1
+            if job.remaining == 0:
+                jobs.pop(0)
+                observe_task(job, now + 1)
+                send_messages(job.task, now + 1)
+
+        # Buses.
+        for kname, k in arch.media.items():
+            queue = queues[kname]
+            if k.kind is MediumKind.CAN:
+                frame = transmitting[kname]
+                if frame is None and queue:
+                    queue.sort(key=lambda f: (f.prio, f.hop_arrival))
+                    frame = queue.pop(0)
+                    frame.progress = 0
+                    transmitting[kname] = frame
+                if frame is not None:
+                    frame.progress += 1
+                    if frame.progress >= frame.rho:
+                        transmitting[kname] = None
+                        finish_hop(frame, now + 1)
+                continue
+            # Token ring: find the slot owner at this tick.
+            sched = ring_sched[kname]
+            pos = now % ring_round[kname]
+            acc = 0
+            owner = sched[0][0]
+            for p, length in sched:
+                if pos < acc + length:
+                    owner = p
+                    break
+                acc += length
+            key = (kname, owner)
+            frame = ring_current.get(key)
+            if frame is None:
+                candidates = [f for f in queue if f.sender == owner]
+                if candidates:
+                    candidates.sort(key=lambda f: (f.prio, f.hop_arrival))
+                    frame = candidates[0]
+                    queue.remove(frame)
+                    frame.progress = 0
+                    ring_current[key] = frame
+            if frame is not None:
+                frame.progress += 1
+                if frame.progress >= frame.rho:
+                    ring_current[key] = None
+                    finish_hop(frame, now + 1)
+    return result

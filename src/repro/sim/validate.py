@@ -1,0 +1,80 @@
+"""Simulation-vs-analysis cross validation.
+
+For a schedulable allocation, every observed behaviour must stay within
+the analytical worst-case bounds:
+
+- each task's observed response time <= its RTA fixed point,
+- each message's per-hop sojourn    <= its per-medium local deadline,
+- each message's end-to-end time    <= its deadline,
+- no deadline miss events at all.
+
+A violation means a bug in the analysis, the encoder or the simulator --
+the three are implemented independently, so agreement is strong evidence
+of correctness (used by the property tests in
+``tests/test_simulation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.allocation import Allocation
+from repro.analysis.feasibility import FeasibilityReport
+from repro.model.architecture import Architecture
+from repro.model.task import TaskSet
+from repro.sim.engine import SimulationResult, simulate
+
+__all__ = ["ValidationOutcome", "validate_against_analysis"]
+
+
+@dataclass
+class ValidationOutcome:
+    """Comparison of simulated observations with analytical bounds."""
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    sim: SimulationResult | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def validate_against_analysis(
+    tasks: TaskSet,
+    arch: Architecture,
+    alloc: Allocation,
+    report: FeasibilityReport,
+    horizon: int | None = None,
+    offsets: dict[str, int] | None = None,
+) -> ValidationOutcome:
+    """Simulate and compare against a schedulable analysis report."""
+    if not report.schedulable:
+        raise ValueError("validate only schedulable allocations")
+    sim = simulate(tasks, arch, alloc, horizon=horizon, offsets=offsets)
+    violations: list[str] = []
+    for name, bound in report.task_response.items():
+        observed = sim.task_response.get(name)
+        if observed is None:
+            continue  # no job completed within the horizon
+        if bound is not None and observed > bound:
+            violations.append(
+                f"task {name}: observed {observed} > bound {bound}"
+            )
+    for (ref, medium), bound in report.msg_local_deadline.items():
+        observed = sim.msg_hop_delay.get((ref, medium))
+        if observed is not None and observed > bound:
+            violations.append(
+                f"message {ref} on {medium}: observed {observed} > "
+                f"local deadline {bound}"
+            )
+    for ref, observed in sim.msg_delivery.items():
+        _, msg = ref.resolve(tasks)
+        if observed > msg.deadline:
+            violations.append(
+                f"message {ref}: observed end-to-end {observed} > "
+                f"deadline {msg.deadline}"
+            )
+    violations.extend(sim.deadline_misses)
+    return ValidationOutcome(
+        ok=not violations, violations=violations, sim=sim
+    )

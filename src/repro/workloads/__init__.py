@@ -1,0 +1,49 @@
+"""Workloads reproducing the paper's experimental setups.
+
+Time base: 1 tick = 100 microseconds (0.1 ms), so the paper's
+millisecond-scale TRT values map to ~85-ish tick TDMA rounds.
+
+- :mod:`repro.workloads.tindell` -- a faithfully *structured* synthetic
+  re-creation of the Tindell/Burns/Wellings [5] case study: 43 tasks in
+  12 transactions on 8 ECUs with a token ring, placement restrictions
+  and redundant pairs (the original table constants are not available;
+  see the substitution note in DESIGN.md),
+- :mod:`repro.workloads.scaling` -- the table 2 architecture-scaling
+  family (token ring with a growing number of ECUs) and the table 3
+  task-scaling partitions,
+- :mod:`repro.workloads.hierarchies` -- architectures A, B and C of
+  figure 2 (plus the CAN-swap variant of section 6),
+- :mod:`repro.workloads.generator` -- random task-set generation
+  (UUniFast-discard) for fuzzing and extra benchmarks.
+"""
+
+from repro.workloads.generator import random_taskset
+from repro.workloads.hierarchies import (
+    architecture_a,
+    architecture_b,
+    architecture_c,
+    architecture_c_can,
+)
+from repro.workloads.scaling import ring_architecture, scaling_taskset
+from repro.workloads.tindell import (
+    TICK_US,
+    tindell_architecture,
+    tindell_partition,
+    tindell_taskset,
+    ticks_to_ms,
+)
+
+__all__ = [
+    "TICK_US",
+    "ticks_to_ms",
+    "tindell_architecture",
+    "tindell_taskset",
+    "tindell_partition",
+    "ring_architecture",
+    "scaling_taskset",
+    "architecture_a",
+    "architecture_b",
+    "architecture_c",
+    "architecture_c_can",
+    "random_taskset",
+]

@@ -1,0 +1,112 @@
+"""Random task-set generation for fuzzing and synthetic benchmarks.
+
+Utilizations are drawn with **UUniFast-discard** (Bini & Buttazzo's
+unbiased uniform sampling over the utilization simplex, re-drawing
+vectors with any component above ``max_task_util``), periods
+log-uniformly from a realistic grid, and an adjustable fraction of tasks
+is linked into communication chains with placement restrictions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.model.architecture import Architecture
+from repro.model.task import Message, Task, TaskSet
+
+__all__ = ["uunifast_discard", "random_taskset"]
+
+_PERIOD_GRID = (200, 250, 400, 500, 800, 1000)
+
+
+def uunifast_discard(
+    rng: random.Random,
+    n: int,
+    total_util: float,
+    max_task_util: float = 0.6,
+    max_tries: int = 1000,
+) -> list[float]:
+    """UUniFast with rejection of vectors exceeding ``max_task_util``."""
+    for _ in range(max_tries):
+        utils = []
+        remaining = total_util
+        for i in range(1, n):
+            nxt = remaining * rng.random() ** (1.0 / (n - i))
+            utils.append(remaining - nxt)
+            remaining = nxt
+        utils.append(remaining)
+        if all(u <= max_task_util for u in utils):
+            return utils
+    raise RuntimeError(
+        f"could not sample {n} utilizations totalling {total_util}"
+    )
+
+
+def random_taskset(
+    arch: Architecture,
+    n_tasks: int,
+    total_util: float,
+    seed: int = 0,
+    chain_fraction: float = 0.5,
+    msg_bits: int = 200,
+    restrict_fraction: float = 0.3,
+) -> TaskSet:
+    """A random system on ``arch``.
+
+    ``total_util`` is the aggregate CPU utilization (spread over the
+    architecture's task-capable ECUs); ``chain_fraction`` of the tasks
+    are linked into 2-3 task chains with messages; ``restrict_fraction``
+    of the tasks get a random 2-ECU placement restriction.
+    """
+    rng = random.Random(seed)
+    ecus = arch.task_capable_ecus()
+    utils = uunifast_discard(rng, n_tasks, total_util)
+    tasks: list[Task] = []
+    for i, u in enumerate(utils):
+        period = rng.choice(_PERIOD_GRID)
+        wcet = max(1, int(u * period))
+        deadline = period if rng.random() < 0.7 else min(
+            period, max(wcet * 2 + 5, int(period * rng.uniform(0.6, 1.0)))
+        )
+        allowed = None
+        if rng.random() < restrict_fraction and len(ecus) >= 2:
+            allowed = frozenset(rng.sample(ecus, 2))
+        hosts = sorted(allowed) if allowed else ecus
+        wcets = {
+            p: max(1, int(wcet * rng.uniform(0.8, 1.25))) for p in hosts
+        }
+        tasks.append(
+            Task(
+                name=f"t{i}",
+                period=period,
+                wcet=wcets,
+                deadline=deadline,
+                allowed=allowed,
+            )
+        )
+    # Wire chains among same-period tasks (message semantics need a
+    # shared activation rate).
+    by_period: dict[int, list[int]] = {}
+    for i, t in enumerate(tasks):
+        by_period.setdefault(t.period, []).append(i)
+    n_linked = int(n_tasks * chain_fraction)
+    linked = 0
+    for period, members in sorted(by_period.items()):
+        idx = 0
+        while idx + 1 < len(members) and linked < n_linked:
+            a, b = members[idx], members[idx + 1]
+            src = tasks[a]
+            deadline = max(20, period // 4)
+            tasks[a] = Task(
+                name=src.name,
+                period=src.period,
+                wcet=dict(src.wcet),
+                deadline=src.deadline,
+                messages=src.messages
+                + (Message(tasks[b].name, msg_bits, deadline),),
+                allowed=src.allowed,
+            )
+            linked += 2
+            idx += 2
+    return TaskSet(tasks, name=f"random{n_tasks}-u{total_util:.1f}-s{seed}")

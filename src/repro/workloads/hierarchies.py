@@ -1,0 +1,116 @@
+"""The hierarchical architectures A, B and C of figure 2.
+
+All three host the case-study task set; table 4 minimizes the sum of the
+TRTs of all token-ring media.
+
+- **Architecture A**: two 4-ECU rings (p0-p3 and p4-p7) joined by the
+  dedicated gateway node g8, which cannot host tasks.
+- **Architecture B**: three rings -- p0-p3 with gateway g8, p4-p7 with
+  gateway g9, and a backbone ring {g8, g9, p10, p11}; both gateways are
+  pure forwarding nodes.
+- **Architecture C**: two rings sharing the ordinary ECU p0 as gateway
+  (p0-p3 on the lower ring, p0+p4-p7 on the upper); p0 *can* host tasks,
+  which is why table 4 reports the same optimum as the flat system.
+- **C/CAN variant**: architecture C with the upper medium replaced by a
+  CAN bus (the section 6 experiment "exchanging the above media of
+  architecture C by a CAN bus").
+"""
+
+from __future__ import annotations
+
+from repro.model.architecture import (
+    CAN,
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+)
+from repro.workloads.tindell import TICK_US
+
+__all__ = [
+    "architecture_a",
+    "architecture_b",
+    "architecture_c",
+    "architecture_c_can",
+]
+
+_RING_PARAMS = dict(
+    bit_rate=1_000_000,
+    tick_us=TICK_US,
+    frame_overhead_bits=50,
+    slot_overhead=1,
+    min_slot=8,
+    gateway_service=5,
+)
+
+_CAN_PARAMS = dict(
+    bit_rate=1_000_000,
+    tick_us=TICK_US,
+    frame_overhead_bits=50,
+    gateway_service=5,
+)
+
+
+def architecture_a() -> Architecture:
+    """Two rings bridged by a dedicated (task-free) gateway."""
+    ecus = [Ecu(f"p{i}") for i in range(8)]
+    ecus.append(Ecu("g8", allow_tasks=False))
+    return Architecture(
+        ecus=ecus,
+        media=[
+            Medium("lower", TOKEN_RING,
+                   ("p0", "p1", "p2", "p3", "g8"), **_RING_PARAMS),
+            Medium("upper", TOKEN_RING,
+                   ("p4", "p5", "p6", "p7", "g8"), **_RING_PARAMS),
+        ],
+    )
+
+
+def architecture_b() -> Architecture:
+    """Three rings: two leaf rings and a backbone, two gateways."""
+    ecus = [Ecu(f"p{i}") for i in range(8)]
+    ecus += [
+        Ecu("g8", allow_tasks=False),
+        Ecu("g9", allow_tasks=False),
+        Ecu("p10"),
+        Ecu("p11"),
+    ]
+    return Architecture(
+        ecus=ecus,
+        media=[
+            Medium("left", TOKEN_RING,
+                   ("p0", "p1", "p2", "p3", "g8"), **_RING_PARAMS),
+            Medium("right", TOKEN_RING,
+                   ("p4", "p5", "p6", "p7", "g9"), **_RING_PARAMS),
+            Medium("backbone", TOKEN_RING,
+                   ("g8", "g9", "p10", "p11"), **_RING_PARAMS),
+        ],
+    )
+
+
+def architecture_c() -> Architecture:
+    """Two rings sharing the ordinary ECU p0 as the gateway."""
+    ecus = [Ecu(f"p{i}") for i in range(8)]
+    return Architecture(
+        ecus=ecus,
+        media=[
+            Medium("lower", TOKEN_RING,
+                   ("p0", "p1", "p2", "p3"), **_RING_PARAMS),
+            Medium("upper", TOKEN_RING,
+                   ("p0", "p4", "p5", "p6", "p7"), **_RING_PARAMS),
+        ],
+    )
+
+
+def architecture_c_can() -> Architecture:
+    """Architecture C with the upper medium swapped for a CAN bus."""
+    ecus = [Ecu(f"p{i}") for i in range(8)]
+    return Architecture(
+        ecus=ecus,
+        media=[
+            Medium("lower", TOKEN_RING,
+                   ("p0", "p1", "p2", "p3"), **_RING_PARAMS),
+            Medium("upper", CAN,
+                   ("p0", "p4", "p5", "p6", "p7"), **_CAN_PARAMS),
+        ],
+    )

@@ -1,0 +1,77 @@
+"""Scaling families for tables 2 and 3.
+
+Table 2 grows the *architecture*: a fixed 30-task system allocated to a
+token ring with 8, 16, 25, 32, 45, 64 ECUs.  Table 3 grows the *task
+set*: partitions of the case study (7, 12, 20, 30, 43 tasks) on the
+fixed 8-ECU ring (see :func:`repro.workloads.tindell.tindell_partition`).
+"""
+
+from __future__ import annotations
+
+from repro.model.architecture import TOKEN_RING, Architecture, Ecu, Medium
+from repro.model.task import TaskSet
+from repro.workloads.tindell import TICK_US, tindell_partition
+
+__all__ = ["ring_architecture", "scaling_taskset", "ECU_COUNTS"]
+
+#: The ECU counts of the paper's table 2.
+ECU_COUNTS = (8, 16, 25, 32, 45, 64)
+
+
+def ring_architecture(n_ecus: int) -> Architecture:
+    """A single token ring with ``n_ecus`` ECUs (table 2 platform)."""
+    ecus = [Ecu(f"p{i}") for i in range(n_ecus)]
+    return Architecture(
+        ecus=ecus,
+        media=[
+            Medium(
+                "ring",
+                TOKEN_RING,
+                tuple(e.name for e in ecus),
+                bit_rate=1_000_000,
+                tick_us=TICK_US,
+                frame_overhead_bits=50,
+                slot_overhead=1,
+                min_slot=3,
+            )
+        ],
+    )
+
+
+def scaling_taskset(n_ecus: int, n_tasks: int = 30) -> TaskSet:
+    """The table 2 task system: the 30-task partition of the case study
+    with placement restrictions re-spread over ``n_ecus`` ECUs.
+
+    The paper keeps the task set fixed while growing the architecture;
+    re-spreading the pi_i sets over the larger platform models the same
+    situation (an unchanged application integrated onto more hardware).
+    Message deadlines are scaled with the platform: a token ring with n
+    ECUs has a minimum TDMA round of n * min_slot, so bus deadlines that
+    were meaningful on 8 ECUs would be structurally impossible on 64 --
+    the deadline scale factor keeps the *relative* tightness constant.
+    """
+    base = tindell_partition(n_tasks, n_ecus=n_ecus)
+    scale = max(1, (n_ecus + 7) // 8)
+    if scale == 1:
+        return base
+    from repro.model.task import Message, Task, TaskSet
+
+    tasks = []
+    for t in base:
+        tasks.append(
+            Task(
+                name=t.name,
+                period=t.period,
+                wcet=dict(t.wcet),
+                deadline=t.deadline,
+                messages=tuple(
+                    Message(m.target, m.size_bits,
+                            min(t.period, m.deadline * scale))
+                    for m in t.messages
+                ),
+                allowed=t.allowed,
+                separated_from=t.separated_from,
+                release_jitter=t.release_jitter,
+            )
+        )
+    return TaskSet(tasks, name=f"{base.name}-ecus{n_ecus}")

@@ -1,0 +1,222 @@
+"""Synthetic re-creation of the Tindell/Burns/Wellings case study [5].
+
+The paper's headline experiment allocates the 43-task, 12-transaction
+task set of [5] onto 8 ECUs connected by a token ring, minimizing the
+Token Rotation Time (TRT).  The original 1992 table constants are not
+reproduced here (see DESIGN.md); instead this module builds a
+deterministic synthetic system with the same *structure*:
+
+- 8 ECUs on one token ring,
+- 43 tasks in 12 transactions (chains of 2-5 tasks) plus standalones,
+- sensor/actuator placement restrictions pinning chain endpoints,
+- middle tasks restricted to small candidate ECU clusters,
+- redundant (separated) task pairs,
+- messages between consecutive chain tasks with end-to-end deadlines.
+
+Tightness is tuned so the system is feasible but constrained enough that
+a budgeted simulated-annealing walk usually lands above the optimum --
+the shape of the paper's table 1.
+
+Time base: 1 tick = 100 us; a TRT of ~85 ticks reads as ~8.5 ms.
+"""
+
+from __future__ import annotations
+
+from repro.model.architecture import (
+    CAN,
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+)
+from repro.model.task import Message, Task, TaskSet
+
+__all__ = [
+    "TICK_US",
+    "ticks_to_ms",
+    "tindell_architecture",
+    "tindell_taskset",
+    "tindell_partition",
+    "PARTITION_SIZES",
+]
+
+#: Microseconds per tick of the workload time base.
+TICK_US = 100
+
+
+def ticks_to_ms(ticks: int) -> float:
+    """Convert workload ticks to milliseconds (for paper-style tables)."""
+    return ticks * TICK_US / 1000.0
+
+
+def tindell_architecture(
+    n_ecus: int = 8, kind=TOKEN_RING, name: str = "ring"
+) -> Architecture:
+    """The 8-ECU single-bus platform of [5].
+
+    ``kind=CAN`` builds the CAN variant of table 1's second experiment.
+    1 Mbit/s wire -> a 100-bit frame costs 1 tick (100 us).
+    """
+    ecus = [Ecu(f"p{i}") for i in range(n_ecus)]
+    medium = Medium(
+        name,
+        kind,
+        tuple(e.name for e in ecus),
+        bit_rate=1_000_000,
+        tick_us=TICK_US,  # 1 Mbit/s: a 100-bit frame costs 1 tick
+        frame_overhead_bits=50,
+        slot_overhead=1,
+        min_slot=3,
+        gateway_service=5,
+    )
+    return Architecture(ecus=ecus, media=[medium])
+
+
+#: (chain length, period ticks, task utilization approx, msg bits)
+_CHAINS: list[tuple[int, int, float, int]] = [
+    (5, 1000, 0.09, 1050),
+    (4, 500, 0.08, 750),
+    (4, 500, 0.10, 450),
+    (4, 400, 0.07, 750),
+    (4, 1000, 0.11, 1350),
+    (4, 250, 0.06, 450),
+    (3, 400, 0.09, 1050),
+    (3, 500, 0.08, 750),
+    (3, 250, 0.07, 450),
+    (3, 1000, 0.10, 1650),
+    (2, 200, 0.08, 450),
+    (2, 500, 0.09, 750),
+]
+
+#: Standalone tasks completing the 43: (period, utilization).
+_STANDALONE: list[tuple[int, float]] = [(400, 0.10), (250, 0.08)]
+
+#: Redundant pairs (fault-tolerant replicas) that must be separated.
+_SEPARATED: list[tuple[str, str]] = [
+    ("c1_t0", "c2_t0"),
+    ("c4_t1", "c5_t1"),
+    ("s0", "s1"),
+]
+
+
+def _chain_tasks(
+    chain_idx: int,
+    length: int,
+    period: int,
+    util: float,
+    msg_bits: int,
+    n_ecus: int,
+) -> list[Task]:
+    """One transaction: sensor -> processing* -> actuator."""
+    tasks: list[Task] = []
+    sensor_ecu = f"p{chain_idx % n_ecus}"
+    # Short-period chains keep both endpoints on the sensor node so their
+    # tight message deadlines can be met without touching the ring.
+    if period <= 250:
+        actuator_ecu = sensor_ecu
+    else:
+        actuator_ecu = f"p{(chain_idx + 3) % n_ecus}"
+    wcet = max(2, int(period * util))
+    # Message deadline: a slice of the period, long enough for the wire
+    # plus a realistic TDMA round (also across the 3-hop paths of the
+    # fig. 2 hierarchies), short enough to stay constraining.
+    msg_deadline = max(60, period * 2 // 5)
+    for pos in range(length):
+        name = f"c{chain_idx}_t{pos}"
+        if pos == 0:
+            allowed = frozenset({sensor_ecu})
+        elif pos == length - 1:
+            allowed = frozenset({actuator_ecu})
+        elif period <= 250:
+            # Short-period chains: tight message deadlines; middles must
+            # be co-locatable with the pinned sensor node.
+            base = (chain_idx + pos) % n_ecus
+            allowed = frozenset({sensor_ecu, f"p{base}"})
+        else:
+            # Middle tasks: a 3-ECU cluster around the chain's home.
+            base = (chain_idx + pos) % n_ecus
+            allowed = frozenset(
+                {f"p{base}", f"p{(base + 1) % n_ecus}",
+                 f"p{(base + 2) % n_ecus}"}
+            )
+        messages = ()
+        if pos < length - 1:
+            messages = (
+                Message(f"c{chain_idx}_t{pos + 1}", msg_bits, msg_deadline),
+            )
+        # Mild heterogeneity: +-25% WCET by ECU parity.
+        wcets = {}
+        for i in range(n_ecus):
+            p = f"p{i}"
+            if p not in allowed:
+                continue
+            factor = 1.0 + 0.25 * ((i + chain_idx) % 3 - 1) / 2
+            wcets[p] = max(1, int(wcet * factor))
+        deadline = period - (length - 1 - pos) * msg_deadline
+        deadline = max(deadline, wcet * 2 + 10)
+        deadline = min(deadline, period)
+        tasks.append(
+            Task(
+                name=name,
+                period=period,
+                wcet=wcets,
+                deadline=deadline,
+                messages=messages,
+                allowed=allowed,
+            )
+        )
+    return tasks
+
+
+def tindell_taskset(n_ecus: int = 8) -> TaskSet:
+    """The full 43-task system (12 chains + 2 standalone tasks)."""
+    tasks: list[Task] = []
+    for idx, (length, period, util, bits) in enumerate(_CHAINS):
+        tasks.extend(
+            _chain_tasks(idx, length, period, util, bits, n_ecus)
+        )
+    for i, (period, util) in enumerate(_STANDALONE):
+        wcet = max(2, int(period * util))
+        home = (5 * i + 1) % n_ecus
+        allowed = frozenset(
+            {f"p{home}", f"p{(home + 4) % n_ecus}"}
+        )
+        tasks.append(
+            Task(
+                name=f"s{i}",
+                period=period,
+                wcet={p: wcet for p in allowed},
+                deadline=period,
+                allowed=allowed,
+            )
+        )
+    # Attach separation requirements.
+    by_name = {t.name: t for t in tasks}
+    for a, b in _SEPARATED:
+        for x, y in ((a, b), (b, a)):
+            t = by_name[x]
+            by_name[x] = Task(
+                name=t.name,
+                period=t.period,
+                wcet=dict(t.wcet),
+                deadline=t.deadline,
+                messages=t.messages,
+                allowed=t.allowed,
+                separated_from=t.separated_from | {y},
+                release_jitter=t.release_jitter,
+            )
+    return TaskSet(list(by_name.values()), name="tindell43")
+
+
+#: Task-set sizes of the paper's table 3 partitions.
+PARTITION_SIZES = (7, 12, 20, 30, 43)
+
+
+def tindell_partition(n_tasks: int, n_ecus: int = 8) -> TaskSet:
+    """A prefix partition of the case study with ``n_tasks`` tasks,
+    mirroring the paper's table 3 ("we partitioned the example of [5] in
+    smaller portions").  Whole chains are taken first so communication
+    structure is preserved; messages to dropped tasks are pruned."""
+    full = tindell_taskset(n_ecus)
+    names = full.names()[:n_tasks]
+    return full.subset(names, name=f"tindell{n_tasks}")

@@ -1,0 +1,393 @@
+"""Tests for the response-time analyses (eqs. 1-3) and the feasibility
+checker, including textbook RTA examples and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Allocation,
+    MsgRef,
+    check_allocation,
+    deadline_monotonic_order,
+    task_response_time,
+)
+from repro.analysis.bus import can_response_time, tdma_response_time
+from repro.analysis.feasibility import sending_ecu_on
+from repro.analysis.rta import ecu_response_times
+from repro.model import (
+    CAN,
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+    Message,
+    Task,
+    TaskSet,
+)
+
+
+class TestTaskRta:
+    def test_classic_liu_layland_example(self):
+        # Tasks (C, T): (1,4), (2,6), (3,10) in priority order.
+        # r1 = 1; r2 = 2 + ceil(r/4)*1 -> 3; r3: 3 + ceil(r/4) + 2*ceil(r/6)
+        assert task_response_time(1, []) == 1
+        assert task_response_time(2, [(1, 4, 0)]) == 3
+        r3 = task_response_time(3, [(1, 4, 0), (2, 6, 0)])
+        # Hand iteration: r=3 -> 3+1+2=6 -> 3+2+2=7 -> 3+2+4=9 ->
+        # 3+3+4=10 -> 3+3+4=10. Fixed point 10.
+        assert r3 == 10
+
+    def test_exact_simultaneous_release(self):
+        # Two identical tasks: the lower-priority one waits for the other.
+        assert task_response_time(5, [(5, 20, 0)]) == 10
+
+    def test_deadline_miss_returns_none(self):
+        assert task_response_time(6, [(5, 10, 0)], deadline=10) is None
+
+    def test_jitter_increases_interference(self):
+        without = task_response_time(2, [(2, 10, 0)])
+        with_j = task_response_time(2, [(2, 10, 5)])
+        assert with_j >= without
+
+    def test_own_jitter_added(self):
+        assert task_response_time(3, [], own_jitter=4) == 7
+
+    def test_overload_diverges_to_deadline_miss(self):
+        # Utilization > 1 on one ECU: must hit the deadline guard.
+        assert (
+            task_response_time(5, [(8, 10, 0), (5, 20, 0)], deadline=10**6)
+            is None
+        )
+
+    @given(
+        st.integers(1, 20),
+        st.lists(
+            st.tuples(st.integers(1, 10), st.integers(10, 50), st.just(0)),
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fixed_point_property(self, c, hp):
+        r = task_response_time(c, hp, deadline=10_000)
+        if r is None:
+            return
+        # r must satisfy eq. 1 exactly.
+        total = c + sum(-((-r) // tj) * cj for cj, tj, _ in hp)
+        assert total == r
+        # And be minimal: r - 1 must violate it (for r > c).
+        if r > c:
+            smaller = r - 1
+            total2 = c + sum(
+                -((-smaller) // tj) * cj for cj, tj, _ in hp
+            )
+            assert total2 > smaller
+
+
+class TestDeadlineMonotonic:
+    def test_order_and_tie_break(self):
+        a = Task("a", 100, {"p": 1}, 50)
+        b = Task("b", 100, {"p": 1}, 40)
+        c = Task("c", 100, {"p": 1}, 50)
+        prio = deadline_monotonic_order([a, b, c])
+        assert prio["b"] == 0
+        assert prio["a"] == 1  # name tie-break a < c
+        assert prio["c"] == 2
+
+    def test_ecu_response_times(self):
+        a = Task("a", 4, {"p": 1}, 4)
+        b = Task("b", 6, {"p": 2}, 6)
+        c = Task("c", 10, {"p": 3}, 10)
+        prio = deadline_monotonic_order([a, b, c])
+        rts = ecu_response_times([a, b, c], {"a": 1, "b": 2, "c": 3}, prio)
+        assert rts == {"a": 1, "b": 3, "c": 10}
+
+
+class TestCanRta:
+    def test_no_interference(self):
+        assert can_response_time(135, []) == 135
+
+    def test_with_interference(self):
+        # Two higher-priority frames.
+        r = can_response_time(100, [(100, 1000, 0), (100, 2000, 0)])
+        # r = 100 + 100 + 100 = 300 (fits within one period of each).
+        assert r == 300
+
+    def test_deadline_miss(self):
+        assert can_response_time(100, [(100, 150, 0)], deadline=250) is None
+
+    def test_blocking_term(self):
+        assert can_response_time(100, [], blocking=130) == 230
+
+    def test_jitter_of_interferer(self):
+        base = can_response_time(100, [(50, 200, 0)])
+        jit = can_response_time(100, [(50, 200, 100)])
+        assert jit >= base
+
+
+class TestTdmaRta:
+    def test_basic_blocking(self):
+        # rho=10, round=100, own slot=20: one round's foreign time (80)
+        # is always added -> r = 10 + 80 = 90.
+        assert tdma_response_time(10, [], 100, 20) == 90
+
+    def test_message_exceeding_slot_is_infeasible(self):
+        assert tdma_response_time(30, [], 100, 20) is None
+
+    def test_slot_bigger_than_round_rejected(self):
+        with pytest.raises(ValueError):
+            tdma_response_time(10, [], 100, 200)
+
+    def test_queue_interference_adds_rounds(self):
+        # A higher-priority message from the same ECU occupies the slot.
+        lone = tdma_response_time(10, [], 100, 20)
+        queued = tdma_response_time(10, [(10, 1000, 0)], 100, 20)
+        assert queued > lone
+
+    def test_deadline_guard(self):
+        assert tdma_response_time(10, [], 1000, 20, deadline=500) is None
+
+    def test_fixed_point_property(self):
+        r = tdma_response_time(15, [(10, 500, 0)], 120, 30)
+        assert r is not None
+        expected = (
+            15
+            + -((-r) // 500) * 10
+            + -((-r) // 120) * (120 - 30)
+        )
+        assert expected == r
+
+
+def _flat_arch(n_ecus: int = 2, kind=TOKEN_RING) -> Architecture:
+    ecus = [Ecu(f"p{i}") for i in range(n_ecus)]
+    return Architecture(
+        ecus=ecus,
+        media=[
+            Medium(
+                "bus",
+                kind,
+                tuple(e.name for e in ecus),
+                bit_rate=1_000_000,
+                frame_overhead_bits=0,
+                min_slot=50,
+                gateway_service=0,
+            )
+        ],
+    )
+
+
+class TestFeasibilityChecker:
+    def test_trivial_two_task_system(self):
+        arch = _flat_arch()
+        t1 = Task("t1", 1000, {"p0": 100, "p1": 100}, 1000)
+        t2 = Task("t2", 1000, {"p0": 100, "p1": 100}, 1000)
+        ts = TaskSet([t1, t2])
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p1"},
+            task_prio={"t1": 0, "t2": 1},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert rep.schedulable
+        assert rep.task_response == {"t1": 100, "t2": 100}
+
+    def test_overloaded_ecu_detected(self):
+        arch = _flat_arch()
+        t1 = Task("t1", 100, {"p0": 60}, 100)
+        t2 = Task("t2", 100, {"p0": 60}, 100)
+        ts = TaskSet([t1, t2])
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p0"},
+            task_prio={"t1": 0, "t2": 1},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert not rep.schedulable
+        assert any("t2" in p for p in rep.problems)
+
+    def test_separation_violation_detected(self):
+        arch = _flat_arch()
+        t1 = Task("t1", 1000, {"p0": 10, "p1": 10}, 1000,
+                  separated_from=frozenset({"t2"}))
+        t2 = Task("t2", 1000, {"p0": 10, "p1": 10}, 1000)
+        ts = TaskSet([t1, t2])
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p0"},
+            task_prio={"t1": 0, "t2": 1},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert not rep.schedulable
+        assert any("separated" in p for p in rep.problems)
+
+    def test_placement_restriction_detected(self):
+        arch = _flat_arch()
+        t1 = Task("t1", 1000, {"p0": 10, "p1": 10}, 1000,
+                  allowed=frozenset({"p1"}))
+        ts = TaskSet([t1])
+        alloc = Allocation(task_ecu={"t1": "p0"}, task_prio={"t1": 0})
+        rep = check_allocation(ts, arch, alloc)
+        assert not rep.schedulable
+
+    def test_message_on_token_ring(self):
+        arch = _flat_arch()
+        t1 = Task("t1", 10_000, {"p0": 100, "p1": 100}, 10_000,
+                  messages=(Message("t2", 100, 5000),))
+        t2 = Task("t2", 10_000, {"p0": 100, "p1": 100}, 10_000)
+        ts = TaskSet([t1, t2])
+        ref = MsgRef("t1", 0)
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p1"},
+            task_prio={"t1": 0, "t2": 1},
+            message_path={ref: ("bus",)},
+            slot_ticks={("bus", "p0"): 150, ("bus", "p1"): 150},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert rep.schedulable, rep.problems
+        assert rep.trt["bus"] == 300
+        # rho = 100 us; blocked = 300-150; r = 100 + 150 = 250.
+        assert rep.msg_response[(ref, "bus")] == 250
+
+    def test_message_slot_too_small(self):
+        arch = _flat_arch()
+        t1 = Task("t1", 10_000, {"p0": 100, "p1": 100}, 10_000,
+                  messages=(Message("t2", 200, 5000),))
+        t2 = Task("t2", 10_000, {"p0": 100, "p1": 100}, 10_000)
+        ts = TaskSet([t1, t2])
+        ref = MsgRef("t1", 0)
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p1"},
+            task_prio={"t1": 0, "t2": 1},
+            message_path={ref: ("bus",)},
+            slot_ticks={("bus", "p0"): 150, ("bus", "p1"): 150},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert not rep.schedulable  # rho = 200 > slot 150
+
+    def test_intra_ecu_message_needs_no_path(self):
+        arch = _flat_arch()
+        t1 = Task("t1", 10_000, {"p0": 100, "p1": 100}, 10_000,
+                  messages=(Message("t2", 100, 5000),))
+        t2 = Task("t2", 10_000, {"p0": 100, "p1": 100}, 10_000)
+        ts = TaskSet([t1, t2])
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p0"},
+            task_prio={"t1": 0, "t2": 1},
+            message_path={MsgRef("t1", 0): ()},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert rep.schedulable, rep.problems
+
+    def test_unrouted_message_detected(self):
+        arch = _flat_arch()
+        t1 = Task("t1", 10_000, {"p0": 100, "p1": 100}, 10_000,
+                  messages=(Message("t2", 100, 5000),))
+        t2 = Task("t2", 10_000, {"p0": 100, "p1": 100}, 10_000)
+        ts = TaskSet([t1, t2])
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p1"},
+            task_prio={"t1": 0, "t2": 1},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert not rep.schedulable
+        assert any("unrouted" in p for p in rep.problems)
+
+    def test_can_bus_message(self):
+        arch = _flat_arch(kind=CAN)
+        t1 = Task("t1", 10_000, {"p0": 100, "p1": 100}, 10_000,
+                  messages=(Message("t2", 100, 1000),))
+        t2 = Task("t2", 10_000, {"p0": 100, "p1": 100}, 10_000)
+        ts = TaskSet([t1, t2])
+        ref = MsgRef("t1", 0)
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p1"},
+            task_prio={"t1": 0, "t2": 1},
+            message_path={ref: ("bus",)},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert rep.schedulable, rep.problems
+        assert rep.msg_response[(ref, "bus")] == 100  # rho only
+        assert rep.bus_utilization["bus"] == pytest.approx(0.01)
+
+
+class TestHierarchicalFeasibility:
+    def _arch(self):
+        # Two token rings joined by gateway g (g hosts no tasks).
+        return Architecture(
+            ecus=[Ecu("a"), Ecu("b"), Ecu("g", allow_tasks=False)],
+            media=[
+                Medium("k1", TOKEN_RING, ("a", "g"), bit_rate=1_000_000,
+                       frame_overhead_bits=0, gateway_service=50),
+                Medium("k2", TOKEN_RING, ("g", "b"), bit_rate=1_000_000,
+                       frame_overhead_bits=0, gateway_service=50),
+            ],
+        )
+
+    def _system(self, deadline=5000):
+        t1 = Task("t1", 20_000, {"a": 100}, 20_000,
+                  messages=(Message("t2", 100, deadline),))
+        t2 = Task("t2", 20_000, {"b": 100}, 20_000)
+        return TaskSet([t1, t2])
+
+    def test_two_hop_message(self):
+        arch = self._arch()
+        ts = self._system()
+        ref = MsgRef("t1", 0)
+        alloc = Allocation(
+            task_ecu={"t1": "a", "t2": "b"},
+            task_prio={"t1": 0, "t2": 1},
+            message_path={ref: ("k1", "k2")},
+            slot_ticks={("k1", "a"): 150, ("k1", "g"): 150,
+                        ("k2", "g"): 150, ("k2", "b"): 150},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert rep.schedulable, rep.problems
+        assert (ref, "k1") in rep.msg_response
+        assert (ref, "k2") in rep.msg_response
+        # No interference: each hop pays wire time + one foreign-slot gap.
+        assert rep.msg_response[(ref, "k1")] == 100 + (300 - 150)
+        assert rep.msg_response[(ref, "k2")] == 100 + (300 - 150)
+        # Local deadlines split the end-to-end budget.
+        dl1 = rep.msg_local_deadline[(ref, "k1")]
+        dl2 = rep.msg_local_deadline[(ref, "k2")]
+        assert dl1 + dl2 + 50 <= 5000
+
+    def test_sending_ecu_on_hops(self):
+        arch = self._arch()
+        path = ("k1", "k2")
+        assert sending_ecu_on(arch, path, "a", 0) == "a"
+        assert sending_ecu_on(arch, path, "a", 1) == "g"
+
+    def test_deadline_too_tight_for_gateway_service(self):
+        arch = self._arch()
+        ts = self._system(deadline=220)  # 200 wire + 50 service > 220
+        ref = MsgRef("t1", 0)
+        alloc = Allocation(
+            task_ecu={"t1": "a", "t2": "b"},
+            task_prio={"t1": 0, "t2": 1},
+            message_path={ref: ("k1", "k2")},
+            slot_ticks={("k1", "a"): 150, ("k1", "g"): 150,
+                        ("k2", "g"): 150, ("k2", "b"): 150},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert not rep.schedulable
+
+    def test_explicit_local_deadlines_respected(self):
+        arch = self._arch()
+        ts = self._system()
+        ref = MsgRef("t1", 0)
+        alloc = Allocation(
+            task_ecu={"t1": "a", "t2": "b"},
+            task_prio={"t1": 0, "t2": 1},
+            message_path={ref: ("k1", "k2")},
+            slot_ticks={("k1", "a"): 150, ("k1", "g"): 150,
+                        ("k2", "g"): 150, ("k2", "b"): 150},
+            local_deadline={(ref, "k1"): 400, (ref, "k2"): 2000},
+        )
+        rep = check_allocation(ts, arch, alloc)
+        assert rep.schedulable, rep.problems
+        assert rep.msg_local_deadline[(ref, "k1")] == 400
+
+    def test_gateway_task_placement_rejected(self):
+        arch = self._arch()
+        ts = TaskSet([Task("t1", 1000, {"g": 10}, 1000)])
+        alloc = Allocation(task_ecu={"t1": "g"}, task_prio={"t1": 0})
+        rep = check_allocation(ts, arch, alloc)
+        assert not rep.schedulable

@@ -1,0 +1,173 @@
+"""Tests for chain end-to-end latency analysis and CAN non-preemptive
+blocking (model + analysis + encoder agreement)."""
+
+import pytest
+
+from repro.analysis import Allocation, MsgRef, check_allocation
+from repro.analysis.chains import chain_latencies
+from repro.core import Allocator, MinimizeCanUtilization
+from repro.model import (
+    CAN,
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+    Message,
+    Task,
+    TaskSet,
+)
+
+
+class TestChainLatencies:
+    def _system(self):
+        arch = Architecture(
+            ecus=[Ecu("p0"), Ecu("p1")],
+            media=[Medium("ring", TOKEN_RING, ("p0", "p1"),
+                          bit_rate=1_000_000, frame_overhead_bits=0,
+                          min_slot=50, slot_overhead=10,
+                          gateway_service=0)],
+        )
+        t1 = Task("t1", 10_000, {"p0": 100}, 2_000,
+                  messages=(Message("t2", 100, 1_000),),
+                  allowed=frozenset({"p0"}))
+        t2 = Task("t2", 10_000, {"p1": 200}, 10_000,
+                  allowed=frozenset({"p1"}))
+        ts = TaskSet([t1, t2])
+        ref = MsgRef("t1", 0)
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p1"},
+            task_prio={"t1": 0, "t2": 1},
+            message_path={ref: ("ring",)},
+            slot_ticks={("ring", "p0"): 150, ("ring", "p1"): 150},
+        )
+        return ts, arch, alloc
+
+    def test_decomposition(self):
+        ts, arch, alloc = self._system()
+        report = check_allocation(ts, arch, alloc)
+        assert report.schedulable, report.problems
+        lats = chain_latencies(ts, arch, alloc, report)
+        assert len(lats) == 1
+        lat = lats[0]
+        assert lat.chain == ["t1", "t2"]
+        ref = MsgRef("t1", 0)
+        # total = r(t1) + message bound + r(t2)
+        expected = (
+            report.task_response["t1"]
+            + report.msg_local_deadline[(ref, "ring")]
+            + report.task_response["t2"]
+        )
+        assert lat.total == expected
+        assert 0.0 < lat.bus_share < 1.0
+
+    def test_intra_ecu_message_costs_zero(self):
+        arch = Architecture(
+            ecus=[Ecu("p0"), Ecu("p1")],
+            media=[Medium("ring", TOKEN_RING, ("p0", "p1"),
+                          bit_rate=1_000_000, frame_overhead_bits=0,
+                          min_slot=50, slot_overhead=10)],
+        )
+        t1 = Task("t1", 10_000, {"p0": 100}, 10_000,
+                  messages=(Message("t2", 100, 1_000),))
+        t2 = Task("t2", 10_000, {"p0": 200}, 10_000)
+        ts = TaskSet([t1, t2])
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p0"},
+            task_prio={"t1": 0, "t2": 1},
+            message_path={MsgRef("t1", 0): ()},
+        )
+        report = check_allocation(ts, arch, alloc)
+        lats = chain_latencies(ts, arch, alloc, report)
+        assert lats[0].message_parts[MsgRef("t1", 0)] == 0
+        assert lats[0].bus_share == 0.0
+
+    def test_requires_schedulable_report(self):
+        ts, arch, alloc = self._system()
+        report = check_allocation(ts, arch, alloc)
+        report.task_response.pop("t1")
+        with pytest.raises(ValueError, match="response time"):
+            chain_latencies(ts, arch, alloc, report)
+
+
+def can_arch(blocking: bool):
+    return Architecture(
+        ecus=[Ecu("p0"), Ecu("p1")],
+        media=[Medium("can", CAN, ("p0", "p1"), bit_rate=1_000_000,
+                      frame_overhead_bits=0,
+                      nonpreemptive_blocking=blocking)],
+    )
+
+
+def two_message_system():
+    # hi-prio message (tight deadline) + lo-prio big frame.
+    t1 = Task("t1", 10_000, {"p0": 10}, 10_000,
+              messages=(Message("t2", 100, 500),),
+              allowed=frozenset({"p0"}))
+    t2 = Task("t2", 10_000, {"p1": 10}, 10_000,
+              allowed=frozenset({"p1"}))
+    t3 = Task("t3", 10_000, {"p0": 10}, 10_000,
+              messages=(Message("t4", 900, 5_000),),
+              allowed=frozenset({"p0"}))
+    t4 = Task("t4", 10_000, {"p1": 10}, 10_000,
+              allowed=frozenset({"p1"}))
+    return TaskSet([t1, t2, t3, t4])
+
+
+class TestCanBlocking:
+    def test_checker_adds_blocking(self):
+        ts = two_message_system()
+        ref = MsgRef("t1", 0)
+        alloc = Allocation(
+            task_ecu={"t1": "p0", "t2": "p1", "t3": "p0", "t4": "p1"},
+            task_prio={"t1": 0, "t2": 1, "t3": 2, "t4": 3},
+            message_path={ref: ("can",), MsgRef("t3", 0): ("can",)},
+        )
+        rep_plain = check_allocation(ts, can_arch(False), alloc)
+        rep_block = check_allocation(ts, can_arch(True), alloc)
+        # hi-prio message: rho 100 fits its 500-tick deadline without
+        # blocking; with the 900-bit lower-priority frame on the wire the
+        # response becomes 1000 > 500 -> deadline miss.
+        assert rep_plain.schedulable
+        assert rep_plain.msg_response[(ref, "can")] == 100
+        assert not rep_block.schedulable
+        assert rep_block.msg_response[(ref, "can")] is None
+
+    def test_encoder_respects_blocking(self):
+        # Deadline 500 admits the hi-prio frame without blocking but not
+        # with it -> the blocking-aware encoder must reject co-existence
+        # on the bus (here: becomes infeasible since placements are pinned).
+        ts = two_message_system()
+        res_plain = Allocator(ts, can_arch(False)).find_feasible()
+        assert res_plain.feasible and res_plain.verified
+        res_block = Allocator(ts, can_arch(True)).find_feasible()
+        assert not res_block.feasible
+
+    def test_blocking_feasible_when_deadline_allows(self):
+        ts_relaxed = TaskSet([
+            Task("t1", 10_000, {"p0": 10}, 10_000,
+                 messages=(Message("t2", 100, 2_000),),
+                 allowed=frozenset({"p0"})),
+            Task("t2", 10_000, {"p1": 10}, 10_000,
+                 allowed=frozenset({"p1"})),
+            Task("t3", 10_000, {"p0": 10}, 10_000,
+                 messages=(Message("t4", 900, 5_000),),
+                 allowed=frozenset({"p0"})),
+            Task("t4", 10_000, {"p1": 10}, 10_000,
+                 allowed=frozenset({"p1"})),
+        ])
+        res = Allocator(ts_relaxed, can_arch(True)).find_feasible()
+        assert res.feasible and res.verified
+
+    def test_objective_unaffected_by_blocking_flag(self):
+        # U_CAN counts wire time, not blocking; optima agree when both
+        # configurations are feasible.
+        ts_relaxed = TaskSet([
+            Task("t1", 10_000, {"p0": 10, "p1": 10}, 10_000,
+                 messages=(Message("t2", 100, 2_000),)),
+            Task("t2", 10_000, {"p0": 10, "p1": 10}, 10_000),
+        ])
+        a = Allocator(ts_relaxed, can_arch(False)).minimize(
+            MinimizeCanUtilization("can"))
+        b = Allocator(ts_relaxed, can_arch(True)).minimize(
+            MinimizeCanUtilization("can"))
+        assert a.cost == b.cost

@@ -1,0 +1,166 @@
+"""Tests for assumption cores (SAT layer) and infeasibility diagnosis."""
+
+import pytest
+
+from repro.core import EncoderConfig
+from repro.core.diagnose import Diagnosis, diagnose
+from repro.model import (
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+    Message,
+    Task,
+    TaskSet,
+)
+from repro.sat import Solver, mklit, neg
+
+
+class TestAssumptionCores:
+    def test_core_of_direct_conflict(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([neg(mklit(a)), neg(mklit(b))])
+        assert not s.solve(assumptions=[mklit(a), mklit(b)])
+        core = set(s.conflict_core)
+        assert core == {mklit(a), mklit(b)}
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        s = Solver()
+        a, b, c = s.new_vars(3)
+        s.add_clause([neg(mklit(a)), neg(mklit(b))])
+        assert not s.solve(
+            assumptions=[mklit(c), mklit(a), mklit(b)]
+        )
+        assert mklit(c) not in set(s.conflict_core)
+
+    def test_core_via_propagation_chain(self):
+        s = Solver()
+        a, b, c = s.new_vars(3)
+        s.add_clause([neg(mklit(a)), mklit(b)])   # a -> b
+        s.add_clause([neg(mklit(b)), mklit(c)])   # b -> c
+        assert not s.solve(assumptions=[mklit(a), neg(mklit(c))])
+        core = set(s.conflict_core)
+        assert core <= {mklit(a), neg(mklit(c))}
+        assert len(core) >= 1
+
+    def test_core_empty_when_problem_unsat(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([mklit(a)])
+        s.add_clause([neg(mklit(a))])
+        assert not s.solve(assumptions=[])
+        assert s.conflict_core == []
+
+    def test_core_single_assumption_against_unit(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([mklit(a)])
+        assert not s.solve(assumptions=[neg(mklit(a))])
+        assert s.conflict_core == [neg(mklit(a))]
+
+    def test_core_cleared_on_sat(self):
+        s = Solver()
+        a = s.new_var()
+        assert not s.solve(assumptions=[mklit(a), neg(mklit(a))])
+        assert s.conflict_core
+        assert s.solve(assumptions=[mklit(a)])
+        assert s.conflict_core == []
+
+
+def ring_arch(n=2, mem=None):
+    ecus = [Ecu(f"p{i}", memory=mem) for i in range(n)]
+    return Architecture(
+        ecus=ecus,
+        media=[Medium("ring", TOKEN_RING, tuple(e.name for e in ecus),
+                      bit_rate=1_000_000, frame_overhead_bits=0,
+                      min_slot=50, slot_overhead=10)],
+    )
+
+
+class TestDiagnose:
+    def test_feasible_system(self):
+        arch = ring_arch()
+        ts = TaskSet([Task("t", 100, {"p0": 10, "p1": 10}, 100)])
+        d = diagnose(ts, arch)
+        assert d.feasible and d.core == []
+
+    def test_deadline_conflict_identified(self):
+        arch = ring_arch()
+        # Three 60%-utilization tasks on two ECUs: some pair must share,
+        # and any pair sharing breaks the lower-priority deadline.
+        ts = TaskSet([
+            Task(f"t{i}", 100, {"p0": 60, "p1": 60}, 100) for i in range(3)
+        ])
+        d = diagnose(ts, arch)
+        assert not d.feasible
+        kinds = d.by_kind()
+        assert "deadline" in kinds
+        # A minimal conflict needs at least two of the three deadlines.
+        assert len(kinds["deadline"]) >= 2
+
+    def test_separation_conflict_identified(self):
+        arch = ring_arch(2)
+        ts = TaskSet([
+            Task(n, 1000, {"p0": 10, "p1": 10}, 1000,
+                 separated_from=frozenset({"a", "b", "c"} - {n}))
+            for n in ("a", "b", "c")
+        ])
+        d = diagnose(ts, arch)
+        assert not d.feasible
+        assert "separation" in d.by_kind()
+
+    def test_memory_conflict_identified(self):
+        arch = ring_arch(2, mem=50)
+        ts = TaskSet([
+            Task(f"t{i}", 1000, {"p0": 1, "p1": 1}, 1000, memory=60)
+            for i in range(2)
+        ])
+        d = diagnose(ts, arch)
+        assert not d.feasible
+        assert "memory" in d.by_kind()
+        # Deadlines are irrelevant here and must not survive minimization.
+        assert "deadline" not in d.by_kind()
+
+    def test_message_deadline_conflict_identified(self):
+        arch = ring_arch(2)
+        ts = TaskSet([
+            Task("a", 2000, {"p0": 10, "p1": 10}, 2000,
+                 messages=(Message("b", 1000, 300),),  # wire time > 300
+                 separated_from=frozenset({"b"})),
+            Task("b", 2000, {"p0": 10, "p1": 10}, 2000),
+        ])
+        d = diagnose(ts, arch)
+        assert not d.feasible
+        assert "msg-deadline" in d.by_kind()
+
+    def test_unminimized_core_is_superset(self):
+        arch = ring_arch(2, mem=50)
+        ts = TaskSet([
+            Task(f"t{i}", 1000, {"p0": 1, "p1": 1}, 1000, memory=60)
+            for i in range(2)
+        ])
+        raw = diagnose(ts, arch, minimize=False)
+        mini = diagnose(ts, arch, minimize=True)
+        assert not raw.feasible and not mini.feasible
+        assert set(mini.core) <= set(raw.core)
+
+    def test_diagnostics_config_passthrough(self):
+        arch = ring_arch()
+        ts = TaskSet([Task("t", 100, {"p0": 10, "p1": 10}, 100)])
+        d = diagnose(ts, arch, config=EncoderConfig(pb_mode=True))
+        assert d.feasible
+
+    def test_diagnosed_system_still_solves_normally(self):
+        # diagnostics=True must not change satisfiability when all
+        # obligations are asserted.
+        from repro.core import Allocator
+
+        arch = ring_arch()
+        ts = TaskSet([
+            Task("a", 100, {"p0": 40, "p1": 40}, 100),
+            Task("b", 100, {"p0": 40, "p1": 40}, 100),
+        ])
+        plain = Allocator(ts, arch).find_feasible()
+        d = diagnose(ts, arch)
+        assert plain.feasible == d.feasible

@@ -1,0 +1,70 @@
+"""Tests for the DIMACS reader/writer and solver loading."""
+
+import io
+import random
+
+import pytest
+
+from repro.sat import Solver, mklit, neg
+from repro.sat.dimacs import (
+    dump_solver,
+    load_into_solver,
+    parse_dimacs,
+    write_dimacs,
+)
+from repro.sat.reference import brute_force_sat
+
+
+class TestParse:
+    def test_basic(self):
+        nvars, clauses = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert nvars == 3
+        assert clauses == [[mklit(0), mklit(1, True)], [mklit(1), mklit(2)]]
+
+    def test_comments_and_blank_lines(self):
+        text = "c hello\n\np cnf 2 1\nc mid\n1 2 0\n"
+        nvars, clauses = parse_dimacs(text)
+        assert nvars == 2 and len(clauses) == 1
+
+    def test_multiline_clause(self):
+        nvars, clauses = parse_dimacs("p cnf 2 1\n1\n2 0\n")
+        assert clauses == [[mklit(0), mklit(1)]]
+
+    def test_missing_terminator_tolerated(self):
+        nvars, clauses = parse_dimacs("p cnf 2 1\n1 2")
+        assert clauses == [[mklit(0), mklit(1)]]
+
+    def test_header_fixes_nvars(self):
+        nvars, _ = parse_dimacs("p cnf 10 1\n1 0\n")
+        assert nvars == 10
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p sat 3 2\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_write_parse_solve(self, seed):
+        rng = random.Random(seed)
+        nvars = rng.randint(3, 8)
+        clauses = []
+        for _ in range(rng.randint(2, 3 * nvars)):
+            vs = rng.sample(range(nvars), min(rng.randint(1, 3), nvars))
+            clauses.append([mklit(v, rng.random() < 0.5) for v in vs])
+        buf = io.StringIO()
+        write_dimacs(nvars, clauses, buf)
+        solver = load_into_solver(buf.getvalue())
+        expect = brute_force_sat(nvars, clauses) is not None
+        assert solver.solve() == expect
+
+    def test_dump_solver_includes_pb_comments(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([mklit(a), mklit(b)])
+        s.add_pb([mklit(a), mklit(b)], [2, 1], 2)
+        buf = io.StringIO()
+        dump_solver(s, buf)
+        text = buf.getvalue()
+        assert text.startswith("p cnf")
+        assert "c pb" in text

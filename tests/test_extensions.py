@@ -1,0 +1,199 @@
+"""Tests for the extension features: memory capacities, task release
+jitter in the encoder, the utilization-balancing objective, and the
+DIMACS/OPB exports."""
+
+import io
+
+import pytest
+
+from repro.core import (
+    Allocator,
+    MinimizeMaxUtilization,
+    MinimizeSumResponseTimes,
+    ProblemEncoding,
+)
+from repro.model import (
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+    Task,
+    TaskSet,
+)
+from repro.pb.opb import parse_opb
+
+
+def two_ecu_arch(mem0=None, mem1=None):
+    return Architecture(
+        ecus=[Ecu("p0", memory=mem0), Ecu("p1", memory=mem1)],
+        media=[Medium("ring", TOKEN_RING, ("p0", "p1"),
+                      bit_rate=1_000_000, frame_overhead_bits=0,
+                      min_slot=50, slot_overhead=10)],
+    )
+
+
+class TestMemoryCapacities:
+    def test_capacity_forces_spread(self):
+        arch = two_ecu_arch(mem0=100, mem1=100)
+        tasks = [
+            Task(f"t{i}", 1000, {"p0": 10, "p1": 10}, 1000, memory=60)
+            for i in range(2)
+        ]
+        res = Allocator(TaskSet(tasks), arch).find_feasible()
+        assert res.feasible and res.verified
+        assert res.allocation.task_ecu["t0"] != res.allocation.task_ecu["t1"]
+
+    def test_capacity_unsat_when_total_exceeds(self):
+        arch = two_ecu_arch(mem0=50, mem1=50)
+        tasks = [
+            Task(f"t{i}", 1000, {"p0": 10, "p1": 10}, 1000, memory=60)
+            for i in range(2)
+        ]
+        res = Allocator(TaskSet(tasks), arch).find_feasible()
+        assert not res.feasible
+
+    def test_unbounded_memory_ignored(self):
+        arch = two_ecu_arch()  # no capacities
+        tasks = [
+            Task(f"t{i}", 1000, {"p0": 10, "p1": 10}, 1000, memory=10**6)
+            for i in range(4)
+        ]
+        res = Allocator(TaskSet(tasks), arch).find_feasible()
+        assert res.feasible
+
+    def test_checker_flags_memory_violation(self):
+        from repro.analysis import Allocation, check_allocation
+
+        arch = two_ecu_arch(mem0=50)
+        t = Task("t", 1000, {"p0": 10, "p1": 10}, 1000, memory=60)
+        ts = TaskSet([t])
+        rep = check_allocation(
+            ts, arch, Allocation(task_ecu={"t": "p0"}, task_prio={"t": 0})
+        )
+        assert not rep.schedulable
+        assert any("memory" in p for p in rep.problems)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ValueError):
+            Task("t", 100, {"p0": 1}, 100, memory=-1)
+        with pytest.raises(ValueError):
+            Ecu("p", memory=-5)
+
+
+class TestReleaseJitter:
+    def test_jitter_tightens_schedulability(self):
+        # Without jitter: two tasks fit one ECU; with enough interferer
+        # jitter the window doubles an interference hit.
+        arch = two_ecu_arch()
+        hi = Task("hi", 100, {"p0": 30, "p1": 30}, 60, release_jitter=35)
+        lo = Task("lo", 100, {"p0": 45, "p1": 45}, 100,
+                  allowed=frozenset({"p0"}))
+        both_pinned = TaskSet([
+            Task("hi", 100, {"p0": 30}, 60, release_jitter=35,
+                 allowed=frozenset({"p0"})),
+            lo,
+        ])
+        res = Allocator(both_pinned, arch).find_feasible()
+        # r_lo = 45 + 2*30 (jitter lets two hi jobs land in the window)
+        # = 105 > 100 -> co-location impossible.
+        assert not res.feasible
+
+    def test_jitter_free_variant_fits(self):
+        arch = two_ecu_arch()
+        both_pinned = TaskSet([
+            Task("hi", 100, {"p0": 30}, 60, allowed=frozenset({"p0"})),
+            Task("lo", 100, {"p0": 45}, 100, allowed=frozenset({"p0"})),
+        ])
+        res = Allocator(both_pinned, arch).find_feasible()
+        # r_lo = 45 + 30 = 75 <= 100.
+        assert res.feasible and res.verified
+
+    def test_own_jitter_reduces_deadline_budget(self):
+        arch = two_ecu_arch()
+        t = Task("t", 100, {"p0": 60}, 100, release_jitter=50,
+                 allowed=frozenset({"p0"}))
+        res = Allocator(TaskSet([t]), arch).find_feasible()
+        # r + J = 60 + 50 > 100.
+        assert not res.feasible
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            Task("t", 100, {"p0": 10}, 100, release_jitter=-1)
+        with pytest.raises(ValueError):
+            Task("t", 100, {"p0": 10}, 50, release_jitter=60)
+
+
+class TestMaxUtilizationObjective:
+    def test_balances_two_tasks(self):
+        arch = two_ecu_arch()
+        tasks = TaskSet([
+            Task("a", 100, {"p0": 40, "p1": 40}, 100),
+            Task("b", 100, {"p0": 40, "p1": 40}, 100),
+        ])
+        res = Allocator(tasks, arch).minimize(MinimizeMaxUtilization())
+        assert res.feasible and res.verified
+        # Balanced: one task per ECU -> max utilization 40%.
+        assert res.cost == 400
+        assert res.allocation.task_ecu["a"] != res.allocation.task_ecu["b"]
+
+    def test_unbalanced_when_pinned(self):
+        arch = two_ecu_arch()
+        tasks = TaskSet([
+            Task("a", 100, {"p0": 40}, 100, allowed=frozenset({"p0"})),
+            Task("b", 100, {"p0": 30}, 100, allowed=frozenset({"p0"})),
+        ])
+        res = Allocator(tasks, arch).minimize(MinimizeMaxUtilization())
+        assert res.feasible
+        assert res.cost == 700
+
+    def test_respects_heterogeneous_wcets(self):
+        arch = two_ecu_arch()
+        tasks = TaskSet([
+            Task("a", 100, {"p0": 20, "p1": 60}, 100),
+        ])
+        res = Allocator(tasks, arch).minimize(MinimizeMaxUtilization())
+        assert res.cost == 200  # picks the fast ECU
+        assert res.allocation.task_ecu["a"] == "p0"
+
+
+class TestExports:
+    def _encoding(self):
+        arch = two_ecu_arch()
+        tasks = TaskSet([
+            Task("a", 1000, {"p0": 100, "p1": 100}, 1000),
+            Task("b", 1000, {"p0": 100, "p1": 100}, 1000),
+        ])
+        return ProblemEncoding(tasks, arch)
+
+    def test_dimacs_dump_parses(self):
+        from repro.sat.dimacs import parse_dimacs
+
+        enc = self._encoding()
+        buf = io.StringIO()
+        enc.to_dimacs(buf)
+        nvars, clauses = parse_dimacs(buf.getvalue())
+        assert nvars >= enc.formula_size()["bool_vars"] - 1
+        assert len(clauses) == enc.formula_size()["clauses"]
+
+    def test_opb_dump_parses_and_roundtrips(self):
+        enc = self._encoding()
+        buf = io.StringIO()
+        enc.to_opb(buf)
+        prob = parse_opb(buf.getvalue())
+        assert prob.nvars == enc.solver.sat.nvars
+        # Each clause became an at-least-one PB constraint.
+        assert len(prob.constraints) >= enc.formula_size()["clauses"]
+
+    def test_opb_instance_solves_equivalently(self):
+        from repro.sat import Solver
+
+        enc = self._encoding()
+        buf = io.StringIO()
+        enc.to_opb(buf)
+        prob = parse_opb(buf.getvalue())
+        s = Solver()
+        s.new_vars(prob.nvars)
+        ok = True
+        for con in prob.constraints:
+            ok = s.add_pb(list(con.lits), list(con.coefs), con.bound) and ok
+        assert ok and s.solve() == enc.solver.solve()

@@ -1,0 +1,256 @@
+"""Tests for JSON serialization and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.analysis.allocation import Allocation, MsgRef
+from repro.cli import main
+from repro.io import (
+    allocation_from_dict,
+    allocation_to_dict,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.model import (
+    CAN,
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+    Message,
+    Task,
+    TaskSet,
+)
+
+
+def sample_system():
+    arch = Architecture(
+        ecus=[Ecu("p0", memory=512), Ecu("p1"),
+              Ecu("gw", allow_tasks=False)],
+        media=[
+            Medium("ring", TOKEN_RING, ("p0", "gw"), bit_rate=1_000_000,
+                   frame_overhead_bits=0, min_slot=50, slot_overhead=10),
+            Medium("can", CAN, ("gw", "p1"), bit_rate=500_000),
+        ],
+    )
+    tasks = TaskSet(
+        [
+            Task("a", 5000, {"p0": 400}, 2000,
+                 messages=(Message("b", 128, 2500),),
+                 allowed=frozenset({"p0"}), memory=64),
+            Task("b", 5000, {"p0": 300, "p1": 300}, 5000,
+                 separated_from=frozenset({"a"}), release_jitter=10),
+        ],
+        name="sample",
+    )
+    return tasks, arch
+
+
+class TestSystemCodec:
+    def test_roundtrip_preserves_everything(self):
+        tasks, arch = sample_system()
+        data = system_to_dict(tasks, arch)
+        tasks2, arch2 = system_from_dict(json.loads(json.dumps(data)))
+        assert tasks2.names() == tasks.names()
+        for n in tasks.names():
+            t1, t2 = tasks[n], tasks2[n]
+            assert t1.period == t2.period
+            assert t1.wcet == t2.wcet
+            assert t1.deadline == t2.deadline
+            assert t1.messages == t2.messages
+            assert t1.allowed == t2.allowed
+            assert t1.separated_from == t2.separated_from
+            assert t1.release_jitter == t2.release_jitter
+            assert t1.memory == t2.memory
+        assert arch2.ecu_names() == arch.ecu_names()
+        assert arch2.ecus["p0"].memory == 512
+        assert not arch2.ecus["gw"].allow_tasks
+        for k in arch.medium_names():
+            m1, m2 = arch.media[k], arch2.media[k]
+            assert m1.kind == m2.kind
+            assert m1.ecus == m2.ecus
+            assert m1.bit_rate == m2.bit_rate
+
+    def test_file_roundtrip(self, tmp_path):
+        tasks, arch = sample_system()
+        path = tmp_path / "system.json"
+        save_system(tasks, arch, path)
+        tasks2, arch2 = load_system(path)
+        assert tasks2.names() == tasks.names()
+
+    def test_invalid_system_rejected(self):
+        data = system_to_dict(*sample_system())
+        data["tasks"][0]["period"] = -5
+        with pytest.raises(ValueError):
+            system_from_dict(data)
+
+
+class TestAllocationCodec:
+    def test_roundtrip(self):
+        ref = MsgRef("a", 0)
+        alloc = Allocation(
+            task_ecu={"a": "p0", "b": "p1"},
+            task_prio={"a": 0, "b": 1},
+            message_path={ref: ("ring", "can")},
+            slot_ticks={("ring", "p0"): 60},
+            local_deadline={(ref, "ring"): 100, (ref, "can"): 200},
+            msg_prio={ref: 0},
+        )
+        data = json.loads(json.dumps(allocation_to_dict(alloc)))
+        alloc2 = allocation_from_dict(data)
+        assert alloc2.task_ecu == alloc.task_ecu
+        assert alloc2.task_prio == alloc.task_prio
+        assert alloc2.message_path == alloc.message_path
+        assert alloc2.slot_ticks == alloc.slot_ticks
+        assert alloc2.local_deadline == alloc.local_deadline
+        assert alloc2.msg_prio == alloc.msg_prio
+
+    def test_bad_ref_rejected(self):
+        with pytest.raises(ValueError):
+            allocation_from_dict(
+                {"task_ecu": {}, "task_prio": {},
+                 "message_path": {"nonsense": []}}
+            )
+
+
+@pytest.fixture
+def system_file(tmp_path):
+    arch = Architecture(
+        ecus=[Ecu("p0"), Ecu("p1")],
+        media=[Medium("ring", TOKEN_RING, ("p0", "p1"),
+                      bit_rate=1_000_000, frame_overhead_bits=0,
+                      min_slot=50, slot_overhead=10)],
+    )
+    tasks = TaskSet([
+        Task("a", 2000, {"p0": 400, "p1": 400}, 2000,
+             messages=(Message("b", 100, 1000),),
+             separated_from=frozenset({"b"})),
+        Task("b", 2000, {"p0": 400, "p1": 400}, 2000),
+    ])
+    path = tmp_path / "system.json"
+    save_system(tasks, arch, path)
+    return path
+
+
+@pytest.fixture
+def infeasible_file(tmp_path):
+    arch = Architecture(
+        ecus=[Ecu("p0"), Ecu("p1")],
+        media=[Medium("ring", TOKEN_RING, ("p0", "p1"),
+                      bit_rate=1_000_000, frame_overhead_bits=0,
+                      min_slot=50, slot_overhead=10)],
+    )
+    tasks = TaskSet([
+        Task(f"t{i}", 100, {"p0": 60, "p1": 60}, 100) for i in range(3)
+    ])
+    path = tmp_path / "bad.json"
+    save_system(tasks, arch, path)
+    return path
+
+
+class TestCli:
+    def test_info(self, system_file, capsys):
+        assert main(["info", str(system_file)]) == 0
+        out = capsys.readouterr().out
+        assert "tasks: 2" in out
+        assert "path closures" in out
+
+    def test_solve_with_objective(self, system_file, tmp_path, capsys):
+        out_file = tmp_path / "alloc.json"
+        rc = main([
+            "solve", str(system_file), "--objective", "trt:ring",
+            "-o", str(out_file),
+        ])
+        assert rc == 0
+        data = json.loads(out_file.read_text())
+        assert data["cost"] == 160  # sender slot 110 + min slot 50
+        out = capsys.readouterr().out
+        assert "independently verified: True" in out
+
+    def test_solve_feasibility_only(self, system_file, capsys):
+        assert main(["solve", str(system_file)]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_solve_infeasible_exit_code(self, infeasible_file):
+        assert main(["solve", str(infeasible_file)]) == 1
+
+    def test_check_roundtrip(self, system_file, tmp_path, capsys):
+        out_file = tmp_path / "alloc.json"
+        main(["solve", str(system_file), "--objective", "trt:ring",
+              "-o", str(out_file)])
+        capsys.readouterr()
+        assert main(["check", str(system_file), str(out_file)]) == 0
+        assert "SCHEDULABLE" in capsys.readouterr().out
+
+    def test_check_detects_bad_allocation(self, system_file, tmp_path,
+                                          capsys):
+        # Co-locate the separated pair on purpose.
+        alloc = Allocation(
+            task_ecu={"a": "p0", "b": "p0"},
+            task_prio={"a": 0, "b": 1},
+            message_path={MsgRef("a", 0): ()},
+        )
+        bad = tmp_path / "bad_alloc.json"
+        bad.write_text(json.dumps(allocation_to_dict(alloc)))
+        assert main(["check", str(system_file), str(bad)]) == 1
+        assert "NOT SCHEDULABLE" in capsys.readouterr().out
+
+    def test_diagnose_feasible(self, system_file, capsys):
+        assert main(["diagnose", str(system_file)]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_diagnose_infeasible(self, infeasible_file, capsys):
+        assert main(["diagnose", str(infeasible_file)]) == 1
+        out = capsys.readouterr().out
+        assert "deadline" in out
+
+    def test_export_opb(self, system_file, tmp_path):
+        out_file = tmp_path / "instance.opb"
+        assert main(["export", str(system_file), "--format", "opb",
+                     "-o", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert text.startswith("*")
+        assert ">=" in text
+
+    def test_export_dimacs(self, system_file, tmp_path):
+        out_file = tmp_path / "instance.cnf"
+        assert main(["export", str(system_file), "--format", "dimacs",
+                     "-o", str(out_file)]) == 0
+        assert out_file.read_text().startswith("p cnf")
+
+    def test_bad_objective_spec(self, system_file):
+        with pytest.raises(SystemExit):
+            main(["solve", str(system_file), "--objective", "bogus"])
+        with pytest.raises(SystemExit):
+            main(["solve", str(system_file), "--objective", "trt"])
+
+
+class TestCliAnalyze:
+    def test_analyze_solved_allocation(self, system_file, tmp_path,
+                                       capsys):
+        out_file = tmp_path / "alloc.json"
+        main(["solve", str(system_file), "--objective", "trt:ring",
+              "-o", str(out_file)])
+        capsys.readouterr()
+        rc = main(["analyze", str(system_file), str(out_file),
+                   "--simulate"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "WCET scaling margin" in out
+        assert "simulation cross-check: OK" in out
+        assert "TRT=" in out
+
+    def test_analyze_rejects_broken_allocation(self, system_file,
+                                               tmp_path, capsys):
+        alloc = Allocation(
+            task_ecu={"a": "p0", "b": "p0"},  # violates separation
+            task_prio={"a": 0, "b": 1},
+            message_path={MsgRef("a", 0): ()},
+        )
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(allocation_to_dict(alloc)))
+        assert main(["analyze", str(system_file), str(bad)]) == 1
+        assert "NOT SCHEDULABLE" in capsys.readouterr().out

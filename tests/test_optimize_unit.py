@@ -1,0 +1,91 @@
+"""Unit tests of the BIN_SEARCH loop itself (probe pattern, logs,
+anytime behaviour, off-by-one regression guard)."""
+
+import pytest
+
+from repro.arith import IntSolver
+from repro.core.optimize import bin_search
+
+
+class TestBinSearch:
+    def test_finds_minimum_and_logs_probes(self):
+        s = IntSolver()
+        x = s.int_var("x", 0, 63)
+        s.require(x >= 37)
+        out = bin_search(s, x, 0, 63)
+        assert out.feasible and out.optimum == 37
+        # First probe is the unconstrained SOLVE; later probes bound x.
+        assert out.probes[0].sat
+        assert out.num_probes >= 2
+        assert any(not p.sat for p in out.probes)  # refutations happened
+        # Binary search terminates in O(log range) probes.
+        assert out.num_probes <= 9
+
+    def test_unsat_problem(self):
+        s = IntSolver()
+        x = s.int_var("x", 0, 7)
+        s.require(x >= 3)
+        s.require(x <= 1)
+        out = bin_search(s, x, 0, 7)
+        assert not out.feasible
+        assert out.optimum is None
+        assert out.num_probes == 1
+
+    def test_optimum_at_lower_bound(self):
+        # Regression guard for the paper's L := M off-by-one: when the
+        # optimum sits at the very bottom the loop must terminate.
+        s = IntSolver()
+        x = s.int_var("x", 0, 15)
+        out = bin_search(s, x, 0, 15)
+        assert out.optimum == 0
+
+    def test_optimum_at_upper_bound(self):
+        s = IntSolver()
+        x = s.int_var("x", 0, 15)
+        s.require(x >= 15)
+        out = bin_search(s, x, 0, 15)
+        assert out.optimum == 15
+
+    def test_singleton_range(self):
+        s = IntSolver()
+        x = s.int_var("x", 5, 5)
+        out = bin_search(s, x, 5, 5)
+        assert out.optimum == 5
+        assert out.num_probes == 1  # L == R immediately
+
+    def test_on_sat_snapshots_follow_improvements(self):
+        s = IntSolver()
+        x = s.int_var("x", 0, 63)
+        y = s.int_var("y", 0, 63)
+        s.require(x + y >= 40)
+        snaps = []
+        out = bin_search(s, x, 0, 63, on_sat=lambda: snaps.append(s.value(x)))
+        assert out.optimum == 0
+        assert snaps[-1] == 0  # last snapshot is the optimum's model
+        # Costs never increase along the snapshots.
+        assert all(a >= b for a, b in zip(snaps, snaps[1:]))
+
+    def test_time_limit_returns_upper_bound(self):
+        s = IntSolver()
+        x = s.int_var("x", 0, 1023)
+        y = s.int_var("y", 0, 1023)
+        s.require(x + y >= 1000)
+        out = bin_search(s, x, 0, 1023, time_limit=0.0)
+        # Expired immediately after the first SAT probe: feasible with
+        # some (possibly non-optimal) upper bound.
+        assert out.feasible
+        assert out.optimum is not None
+        assert out.optimum >= 0
+
+    def test_probe_log_fields(self):
+        s = IntSolver()
+        x = s.int_var("x", 0, 31)
+        s.require(x >= 9)
+        out = bin_search(s, x, 0, 31)
+        for p in out.probes:
+            assert p.lo <= p.hi
+            assert p.seconds >= 0
+            if p.sat:
+                assert p.cost is not None and p.lo <= p.cost <= p.hi
+            else:
+                assert p.cost is None

@@ -1,0 +1,190 @@
+"""Cross-cutting hypothesis property tests on the model and codec
+layers: random architectures, path-closure invariants, serialization
+round trips, RTA monotonicity."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.rta import task_response_time
+from repro.io import system_from_dict, system_to_dict
+from repro.model import (
+    CAN,
+    Architecture,
+    Ecu,
+    Medium,
+    Message,
+    Task,
+    TaskSet,
+    enumerate_path_closures,
+)
+
+
+@st.composite
+def tree_architectures(draw):
+    """Random tree-shaped hierarchical architectures: each new medium
+    hangs off an existing one through a fresh gateway."""
+    n_media = draw(st.integers(1, 5))
+    rng = random.Random(draw(st.integers(0, 2**31)))
+    ecus = [Ecu("e0a"), Ecu("e0b")]
+    media = [Medium("k0", CAN, ("e0a", "e0b"))]
+    for i in range(1, n_media):
+        parent = rng.randrange(i)
+        gw = f"g{i}"
+        leaf = f"e{i}"
+        ecus += [Ecu(gw), Ecu(leaf)]
+        # Attach the gateway to the parent medium as well.
+        pm = media[parent]
+        media[parent] = Medium(
+            pm.name, pm.kind, pm.ecus + (gw,),
+        )
+        media.append(Medium(f"k{i}", CAN, (gw, leaf)))
+    return Architecture(ecus=ecus, media=media)
+
+
+class TestPathClosureProperties:
+    @given(tree_architectures())
+    @settings(max_examples=40, deadline=None)
+    def test_closures_are_simple_prefix_closed_and_unique(self, arch):
+        closures = enumerate_path_closures(arch)
+        # ph0 is always present and first.
+        assert closures[0].longest == ()
+        seen = set()
+        adj = arch.media_adjacency()
+        for ph in closures:
+            assert ph.longest not in seen
+            seen.add(ph.longest)
+            # Simple path over adjacent media.
+            assert len(set(ph.longest)) == len(ph.longest)
+            for a, b in zip(ph.longest, ph.longest[1:]):
+                assert b in adj[a]
+            # Prefix closure.
+            subs = ph.sub_paths
+            for i, sp in enumerate(subs):
+                assert sp == ph.longest[: i + 1] or sp == ()
+
+    @given(tree_architectures())
+    @settings(max_examples=40, deadline=None)
+    def test_closures_are_maximal(self, arch):
+        # On trees every maximal simple path cannot be extended.
+        adj = arch.media_adjacency()
+        for ph in enumerate_path_closures(arch):
+            if not ph.longest:
+                continue
+            last = ph.longest[-1]
+            assert all(k in ph.longest for k in adj[last]), (
+                "closure path should be maximal on a tree"
+            )
+
+    @given(tree_architectures(), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_max_hops_is_a_restriction(self, arch, hops):
+        bounded = {
+            ph.longest
+            for ph in enumerate_path_closures(arch, max_hops=hops)
+        }
+        unbounded = {
+            ph.longest for ph in enumerate_path_closures(arch)
+        }
+        for path in bounded:
+            assert len(path) <= hops
+        # Every bounded path is a prefix of some unbounded closure path.
+        for path in bounded:
+            assert any(
+                full[: len(path)] == path for full in unbounded
+            )
+
+
+@st.composite
+def small_systems(draw):
+    n_ecus = draw(st.integers(2, 4))
+    ecus = [
+        Ecu(
+            f"p{i}",
+            memory=draw(st.one_of(st.none(), st.integers(0, 500))),
+            allow_tasks=True,
+        )
+        for i in range(n_ecus)
+    ]
+    arch = Architecture(
+        ecus=ecus,
+        media=[
+            Medium(
+                "bus",
+                CAN,
+                tuple(e.name for e in ecus),
+                bit_rate=draw(st.integers(100_000, 2_000_000)),
+                tick_us=draw(st.sampled_from([1, 10, 100])),
+            )
+        ],
+    )
+    n_tasks = draw(st.integers(1, 4))
+    tasks = []
+    for i in range(n_tasks):
+        period = draw(st.integers(50, 5000))
+        wcet = draw(st.integers(1, max(1, period // 4)))
+        deadline = draw(st.integers(wcet, period))
+        msgs = ()
+        if i > 0 and draw(st.booleans()):
+            msgs = (
+                Message(
+                    f"t{i-1}",
+                    draw(st.integers(8, 512)),
+                    draw(st.integers(1, period)),
+                ),
+            )
+        tasks.append(
+            Task(
+                name=f"t{i}",
+                period=period,
+                wcet={e.name: wcet for e in ecus},
+                deadline=deadline,
+                messages=msgs,
+                memory=draw(st.integers(0, 100)),
+                release_jitter=draw(st.integers(0, max(0, deadline - 1))),
+            )
+        )
+    return TaskSet(tasks), arch
+
+
+class TestCodecProperties:
+    @given(small_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_system_roundtrip(self, system):
+        tasks, arch = system
+        tasks2, arch2 = system_from_dict(system_to_dict(tasks, arch))
+        assert system_to_dict(tasks2, arch2) == system_to_dict(tasks, arch)
+
+
+class TestRtaProperties:
+    @given(
+        st.integers(1, 30),
+        st.lists(
+            st.tuples(st.integers(1, 10), st.integers(5, 60),
+                      st.integers(0, 20)),
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_wcet(self, c, hp):
+        r1 = task_response_time(c, hp, deadline=100_000)
+        r2 = task_response_time(c + 1, hp, deadline=100_000)
+        if r1 is not None and r2 is not None:
+            assert r2 >= r1
+
+    @given(
+        st.integers(1, 30),
+        st.lists(
+            st.tuples(st.integers(1, 10), st.integers(5, 60),
+                      st.integers(0, 20)),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_interference(self, c, hp):
+        r_with = task_response_time(c, hp, deadline=100_000)
+        r_without = task_response_time(c, hp[:-1], deadline=100_000)
+        if r_with is not None and r_without is not None:
+            assert r_with >= r_without

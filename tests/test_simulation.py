@@ -1,0 +1,235 @@
+"""Tests for the discrete-time simulator and the simulation-vs-analysis
+cross validation (observed behaviour never exceeds analytical bounds)."""
+
+import pytest
+
+from repro.analysis import Allocation, MsgRef, check_allocation
+from repro.core import Allocator, MinimizeTRT
+from repro.model import (
+    CAN,
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+    Message,
+    Task,
+    TaskSet,
+)
+from repro.sim import simulate, validate_against_analysis
+from repro.workloads import random_taskset, ring_architecture, tindell_architecture, tindell_partition
+
+
+def flat_ring(min_slot=50):
+    return Architecture(
+        ecus=[Ecu("p0"), Ecu("p1")],
+        media=[Medium("ring", TOKEN_RING, ("p0", "p1"),
+                      bit_rate=1_000_000, frame_overhead_bits=0,
+                      min_slot=min_slot, slot_overhead=10,
+                      gateway_service=0)],
+    )
+
+
+class TestCpuSimulation:
+    def test_single_task_response_equals_wcet(self):
+        arch = flat_ring()
+        ts = TaskSet([Task("t", 100, {"p0": 30}, 100,
+                           allowed=frozenset({"p0"}))])
+        alloc = Allocation(task_ecu={"t": "p0"}, task_prio={"t": 0})
+        sim = simulate(ts, arch, alloc, horizon=400)
+        assert sim.task_response["t"] == 30
+        assert sim.completed_jobs["t"] == 4
+        assert not sim.deadline_misses
+
+    def test_preemption(self):
+        arch = flat_ring()
+        ts = TaskSet([
+            Task("hi", 40, {"p0": 10}, 40, allowed=frozenset({"p0"})),
+            Task("lo", 120, {"p0": 30}, 120, allowed=frozenset({"p0"})),
+        ])
+        alloc = Allocation(task_ecu={"hi": "p0", "lo": "p0"},
+                           task_prio={"hi": 0, "lo": 1})
+        sim = simulate(ts, arch, alloc, horizon=360)
+        assert sim.task_response["hi"] == 10
+        # lo: fixed point of eq. 1: 30 + ceil(40/40)*10 = 40.
+        assert sim.task_response["lo"] == 40
+
+    def test_deadline_miss_detected(self):
+        arch = flat_ring()
+        ts = TaskSet([
+            Task("a", 100, {"p0": 60}, 100, allowed=frozenset({"p0"})),
+            Task("b", 100, {"p0": 60}, 100, allowed=frozenset({"p0"})),
+        ])
+        alloc = Allocation(task_ecu={"a": "p0", "b": "p0"},
+                           task_prio={"a": 0, "b": 1})
+        sim = simulate(ts, arch, alloc, horizon=300)
+        assert sim.deadline_misses
+
+    def test_offsets_shift_interference(self):
+        arch = flat_ring()
+        ts = TaskSet([
+            Task("hi", 40, {"p0": 10}, 40, allowed=frozenset({"p0"})),
+            Task("lo", 120, {"p0": 30}, 120, allowed=frozenset({"p0"})),
+        ])
+        alloc = Allocation(task_ecu={"hi": "p0", "lo": "p0"},
+                           task_prio={"hi": 0, "lo": 1})
+        sync = simulate(ts, arch, alloc, horizon=360)
+        shifted = simulate(ts, arch, alloc, horizon=360,
+                           offsets={"lo": 11})
+        # Synchronous release is the worst case.
+        assert shifted.task_response["lo"] <= sync.task_response["lo"]
+
+
+class TestBusSimulation:
+    def test_token_ring_message(self):
+        arch = flat_ring()
+        ts = TaskSet([
+            Task("s", 1000, {"p0": 20}, 1000,
+                 messages=(Message("r", 100, 800),),
+                 allowed=frozenset({"p0"})),
+            Task("r", 1000, {"p1": 20}, 1000, allowed=frozenset({"p1"})),
+        ])
+        ref = MsgRef("s", 0)
+        alloc = Allocation(
+            task_ecu={"s": "p0", "r": "p1"},
+            task_prio={"s": 0, "r": 1},
+            message_path={ref: ("ring",)},
+            slot_ticks={("ring", "p0"): 120, ("ring", "p1"): 50},
+        )
+        sim = simulate(ts, arch, alloc, horizon=3000)
+        assert sim.delivered_msgs[ref] >= 2
+        # rho = 100; worst wait is bounded by analysis: rho + (TRT-slot).
+        assert sim.msg_hop_delay[(ref, "ring")] <= 100 + (170 - 120)
+        assert not sim.deadline_misses
+
+    def test_can_priority_arbitration(self):
+        arch = Architecture(
+            ecus=[Ecu("p0"), Ecu("p1")],
+            media=[Medium("can", CAN, ("p0", "p1"), bit_rate=1_000_000,
+                          frame_overhead_bits=0)],
+        )
+        ts = TaskSet([
+            Task("hi_s", 1000, {"p0": 5}, 1000,
+                 messages=(Message("hi_r", 100, 400),),
+                 allowed=frozenset({"p0"})),
+            Task("hi_r", 1000, {"p1": 5}, 1000, allowed=frozenset({"p1"})),
+            Task("lo_s", 1000, {"p0": 5}, 1000,
+                 messages=(Message("lo_r", 300, 900),),
+                 allowed=frozenset({"p0"})),
+            Task("lo_r", 1000, {"p1": 5}, 1000, allowed=frozenset({"p1"})),
+        ])
+        hi, lo = MsgRef("hi_s", 0), MsgRef("lo_s", 0)
+        alloc = Allocation(
+            task_ecu={"hi_s": "p0", "hi_r": "p1",
+                      "lo_s": "p0", "lo_r": "p1"},
+            task_prio={"hi_s": 0, "hi_r": 1, "lo_s": 2, "lo_r": 3},
+            message_path={hi: ("can",), lo: ("can",)},
+            msg_prio={hi: 0, lo: 1},
+        )
+        sim = simulate(ts, arch, alloc, horizon=4000)
+        # The high-priority frame waits at most one lower frame already
+        # on the wire (non-preemptive): 100 own + < 300 blocking.
+        assert sim.msg_hop_delay[(hi, "can")] < 400
+        assert sim.delivered_msgs[lo] >= 2
+
+    def test_gateway_forwarding(self):
+        arch = Architecture(
+            ecus=[Ecu("a"), Ecu("g", allow_tasks=False), Ecu("b")],
+            media=[
+                Medium("k1", TOKEN_RING, ("a", "g"), bit_rate=1_000_000,
+                       frame_overhead_bits=0, min_slot=50,
+                       slot_overhead=10, gateway_service=25),
+                Medium("k2", TOKEN_RING, ("g", "b"), bit_rate=1_000_000,
+                       frame_overhead_bits=0, min_slot=50,
+                       slot_overhead=10, gateway_service=25),
+            ],
+        )
+        ts = TaskSet([
+            Task("s", 2000, {"a": 20}, 2000,
+                 messages=(Message("r", 100, 1500),)),
+            Task("r", 2000, {"b": 20}, 2000),
+        ])
+        ref = MsgRef("s", 0)
+        alloc = Allocation(
+            task_ecu={"s": "a", "r": "b"},
+            task_prio={"s": 0, "r": 1},
+            message_path={ref: ("k1", "k2")},
+            slot_ticks={("k1", "a"): 120, ("k1", "g"): 120,
+                        ("k2", "g"): 120, ("k2", "b"): 120},
+        )
+        sim = simulate(ts, arch, alloc, horizon=6000)
+        assert sim.delivered_msgs[ref] >= 2
+        assert (ref, "k1") in sim.msg_hop_delay
+        assert (ref, "k2") in sim.msg_hop_delay
+        # End-to-end includes both hops plus the service delay.
+        assert sim.msg_delivery[ref] >= (
+            sim.msg_hop_delay[(ref, "k1")] + 25
+        )
+
+
+class TestValidationAgainstAnalysis:
+    def _validate(self, ts, arch, alloc):
+        report = check_allocation(ts, arch, alloc)
+        assert report.schedulable, report.problems
+        out = validate_against_analysis(ts, arch, alloc, report)
+        assert out.ok, out.violations
+        return out
+
+    def test_flat_system(self):
+        arch = flat_ring()
+        ts = TaskSet([
+            Task("s", 1000, {"p0": 100, "p1": 100}, 1000,
+                 messages=(Message("r", 100, 800),),
+                 separated_from=frozenset({"r"})),
+            Task("r", 1000, {"p0": 150, "p1": 150}, 1000),
+            Task("x", 500, {"p0": 50, "p1": 50}, 500),
+        ])
+        res = Allocator(ts, arch).minimize(MinimizeTRT("ring"))
+        assert res.feasible
+        self._validate(ts, arch, res.allocation)
+
+    def test_optimizer_output_on_tindell_slice(self):
+        arch = tindell_architecture()
+        ts = tindell_partition(9)
+        res = Allocator(ts, arch).minimize(MinimizeTRT("ring"))
+        assert res.feasible
+        out = self._validate(ts, arch, res.allocation)
+        # The horizon covered complete jobs of every task.
+        assert all(v >= 1 for v in out.sim.completed_jobs.values())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_systems(self, seed):
+        arch = ring_architecture(3)
+        ts = random_taskset(arch, 6, total_util=1.0, seed=40 + seed)
+        res = Allocator(ts, arch).find_feasible()
+        if not res.feasible:
+            return
+        self._validate(ts, arch, res.allocation)
+
+    @pytest.mark.parametrize("shift", [0, 7, 13])
+    def test_random_offsets_stay_within_bounds(self, shift):
+        arch = flat_ring()
+        ts = TaskSet([
+            Task("a", 200, {"p0": 40, "p1": 40}, 200),
+            Task("b", 300, {"p0": 60, "p1": 60}, 300),
+            Task("c", 600, {"p0": 90, "p1": 90}, 600),
+        ])
+        res = Allocator(ts, arch).find_feasible()
+        assert res.feasible
+        report = check_allocation(ts, arch, res.allocation)
+        out = validate_against_analysis(
+            ts, arch, res.allocation, report,
+            offsets={"b": shift, "c": 2 * shift},
+        )
+        assert out.ok, out.violations
+
+    def test_rejects_unschedulable_report(self):
+        arch = flat_ring()
+        ts = TaskSet([
+            Task("a", 100, {"p0": 60}, 100, allowed=frozenset({"p0"})),
+            Task("b", 100, {"p0": 60}, 100, allowed=frozenset({"p0"})),
+        ])
+        alloc = Allocation(task_ecu={"a": "p0", "b": "p0"},
+                           task_prio={"a": 0, "b": 1})
+        report = check_allocation(ts, arch, alloc)
+        with pytest.raises(ValueError):
+            validate_against_analysis(ts, arch, alloc, report)

@@ -1,0 +1,178 @@
+"""Tests for the workload generators and the paper's scenario builders."""
+
+import random
+
+import pytest
+
+from repro.model import MediumKind, enumerate_path_closures
+from repro.workloads import (
+    TICK_US,
+    architecture_a,
+    architecture_b,
+    architecture_c,
+    architecture_c_can,
+    random_taskset,
+    ring_architecture,
+    scaling_taskset,
+    ticks_to_ms,
+    tindell_architecture,
+    tindell_partition,
+    tindell_taskset,
+)
+from repro.workloads.generator import uunifast_discard
+from repro.workloads.scaling import ECU_COUNTS
+from repro.workloads.tindell import PARTITION_SIZES
+
+
+class TestTindellWorkload:
+    def test_shape(self):
+        ts = tindell_taskset()
+        assert len(ts) == 43
+        chains = ts.chains()
+        assert len(chains) == 12
+        assert max(len(c) for c in chains) == 5
+        assert len(ts.all_messages()) == sum(len(c) - 1 for c in chains)
+
+    def test_deterministic(self):
+        a = tindell_taskset()
+        b = tindell_taskset()
+        assert a.names() == b.names()
+        for n in a.names():
+            assert a[n].wcet == b[n].wcet
+            assert a[n].deadline == b[n].deadline
+
+    def test_architecture(self):
+        arch = tindell_architecture()
+        assert len(arch.ecus) == 8
+        ring = arch.media["ring"]
+        assert ring.kind is MediumKind.TOKEN_RING
+        # 1 Mbit/s at 100 us ticks: a 50-bit payload + 50 overhead = 1 tick.
+        assert ring.transmission_ticks(50) == 1
+        assert ring.transmission_ticks(1050) == 11
+
+    def test_utilization_is_realistic(self):
+        ts = tindell_taskset()
+        arch = tindell_architecture()
+        u = ts.total_utilization(arch)
+        assert 2.0 < u < 6.0  # plenty of work, but under 8 CPUs
+
+    def test_placement_restrictions_present(self):
+        ts = tindell_taskset()
+        pinned = [t for t in ts if t.allowed is not None and len(t.allowed) == 1]
+        assert len(pinned) >= 12  # all chain sensors at least
+
+    def test_separation_pairs(self):
+        ts = tindell_taskset()
+        seps = [(t.name, o) for t in ts for o in t.separated_from]
+        assert len(seps) == 6  # 3 pairs, both directions
+
+    def test_partitions(self):
+        for n in PARTITION_SIZES:
+            sub = tindell_partition(n)
+            assert len(sub) == n
+            # Messages only reference tasks inside the partition.
+            for t in sub:
+                for m in t.messages:
+                    assert m.target in sub.tasks
+
+    def test_ticks_to_ms(self):
+        assert ticks_to_ms(85) == pytest.approx(8.5)
+        assert TICK_US == 100
+
+    def test_can_variant(self):
+        from repro.model import CAN
+
+        arch = tindell_architecture(kind=CAN)
+        assert arch.media["ring"].kind is MediumKind.CAN
+
+
+class TestScalingWorkloads:
+    def test_ecu_counts_match_paper(self):
+        assert ECU_COUNTS == (8, 16, 25, 32, 45, 64)
+
+    @pytest.mark.parametrize("n", [8, 16, 64])
+    def test_ring_architecture(self, n):
+        arch = ring_architecture(n)
+        assert len(arch.ecus) == n
+        assert len(arch.media["ring"].ecus) == n
+
+    def test_scaling_taskset_respreads(self):
+        small = scaling_taskset(8)
+        large = scaling_taskset(64)
+        assert len(small) == len(large) == 30
+        # Restrictions reference ECUs of the larger platform.
+        all_allowed = set()
+        for t in large:
+            if t.allowed:
+                all_allowed |= t.allowed
+        assert any(int(p[1:]) >= 8 for p in all_allowed)
+
+
+class TestHierarchies:
+    def test_architecture_a(self):
+        arch = architecture_a()
+        assert arch.gateways() == ["g8"]
+        assert not arch.ecus["g8"].allow_tasks
+        assert len(enumerate_path_closures(arch)) == 3
+
+    def test_architecture_b(self):
+        arch = architecture_b()
+        assert sorted(arch.gateways()) == ["g8", "g9"]
+        assert len(arch.media) == 3
+        closures = enumerate_path_closures(arch)
+        longest = max(len(ph.longest) for ph in closures)
+        assert longest == 3  # left -> backbone -> right
+
+    def test_architecture_c_gateway_hosts_tasks(self):
+        arch = architecture_c()
+        assert arch.gateways() == ["p0"]
+        assert arch.ecus["p0"].allow_tasks
+
+    def test_architecture_c_can_swap(self):
+        arch = architecture_c_can()
+        assert arch.media["upper"].kind is MediumKind.CAN
+        assert arch.media["lower"].kind is MediumKind.TOKEN_RING
+
+    def test_taskset_fits_architectures(self):
+        # The case-study pi_i sets reference p0..p7, which exist in all
+        # fig. 2 architectures.
+        ts = tindell_taskset()
+        for arch in (architecture_a(), architecture_b(), architecture_c()):
+            for t in ts:
+                assert t.candidate_ecus(arch), t.name
+
+
+class TestGenerator:
+    def test_uunifast_sums(self):
+        rng = random.Random(1)
+        utils = uunifast_discard(rng, 10, 3.0)
+        assert sum(utils) == pytest.approx(3.0)
+        assert all(0 < u <= 0.6 for u in utils)
+
+    def test_uunifast_impossible_raises(self):
+        rng = random.Random(1)
+        with pytest.raises(RuntimeError):
+            uunifast_discard(rng, 2, 1.9, max_task_util=0.5, max_tries=5)
+
+    def test_random_taskset_valid(self):
+        arch = ring_architecture(4)
+        ts = random_taskset(arch, 12, 2.0, seed=5)
+        assert len(ts) == 12
+        # Generated systems validate (message targets, wcet domains).
+        for t in ts:
+            assert t.candidate_ecus(arch)
+
+    def test_random_taskset_deterministic(self):
+        arch = ring_architecture(4)
+        a = random_taskset(arch, 10, 1.5, seed=9)
+        b = random_taskset(arch, 10, 1.5, seed=9)
+        assert a.names() == b.names()
+        for n in a.names():
+            assert a[n].period == b[n].period
+            assert a[n].wcet == b[n].wcet
+
+    def test_chain_messages_same_period(self):
+        arch = ring_architecture(4)
+        ts = random_taskset(arch, 20, 2.0, seed=3, chain_fraction=0.8)
+        for t, m in ts.all_messages():
+            assert ts[m.target].period == t.period
