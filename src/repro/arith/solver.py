@@ -109,15 +109,21 @@ class IntSolver:
     # Solving and models
     # ------------------------------------------------------------------
 
-    def solve(self, assumptions: list[BoolExpr] | None = None) -> bool:
+    def solve(
+        self,
+        assumptions: list[BoolExpr] | None = None,
+        budget=None,
+    ) -> bool:
         """Solve, optionally under assumption literals.
 
-        Assumptions are BoolVar or Not(BoolVar) expressions.
+        Assumptions are BoolVar or Not(BoolVar) expressions.  ``budget``
+        (a :class:`repro.robust.budget.Budget`) makes the underlying CDCL
+        search interruptible; see :meth:`repro.sat.solver.Solver.solve`.
         """
         lits: list[int] = []
         for a in assumptions or []:
             lits.append(self._assumption_lit(a))
-        return self.sat.solve(assumptions=lits)
+        return self.sat.solve(assumptions=lits, budget=budget)
 
     def _assumption_lit(self, expr: BoolExpr) -> int:
         from repro.arith.ast import Not
@@ -166,7 +172,14 @@ class IntSolver:
         """Value of an integer variable in the last model."""
         return self.blaster.decode_var(var)
 
-    def minimize(self, var: IntVar, time_limit: float | None = None):
+    def minimize(
+        self,
+        var: IntVar,
+        time_limit: float | None = None,
+        budget=None,
+        checkpoint=None,
+        on_checkpoint=None,
+    ):
         """Minimize an integer variable by the paper's BIN_SEARCH scheme
         (section 5.2) directly at the arithmetic level.
 
@@ -174,11 +187,17 @@ class IntSolver:
         solver's model afterwards belongs to the last satisfiable probe
         (the optimum when one exists).  Convenience wrapper so the
         optimization loop is usable for *any* integer constraint problem,
-        not just allocation instances.
+        not just allocation instances.  ``budget``, ``checkpoint`` and
+        ``on_checkpoint`` are forwarded to
+        :func:`repro.core.optimize.bin_search`.
         """
         from repro.core.optimize import bin_search
 
-        return bin_search(self, var, var.lo, var.hi, time_limit=time_limit)
+        return bin_search(
+            self, var, var.lo, var.hi, time_limit=time_limit,
+            budget=budget, checkpoint=checkpoint,
+            on_checkpoint=on_checkpoint,
+        )
 
     def last_core(self) -> list[BoolExpr]:
         """Assumption core of the last UNSAT answer, mapped back to the

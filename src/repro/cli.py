@@ -6,7 +6,10 @@ Commands
 - ``info <system.json>`` -- summarize a system (tasks, utilization,
   media, path closures),
 - ``solve <system.json> --objective trt:ring`` -- find the optimal
-  allocation and print (or ``-o`` write) it as JSON,
+  allocation and print (or ``-o`` write) it as JSON; ``--budget`` /
+  ``--budget-conflicts`` bound the search (supervised, with heuristic
+  fallback), ``--checkpoint``/``--resume`` persist and continue an
+  interrupted binary search,
 - ``check <system.json> <allocation.json>`` -- re-run the independent
   schedulability analysis on a stored allocation,
 - ``diagnose <system.json>`` -- explain an infeasible system by a
@@ -84,6 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(omit for a plain feasibility check)",
     )
     p_solve.add_argument("--time-limit", type=float, default=None)
+    p_solve.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-time budget; the solve is supervised and degrades "
+        "gracefully (anytime bound or heuristic) when it expires",
+    )
+    p_solve.add_argument(
+        "--budget-conflicts", type=int, default=None, metavar="N",
+        help="conflict budget for the SAT search (combinable with --budget)",
+    )
+    p_solve.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write binary-search progress to this JSON file",
+    )
+    p_solve.add_argument(
+        "--resume", action="store_true",
+        help="resume the binary search from --checkpoint if it exists",
+    )
     p_solve.add_argument("--no-reuse", action="store_true",
                          help="rebuild the encoding per binary-search probe")
     p_solve.add_argument("--pb", action="store_true",
@@ -132,30 +152,42 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_solve(args) -> int:
-    tasks, arch = load_system(args.system)
-    cfg = EncoderConfig(pb_mode=args.pb)
-    allocator = Allocator(tasks, arch, cfg)
-    if args.objective:
-        objective = _objective_from_spec(args.objective)
-        res = allocator.minimize(
-            objective,
-            time_limit=args.time_limit,
-            reuse_learned=not args.no_reuse,
-        )
-    else:
-        res = allocator.find_feasible()
-    if not res.feasible:
-        print("INFEASIBLE (try: repro diagnose)", file=sys.stderr)
-        return 1
-    print(f"feasible; cost = {res.cost}")
-    print(f"probes = {res.outcome.num_probes}, "
-          f"solve = {res.solve_seconds:.1f}s, "
-          f"vars = {res.formula_size['bool_vars']}, "
-          f"literals = {res.formula_size['literals']}")
-    print(f"independently verified: {res.verified}")
-    payload = allocation_to_dict(res.allocation)
-    payload["cost"] = res.cost
+def _solve_budget(args):
+    if args.budget is None and args.budget_conflicts is None:
+        return None
+    from repro.robust import Budget
+
+    return Budget(wall_seconds=args.budget,
+                  max_conflicts=args.budget_conflicts)
+
+
+def _solve_checkpoint(args):
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume needs --checkpoint PATH")
+    if not args.checkpoint:
+        return None
+    import os
+
+    from repro.robust import SearchCheckpoint
+
+    if args.resume and os.path.exists(args.checkpoint):
+        try:
+            return SearchCheckpoint.load(args.checkpoint)
+        except (ValueError, OSError) as exc:
+            raise SystemExit(
+                f"cannot resume from {args.checkpoint}: {exc}"
+            )
+    # Fresh run: start over even when the file exists.
+    out = SearchCheckpoint()
+    out.path = args.checkpoint
+    return out
+
+
+def _emit_allocation(args, alloc, cost, proven, status) -> None:
+    payload = allocation_to_dict(alloc)
+    payload["cost"] = cost
+    payload["proven"] = proven
+    payload["status"] = status
     text = json.dumps(payload, indent=2)
     if args.output:
         with open(args.output, "w") as fh:
@@ -163,6 +195,87 @@ def _cmd_solve(args) -> int:
         print(f"allocation written to {args.output}")
     else:
         print(text)
+
+
+_STATUS_NOTE = {
+    "optimal": "proven optimum",
+    "upper_bound": "anytime upper bound, unproven",
+    "heuristic": "heuristic bound, unproven",
+}
+
+
+def _cmd_solve_supervised(args, tasks, arch, cfg, objective,
+                          budget, checkpoint) -> int:
+    from repro.reporting import fmt_cost
+    from repro.robust import SolveSupervisor
+
+    sup = SolveSupervisor(
+        tasks, arch, objective, config=cfg,
+        budget=budget, checkpoint=checkpoint,
+    ).solve()
+    for st in sup.stages:
+        print(f"stage {st.stage}: {st.status} ({st.seconds:.1f}s)",
+              file=sys.stderr)
+    if sup.status == "infeasible":
+        print("INFEASIBLE (try: repro diagnose)", file=sys.stderr)
+        return 1
+    if not sup.usable:
+        print("UNKNOWN: budget exhausted before any allocation was found",
+              file=sys.stderr)
+        return 2
+    print(f"feasible; cost = {fmt_cost(sup.cost, sup.proven)} "
+          f"({_STATUS_NOTE[sup.status]})")
+    _emit_allocation(args, sup.allocation, sup.cost, sup.proven, sup.status)
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    tasks, arch = load_system(args.system)
+    cfg = EncoderConfig(pb_mode=args.pb)
+    budget = _solve_budget(args)
+    checkpoint = _solve_checkpoint(args)
+    objective = (
+        _objective_from_spec(args.objective) if args.objective else None
+    )
+    if budget is not None and objective is not None:
+        return _cmd_solve_supervised(args, tasks, arch, cfg, objective,
+                                     budget, checkpoint)
+    allocator = Allocator(tasks, arch, cfg)
+    if objective is not None:
+        try:
+            res = allocator.minimize(
+                objective,
+                time_limit=args.time_limit,
+                reuse_learned=not args.no_reuse,
+                checkpoint=checkpoint,
+            )
+        except ValueError as exc:
+            # A checkpoint recorded for a different system/objective.
+            if "checkpoint" not in str(exc):
+                raise
+            raise SystemExit(f"cannot resume: {exc}")
+    else:
+        res = allocator.find_feasible(budget=budget)
+    if not res.feasible:
+        if res.status == "unknown":
+            print("UNKNOWN: interrupted before an answer "
+                  f"({res.outcome.interrupt_reason})", file=sys.stderr)
+            return 2
+        print("INFEASIBLE (try: repro diagnose)", file=sys.stderr)
+        return 1
+    from repro.reporting import fmt_cost
+
+    note = "" if objective is None else (
+        f" ({_STATUS_NOTE.get(res.status, res.status)})"
+    )
+    print(f"feasible; cost = {fmt_cost(res.cost, res.proven)}{note}")
+    print(f"probes = {res.outcome.num_probes}, "
+          f"solve = {res.solve_seconds:.1f}s, "
+          f"vars = {res.formula_size['bool_vars']}, "
+          f"literals = {res.formula_size['literals']}")
+    print(f"independently verified: {res.verified}")
+    status = res.status if objective is not None else "feasible"
+    _emit_allocation(args, res.allocation, res.cost, res.proven, status)
     return 0
 
 

@@ -27,6 +27,8 @@ from repro.core.objectives import Objective
 from repro.core.optimize import OptimizationOutcome, bin_search
 from repro.model.architecture import Architecture
 from repro.model.task import TaskSet
+from repro.robust.budget import Budget, BudgetExpired
+from repro.robust.checkpoint import SearchCheckpoint
 
 __all__ = ["Allocator", "AllocationResult"]
 
@@ -49,6 +51,18 @@ class AllocationResult:
     def verified(self) -> bool:
         """True when the independent analysis confirmed the allocation."""
         return bool(self.verification and self.verification.schedulable)
+
+    @property
+    def proven(self) -> bool:
+        """True when ``cost`` is a certified optimum (or infeasibility is
+        certified) -- False for anytime upper bounds from an interrupted
+        search."""
+        return self.outcome.proven if self.outcome is not None else False
+
+    @property
+    def status(self) -> str:
+        """``optimal`` / ``upper_bound`` / ``infeasible`` / ``unknown``."""
+        return self.outcome.status if self.outcome is not None else "unknown"
 
 
 class Allocator:
@@ -81,19 +95,51 @@ class Allocator:
         time_limit: float | None = None,
         reuse_learned: bool = True,
         verify: bool = True,
+        budget: Budget | None = None,
+        checkpoint: SearchCheckpoint | str | None = None,
     ) -> AllocationResult:
         """Find the cost-minimal feasible allocation.
 
         ``reuse_learned=False`` rebuilds the encoding from scratch for
         every binary-search probe (the paper's pre-section-7 baseline;
         used by the clause-reuse ablation benchmark).
+
+        ``budget`` bounds the whole search (wall time / conflicts /
+        decisions) and can interrupt a probe mid-search; the result then
+        carries the best anytime bound with ``proven`` False instead of
+        hanging.  ``checkpoint`` (a :class:`SearchCheckpoint` or a file
+        path) persists the binary-search state after every probe and
+        resumes from it when it already holds state; a resumed run
+        reaches the same certified optimum as an uninterrupted one.
         """
+        ckpt = self._as_checkpoint(checkpoint)
         if reuse_learned:
-            return self._minimize_incremental(objective, time_limit, verify)
-        return self._minimize_rebuild(objective, time_limit, verify)
+            return self._minimize_incremental(
+                objective, time_limit, verify, budget, ckpt
+            )
+        return self._minimize_rebuild(objective, time_limit, verify, budget)
+
+    @staticmethod
+    def _as_checkpoint(
+        checkpoint: SearchCheckpoint | str | None,
+    ) -> SearchCheckpoint | None:
+        if checkpoint is None or isinstance(checkpoint, SearchCheckpoint):
+            return checkpoint
+        import os
+
+        if os.path.exists(checkpoint):
+            return SearchCheckpoint.load(checkpoint)
+        out = SearchCheckpoint()
+        out.path = checkpoint
+        return out
 
     def _minimize_incremental(
-        self, objective: Objective, time_limit: float | None, verify: bool
+        self,
+        objective: Objective,
+        time_limit: float | None,
+        verify: bool,
+        budget: Budget | None = None,
+        checkpoint: SearchCheckpoint | None = None,
     ) -> AllocationResult:
         enc, cost_var, lo, hi, enc_secs = self._encode(objective)
         assert cost_var is not None
@@ -102,21 +148,47 @@ class Allocator:
         def snapshot() -> None:
             best[0] = enc.decode()
 
+        on_checkpoint = None
+        if checkpoint is not None:
+
+            def on_checkpoint(c: SearchCheckpoint) -> None:
+                # Persist the best allocation alongside [L, R] so even a
+                # twice-interrupted run can hand back a usable result.
+                if best[0] is not None:
+                    from repro.io import allocation_to_dict
+
+                    c.payload = allocation_to_dict(best[0])
+
         outcome = bin_search(
             enc.solver, cost_var, lo, hi, on_sat=snapshot,
-            time_limit=time_limit,
+            time_limit=time_limit, budget=budget,
+            checkpoint=checkpoint, on_checkpoint=on_checkpoint,
         )
+        if best[0] is None and checkpoint is not None and checkpoint.payload:
+            from repro.io import allocation_from_dict
+
+            best[0] = allocation_from_dict(checkpoint.payload)
         return self._finish(enc, outcome, best[0], enc_secs, verify)
 
     def _minimize_rebuild(
-        self, objective: Objective, time_limit: float | None, verify: bool
+        self,
+        objective: Objective,
+        time_limit: float | None,
+        verify: bool,
+        budget: Budget | None = None,
     ) -> AllocationResult:
-        """BIN_SEARCH with a fresh solver per probe (no clause reuse)."""
+        """BIN_SEARCH with a fresh solver per probe (no clause reuse).
+
+        One ``budget`` spans all probes (each fresh solver charges the
+        same pool), so the rebuild strategy honors the same end-to-end
+        bound as the incremental one.
+        """
         from repro.core.optimize import OptimizationOutcome, ProbeLog
 
         t0 = time.perf_counter()
         enc, cost_var, lo, hi, enc_secs = self._encode(objective)
-        outcome = OptimizationOutcome(feasible=False, optimum=None)
+        outcome = OptimizationOutcome(feasible=False, optimum=None,
+                                      proven=False)
         best: Allocation | None = None
         last_enc = enc
 
@@ -133,7 +205,24 @@ class Allocator:
                     probe_enc.solver.require(pcost <= hi_b)
             last_enc = probe_enc
             p0 = time.perf_counter()
-            sat = probe_enc.solver.solve()
+            try:
+                sat = probe_enc.solver.solve(budget=budget)
+            except BudgetExpired as exc:
+                outcome.probes.append(
+                    ProbeLog(
+                        lo=lo_b if lo_b is not None else lo,
+                        hi=hi_b if hi_b is not None else hi,
+                        sat=False,
+                        cost=None,
+                        seconds=time.perf_counter() - p0,
+                        conflicts=probe_enc.solver.stats.conflicts,
+                        decisions=probe_enc.solver.stats.decisions,
+                        interrupted=True,
+                    )
+                )
+                outcome.interrupted = True
+                outcome.interrupt_reason = str(exc)
+                raise
             secs = time.perf_counter() - p0
             cost = probe_enc.solver.value(pcost) if sat else None
             outcome.probes.append(
@@ -151,7 +240,11 @@ class Allocator:
                 best = probe_enc.decode()
             return sat, cost
 
-        sat, cost = probe(None, None)
+        try:
+            sat, cost = probe(None, None)
+        except BudgetExpired:
+            outcome.seconds = time.perf_counter() - t0
+            return self._finish(last_enc, outcome, best, enc_secs, verify)
         if sat:
             outcome.feasible = True
             assert cost is not None
@@ -161,23 +254,43 @@ class Allocator:
                     time_limit is not None
                     and time.perf_counter() - t0 > time_limit
                 ):
+                    outcome.interrupted = True
+                    outcome.interrupt_reason = (
+                        f"time limit ({time_limit:g}s) expired"
+                    )
                     break
                 mid = (left + right) // 2
-                sat, cost = probe(left, mid)
+                try:
+                    sat, cost = probe(left, mid)
+                except BudgetExpired:
+                    break
                 if not sat:
                     left = mid + 1
                 else:
                     assert cost is not None
                     right = cost
             outcome.optimum = right
+            outcome.proven = left >= right
+        else:
+            outcome.proven = True  # certified infeasibility
         outcome.seconds = time.perf_counter() - t0
         return self._finish(last_enc, outcome, best, enc_secs, verify)
 
-    def find_feasible(self, verify: bool = True) -> AllocationResult:
+    def find_feasible(
+        self, verify: bool = True, budget: Budget | None = None
+    ) -> AllocationResult:
         """One SOLVE call: any allocation satisfying all constraints."""
         enc, _, _, _, enc_secs = self._encode(None)
         t0 = time.perf_counter()
-        sat = enc.solver.solve()
+        try:
+            sat = enc.solver.solve(budget=budget)
+        except BudgetExpired as exc:
+            outcome = OptimizationOutcome(
+                feasible=False, optimum=None, proven=False,
+                interrupted=True, interrupt_reason=str(exc),
+            )
+            outcome.seconds = time.perf_counter() - t0
+            return self._finish(enc, outcome, None, enc_secs, verify)
         outcome = OptimizationOutcome(feasible=sat, optimum=None)
         outcome.seconds = time.perf_counter() - t0
         alloc = enc.decode() if sat else None

@@ -27,7 +27,21 @@ __all__ = [
     "MinimizeSumTRT",
     "MinimizeCanUtilization",
     "MinimizeSumResponseTimes",
+    "objective_spec",
 ]
+
+
+def objective_spec(objective: "Objective") -> tuple[str, str | None]:
+    """Map an objective to the ``(name, medium)`` pair understood by
+    :func:`repro.baselines.common.evaluate_cost`, so heuristic baselines
+    score allocations on the same scale as the exact optimizer."""
+    if isinstance(objective, MinimizeTRT):
+        return "trt", objective.medium
+    if isinstance(objective, MinimizeSumTRT):
+        return "sum_trt", None
+    if isinstance(objective, MinimizeCanUtilization):
+        return "can_util", objective.medium
+    return "sum_resp", None
 
 #: Scale of utilization objectives: per-mille of the bus bandwidth.
 U_SCALE = 1000

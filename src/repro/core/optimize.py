@@ -24,15 +24,28 @@ Two probe strategies:
   the paper's section 7 reports a >= 2x speedup for.
 - **rebuild**: a fresh encoding per probe (the paper's baseline
   behaviour); used by the ablation benchmark.
+
+Supervision (see ``docs/ROBUSTNESS.md``): the search is bounded and
+resumable.  A :class:`repro.robust.budget.Budget` interrupts a probe
+*mid-search* (the CDCL loop raises ``BudgetExpired`` cooperatively); the
+interrupted probe is logged as UNKNOWN and the best bound so far is
+returned with :attr:`OptimizationOutcome.proven` False -- an anytime
+upper estimate is never silently reported as a certified optimum.  A
+:class:`repro.robust.checkpoint.SearchCheckpoint` records ``[L, R]`` and
+the probe log after every probe, so an interrupted search resumes where
+it stopped and reaches the same certified optimum an uninterrupted run
+would have.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
-from repro.arith.ast import And, IntExpr, IntVar
+from repro.arith.ast import And, IntVar
+from repro.robust.budget import Budget, BudgetExpired
+from repro.robust.checkpoint import SearchCheckpoint
 
 __all__ = ["ProbeLog", "OptimizationOutcome", "bin_search"]
 
@@ -48,6 +61,9 @@ class ProbeLog:
     seconds: float
     conflicts: int
     decisions: int
+    #: True when the probe was cut off by a budget before answering --
+    #: ``sat`` is then False but means UNKNOWN, not UNSAT.
+    interrupted: bool = False
 
 
 @dataclass
@@ -58,10 +74,27 @@ class OptimizationOutcome:
     optimum: int | None
     probes: list[ProbeLog] = field(default_factory=list)
     seconds: float = 0.0
+    #: True when the search closed its interval: a feasible outcome is a
+    #: *certified* optimum (and an infeasible one certified UNSAT).  An
+    #: interrupted anytime run reports its best bound with proven False.
+    proven: bool = True
+    #: True when a budget or time limit cut the search short.
+    interrupted: bool = False
+    interrupt_reason: str | None = None
+    #: True when the run continued from a checkpoint.
+    resumed: bool = False
 
     @property
     def num_probes(self) -> int:
         return len(self.probes)
+
+    @property
+    def status(self) -> str:
+        """Honest one-word verdict: ``optimal`` / ``upper_bound`` /
+        ``infeasible`` / ``unknown``."""
+        if self.feasible:
+            return "optimal" if self.proven else "upper_bound"
+        return "infeasible" if self.proven else "unknown"
 
 
 def bin_search(
@@ -71,6 +104,9 @@ def bin_search(
     upper: int,
     on_sat: Callable[[], None] | None = None,
     time_limit: float | None = None,
+    budget: Budget | None = None,
+    checkpoint: SearchCheckpoint | None = None,
+    on_checkpoint: Callable[[SearchCheckpoint], None] | None = None,
 ) -> OptimizationOutcome:
     """Minimize ``cost_var`` over an :class:`repro.arith.IntSolver`.
 
@@ -79,12 +115,47 @@ def bin_search(
     far -- after the search the last snapshot belongs to the optimum.
 
     ``time_limit`` (seconds) turns the search into an anytime algorithm:
-    on expiry the best known upper bound is returned with
-    ``OptimizationOutcome.feasible`` still true (the bound is then merely
-    an upper estimate, recorded in the probe log).
+    on expiry the best known upper bound is returned with ``feasible``
+    still true but ``proven`` False.  It is only checked *between*
+    probes; pass ``budget`` to also interrupt a probe mid-search.
+
+    ``budget`` is charged across all probes of this run; when it expires
+    the in-flight probe is logged as interrupted and the outcome carries
+    the best bound known so far (``status`` is ``upper_bound`` or, before
+    any feasible model, ``unknown``).
+
+    ``checkpoint`` resumes a previous run's state and is updated after
+    every probe; ``on_checkpoint`` is then called (and the checkpoint
+    saved when it has a path).  A resumed run that finds no new model
+    re-certifies the optimum with one final ``[R, R]`` probe, so its
+    model and cost match an uninterrupted run's.
     """
     t0 = time.perf_counter()
-    out = OptimizationOutcome(feasible=False, optimum=None)
+    out = OptimizationOutcome(feasible=False, optimum=None, proven=False)
+    if budget is not None:
+        budget.start()
+    if checkpoint is None and on_checkpoint is not None:
+        checkpoint = SearchCheckpoint(lower=lower, upper=upper)
+
+    def sync_checkpoint() -> None:
+        if checkpoint is None:
+            return
+        checkpoint.lower = lower
+        checkpoint.upper = upper
+        checkpoint.left = left
+        checkpoint.right = right
+        if out.feasible:
+            checkpoint.feasible = True
+        elif out.proven:
+            checkpoint.feasible = False
+        else:
+            # Initial SOLVE not answered yet: a resume re-runs it.
+            checkpoint.feasible = None
+        checkpoint.probes = [asdict(p) for p in out.probes]
+        if on_checkpoint is not None:
+            on_checkpoint(checkpoint)
+        if checkpoint.path is not None:
+            checkpoint.save()
 
     def run_probe(lo: int | None, hi: int | None) -> tuple[bool, int | None]:
         guard = solver.new_guard()
@@ -99,7 +170,27 @@ def bin_search(
         p0 = time.perf_counter()
         c0 = solver.stats.conflicts
         d0 = solver.stats.decisions
-        sat = solver.solve(assumptions=[guard])
+        try:
+            if budget is not None:
+                sat = solver.solve(assumptions=[guard], budget=budget)
+            else:
+                sat = solver.solve(assumptions=[guard])
+        except BudgetExpired as exc:
+            out.probes.append(
+                ProbeLog(
+                    lo=lo if lo is not None else lower,
+                    hi=hi if hi is not None else upper,
+                    sat=False,
+                    cost=None,
+                    seconds=time.perf_counter() - p0,
+                    conflicts=solver.stats.conflicts - c0,
+                    decisions=solver.stats.decisions - d0,
+                    interrupted=True,
+                )
+            )
+            out.interrupted = True
+            out.interrupt_reason = str(exc)
+            raise
         seconds = time.perf_counter() - p0
         cost = solver.value(cost_var) if sat else None
         out.probes.append(
@@ -117,24 +208,87 @@ def bin_search(
             on_sat()
         return sat, cost
 
-    # R := SOLVE(phi): the initial unconstrained query.
-    sat, cost = run_probe(None, None)
-    if not sat:
-        out.seconds = time.perf_counter() - t0
-        return out
-    out.feasible = True
-    assert cost is not None
-    left, right = lower, cost
+    left: int | None = None
+    right: int | None = None
+    model_loaded = False
+
+    if checkpoint is not None and checkpoint.started:
+        # Resume: skip the work the previous run already certified.
+        if checkpoint.lower != lower or checkpoint.upper != upper:
+            raise ValueError(
+                f"checkpoint range [{checkpoint.lower}, {checkpoint.upper}] "
+                f"does not match this search's [{lower}, {upper}]"
+            )
+        out.resumed = True
+        out.probes = [ProbeLog(**p) for p in checkpoint.probes]
+        if checkpoint.feasible is False:
+            out.proven = True
+            out.seconds = time.perf_counter() - t0
+            return out
+        out.feasible = True
+        left, right = checkpoint.left, checkpoint.right
+        assert left is not None and right is not None
+    else:
+        # R := SOLVE(phi): the initial unconstrained query.
+        try:
+            sat, cost = run_probe(None, None)
+        except BudgetExpired:
+            out.seconds = time.perf_counter() - t0
+            sync_checkpoint()
+            return out  # status: unknown
+        if not sat:
+            out.proven = True  # certified infeasibility
+            out.seconds = time.perf_counter() - t0
+            left, right = lower, None
+            sync_checkpoint()
+            return out
+        out.feasible = True
+        model_loaded = True
+        assert cost is not None
+        left, right = lower, cost
+        sync_checkpoint()
+
     while left < right:
         if time_limit is not None and time.perf_counter() - t0 > time_limit:
-            break  # anytime: keep the best known upper bound
+            # Anytime: keep the best known upper bound, honestly unproven.
+            out.interrupted = True
+            out.interrupt_reason = f"time limit ({time_limit:g}s) expired"
+            break
+        if budget is not None and budget.expired():
+            out.interrupted = True
+            out.interrupt_reason = budget.expired_reason
+            break
         mid = (left + right) // 2
-        sat, cost = run_probe(left, mid)
+        try:
+            sat, cost = run_probe(left, mid)
+        except BudgetExpired:
+            break  # interrupted probe already logged; keep best bound
         if not sat:
             left = mid + 1
         else:
             assert cost is not None and cost <= mid
             right = cost
+            model_loaded = True
+        sync_checkpoint()
+
     out.optimum = right
+    out.proven = left >= right
+    if out.proven and not model_loaded:
+        # A resumed run may close the interval without any SAT probe of
+        # its own; re-certify [R, R] so the model (and on_sat snapshot)
+        # belong to the optimum, exactly as in an uninterrupted run.
+        try:
+            sat, _ = run_probe(right, right)
+        except BudgetExpired:
+            out.proven = False
+            out.seconds = time.perf_counter() - t0
+            sync_checkpoint()
+            return out
+        if not sat:
+            raise ValueError(
+                "checkpoint is inconsistent with the constraints: "
+                f"recorded optimum {right} is not satisfiable"
+            )
+        sync_checkpoint()
     out.seconds = time.perf_counter() - t0
     return out

@@ -7,6 +7,14 @@ processes via :mod:`repro.parallel` so the (GIL-bound) SAT search keeps
 one core to itself in the meantime -- the sweep-style parallelism the
 hpc-parallel guides recommend when real shared-memory threading is
 unavailable.
+
+Supervision: ``budget`` bounds the exact route end-to-end through the
+:class:`repro.robust.supervisor.SolveSupervisor` escalation chain
+(heuristic fallback disabled -- the portfolio already races its own
+heuristics), and ``cell_timeout``/``retries`` arm the sweep watchdog for
+the baseline workers, so neither a hung probe nor a hung worker can
+stall the portfolio.  Failed baseline cells keep their full error
+traceback and elapsed time in :class:`PortfolioEntry`.
 """
 
 from __future__ import annotations
@@ -17,17 +25,28 @@ from dataclasses import dataclass, field
 from repro.baselines.common import evaluate_cost
 from repro.core.allocator import AllocationResult, Allocator
 from repro.core.config import EncoderConfig
-from repro.core.objectives import (
-    MinimizeCanUtilization,
-    MinimizeSumTRT,
-    MinimizeTRT,
-    Objective,
-)
+from repro.core.objectives import Objective, objective_spec
 from repro.model.architecture import Architecture
 from repro.model.task import TaskSet
 from repro.parallel import run_sweep
+from repro.robust.budget import Budget
+from repro.robust.supervisor import SolveSupervisor
 
-__all__ = ["PortfolioEntry", "PortfolioResult", "solve_portfolio"]
+__all__ = [
+    "PortfolioEntry",
+    "PortfolioResult",
+    "PortfolioInvariantError",
+    "solve_portfolio",
+]
+
+
+class PortfolioInvariantError(RuntimeError):
+    """A heuristic reported a cost below the *certified* optimum.
+
+    That can only mean a bug (in the encoder, the SAT stack, or the
+    heuristic's cost evaluation), so it must fail loudly -- and unlike an
+    ``assert`` it survives ``python -O``.
+    """
 
 
 @dataclass
@@ -39,6 +58,8 @@ class PortfolioEntry:
     cost: int | None
     seconds: float
     optimal: bool = False
+    #: Full traceback of a failed contender (None on success).
+    error: str | None = None
 
 
 @dataclass
@@ -50,16 +71,6 @@ class PortfolioResult:
     def best(self) -> PortfolioEntry | None:
         feas = [e for e in self.entries if e.feasible]
         return min(feas, key=lambda e: e.cost) if feas else None
-
-
-def _objective_spec(objective: Objective) -> tuple[str, str | None]:
-    if isinstance(objective, MinimizeTRT):
-        return "trt", objective.medium
-    if isinstance(objective, MinimizeSumTRT):
-        return "sum_trt", None
-    if isinstance(objective, MinimizeCanUtilization):
-        return "can_util", objective.medium
-    return "sum_resp", None
 
 
 def _baseline_cell(param):
@@ -105,36 +116,62 @@ def solve_portfolio(
     config: EncoderConfig | None = None,
     time_limit: float | None = None,
     processes: int | None = None,
+    budget: Budget | None = None,
+    cell_timeout: float | None = None,
+    retries: int = 0,
 ) -> PortfolioResult:
     """Race heuristics against the exact SAT route.
 
-    Heuristic contenders run in worker processes; the SAT optimization
-    runs in this process.  Heuristic costs can never beat the proven
-    optimum -- the portfolio asserts that invariant.
+    Heuristic contenders run in (watchdog-supervised) worker processes;
+    the SAT optimization runs in this process, under the supervisor's
+    escalation chain when a ``budget`` is given.  A heuristic cost below
+    a *certified* optimum raises :class:`PortfolioInvariantError`; an
+    anytime (unproven) exact bound may legitimately be beaten, so it is
+    not checked against.
     """
     from repro.io import system_to_dict
 
     result = PortfolioResult()
-    spec = _objective_spec(objective)
+    spec = objective_spec(objective)
     blob = system_to_dict(tasks, arch)
     cells = [(m, blob, spec) for m in ("greedy", "annealing", "genetic")]
-    sweep = run_sweep(_baseline_cell, cells, processes=processes)
+    sweep = run_sweep(
+        _baseline_cell, cells, processes=processes,
+        cell_timeout=cell_timeout, retries=retries,
+    )
 
     t0 = time.perf_counter()
-    exact = Allocator(tasks, arch, config).minimize(
-        objective, time_limit=time_limit
-    )
+    exact_error: str | None = None
+    if budget is None:
+        exact = Allocator(tasks, arch, config).minimize(
+            objective, time_limit=time_limit
+        )
+    else:
+        supervised = SolveSupervisor(
+            tasks, arch, objective, config=config, budget=budget,
+            heuristics=(),  # the portfolio already races heuristics
+        ).solve()
+        exact = supervised.result
+        if exact is None:
+            failed = [s for s in supervised.stages if s.status == "failed"]
+            exact_error = failed[-1].detail if failed else supervised.status
     exact_secs = time.perf_counter() - t0
     result.exact = exact
+
+    exact_proven = (
+        exact is not None and exact.feasible and exact.cost is not None
+        and exact.proven
+    )
     for cell, res in zip(cells, sweep):
         if not res.ok:
             result.entries.append(
-                PortfolioEntry(cell[0], False, None, 0.0)
+                PortfolioEntry(cell[0], False, None, res.seconds,
+                               error=res.error)
             )
             continue
         feasible, cost, secs = res.value
-        if feasible and exact.feasible and exact.cost is not None:
-            assert cost >= exact.cost, (
+        if feasible and exact_proven and cost < exact.cost:
+            raise PortfolioInvariantError(
                 f"heuristic {cell[0]} beat the proven optimum: "
                 f"{cost} < {exact.cost}"
             )
@@ -143,7 +180,12 @@ def solve_portfolio(
         )
     result.entries.append(
         PortfolioEntry(
-            "sat", exact.feasible, exact.cost, exact_secs, optimal=True
+            "sat",
+            bool(exact is not None and exact.feasible),
+            exact.cost if exact is not None else None,
+            exact_secs,
+            optimal=exact_proven,
+            error=exact_error,
         )
     )
     return result

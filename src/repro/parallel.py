@@ -1,27 +1,57 @@
-"""Process-parallel experiment sweeps.
+"""Process-parallel experiment sweeps with a supervising watchdog.
 
 Binary-search optimization is inherently sequential, but the paper's
 *evaluations* are embarrassingly parallel: every (workload, architecture,
 objective) cell of tables 1-4 is independent.  This module runs such
-sweeps across processes with the standard-library executor (the offline
-counterpart of an mpi4py scatter/gather, cf. the hpc-parallel guides):
+sweeps across processes (the offline counterpart of an mpi4py
+scatter/gather, cf. the hpc-parallel guides) and -- because the cells are
+NP-hard solves -- supervises them:
 
     from repro.parallel import run_sweep
 
-    results = run_sweep(solve_cell, cells, processes=4)
+    results = run_sweep(solve_cell, cells, processes=4,
+                        cell_timeout=300.0, retries=1,
+                        checkpoint="sweep.ckpt.json")
 
-Requirements: the worker function and its parameters must be picklable
-(top-level functions, plain data).  ``processes=0`` or ``1`` falls back
-to in-process execution (useful under coverage tools and on platforms
-with constrained ``fork``).
+- **per-cell timeout**: a worker exceeding ``cell_timeout`` is killed
+  (SIGTERM, then SIGKILL) -- one pathological cell cannot stall the
+  whole table,
+- **hung/crashed-worker detection**: a worker that dies without
+  reporting (segfault, OOM kill, ``os._exit``) is noticed immediately
+  via its result pipe's EOF,
+- **bounded retry**: killed and crashed cells are retried up to
+  ``retries`` times with exponential backoff; cells that merely *raise*
+  are recorded (deterministic failures) unless ``retry_errors`` is set,
+- **checkpoint/resume**: finished cells are recorded in a
+  :class:`repro.robust.checkpoint.SweepCheckpoint` (object or JSON path)
+  and skipped when the sweep is re-run after an interruption,
+- **debuggable failures**: ``SweepResult.error`` carries the worker's
+  full traceback, not just ``type: message``.
+
+Each cell runs in its own process with its own result pipe, so killing a
+hung worker cannot corrupt a shared queue.  Requirements: the worker
+function and its parameters must be picklable (top-level functions,
+plain data).  ``processes=0`` or ``1`` falls back to in-process
+execution (useful under coverage tools and on platforms with constrained
+``fork``) -- unless ``cell_timeout`` is set, which always uses worker
+processes because an in-process cell cannot be killed.
+
+Caveat for resumed sweeps: recorded values round-trip through JSON, so
+tuples come back as lists and non-JSON-serializable values are re-run.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
+from collections import deque
 from dataclasses import dataclass
+from multiprocessing.connection import wait as conn_wait
 from typing import Any, Callable, Iterable, Sequence
+
+from repro.robust.checkpoint import SweepCheckpoint
 
 __all__ = ["SweepResult", "run_sweep", "default_processes"]
 
@@ -33,6 +63,8 @@ class SweepResult:
     param: Any
     value: Any = None
     error: str | None = None
+    seconds: float = 0.0
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -45,31 +77,257 @@ def default_processes() -> int:
 
 
 def _guarded(fn: Callable, param) -> SweepResult:
+    t0 = time.perf_counter()
     try:
-        return SweepResult(param=param, value=fn(param))
-    except Exception as exc:  # noqa: BLE001 - sweep isolation by design
-        return SweepResult(param=param, error=f"{type(exc).__name__}: {exc}")
+        value = fn(param)
+        return SweepResult(param=param, value=value,
+                           seconds=time.perf_counter() - t0)
+    except Exception:  # noqa: BLE001 - sweep isolation by design
+        return SweepResult(param=param, error=traceback.format_exc(),
+                           seconds=time.perf_counter() - t0)
+
+
+def _worker(fn: Callable, param, attempt: int, conn) -> None:
+    """Worker-process entry: run the cell, report over the pipe."""
+    res = _guarded(fn, param)
+    res.attempts = attempt
+    try:
+        conn.send(res)
+    except Exception:  # unpicklable value: report the failure instead
+        res = SweepResult(param=param, error=traceback.format_exc(),
+                          seconds=res.seconds, attempts=attempt)
+        conn.send(res)
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    proc: mp.Process
+    conn: Any
+    started: float
+    attempt: int
+
+
+def _resolve_checkpoint(
+    checkpoint: SweepCheckpoint | str | None, params: list
+) -> SweepCheckpoint | None:
+    if checkpoint is None:
+        return None
+    if isinstance(checkpoint, str):
+        return SweepCheckpoint.load_or_create(checkpoint, params)
+    if not checkpoint.fingerprint:
+        checkpoint.fingerprint = SweepCheckpoint.for_params(
+            params
+        ).fingerprint
+    elif not checkpoint.matches(params):
+        raise ValueError(
+            "sweep checkpoint was recorded for a different parameter list"
+        )
+    return checkpoint
+
+
+def _from_checkpoint(param, cell: dict) -> SweepResult:
+    return SweepResult(
+        param=param,
+        value=cell.get("value"),
+        error=cell.get("error"),
+        seconds=cell.get("seconds", 0.0),
+        attempts=cell.get("attempts", 1),
+    )
 
 
 def run_sweep(
     fn: Callable[[Any], Any],
     params: Sequence[Any] | Iterable[Any],
     processes: int | None = None,
+    *,
+    cell_timeout: float | None = None,
+    retries: int = 0,
+    retry_backoff: float = 0.5,
+    retry_errors: bool = False,
+    checkpoint: SweepCheckpoint | str | None = None,
+    poll_interval: float = 0.2,
 ) -> list[SweepResult]:
     """Apply ``fn`` to every parameter, optionally across processes.
 
     Results keep the parameter order.  Exceptions inside a worker are
-    captured per cell (``SweepResult.error``) instead of killing the
-    sweep -- one diverging experiment must not lose the others.
+    captured per cell (``SweepResult.error`` holds the full traceback)
+    instead of killing the sweep -- one diverging experiment must not
+    lose the others.  See the module docstring for the watchdog knobs
+    (``cell_timeout``, ``retries``, ``retry_errors``) and checkpointing.
     """
     params = list(params)
     if processes is None:
         processes = default_processes()
-    if processes <= 1 or len(params) <= 1:
-        return [_guarded(fn, p) for p in params]
-    out: list[SweepResult] = []
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        futures = [pool.submit(_guarded, fn, p) for p in params]
-        for fut in futures:
-            out.append(fut.result())
-    return out
+    ckpt = _resolve_checkpoint(checkpoint, params)
+
+    results: list[SweepResult | None] = [None] * len(params)
+    todo: list[int] = []
+    for i, p in enumerate(params):
+        cell = ckpt.get(i) if ckpt is not None else None
+        if cell is not None:
+            results[i] = _from_checkpoint(p, cell)
+        else:
+            todo.append(i)
+    if not todo:
+        return results  # everything restored from the checkpoint
+
+    def finalize(index: int, res: SweepResult) -> None:
+        results[index] = res
+        if ckpt is not None:
+            ckpt.record(index, value=res.value, error=res.error,
+                        seconds=res.seconds, attempts=res.attempts)
+
+    use_workers = cell_timeout is not None or (
+        processes > 1 and len(todo) > 1
+    )
+    if not use_workers:
+        for i in todo:
+            attempt = 1
+            while True:
+                res = _guarded(fn, params[i])
+                res.attempts = attempt
+                if res.ok or not retry_errors or attempt > retries:
+                    break
+                time.sleep(retry_backoff * (2 ** (attempt - 1)))
+                attempt += 1
+            finalize(i, res)
+        return results
+
+    _supervise(fn, params, todo, max(1, processes), cell_timeout,
+               retries, retry_backoff, retry_errors, poll_interval,
+               finalize)
+    return results
+
+
+def _supervise(
+    fn: Callable,
+    params: list,
+    todo: list[int],
+    processes: int,
+    cell_timeout: float | None,
+    retries: int,
+    retry_backoff: float,
+    retry_errors: bool,
+    poll_interval: float,
+    finalize: Callable[[int, SweepResult], None],
+) -> None:
+    """The watchdog loop: launch, watch, kill, retry, record."""
+    ctx = mp.get_context()
+    pending: deque[tuple[int, int, float]] = deque(
+        (i, 1, 0.0) for i in todo  # (index, attempt, not_before)
+    )
+    running: dict[int, _Running] = {}
+    remaining = len(todo)
+
+    def kill(run: _Running) -> None:
+        run.proc.terminate()
+        run.proc.join(1.0)
+        if run.proc.is_alive():
+            run.proc.kill()
+            run.proc.join()
+        run.conn.close()
+
+    def handle_failure(index: int, run_or_none, attempt: int,
+                       error: str, elapsed: float) -> None:
+        nonlocal remaining
+        if attempt <= retries:
+            not_before = time.monotonic() + retry_backoff * (
+                2 ** (attempt - 1)
+            )
+            pending.append((index, attempt + 1, not_before))
+        else:
+            finalize(index, SweepResult(
+                param=params[index], error=error,
+                seconds=elapsed, attempts=attempt,
+            ))
+            remaining -= 1
+
+    try:
+        while remaining > 0:
+            now = time.monotonic()
+            # Launch ready cells into free worker slots.
+            deferred: list[tuple[int, int, float]] = []
+            while pending and len(running) < processes:
+                index, attempt, not_before = pending.popleft()
+                if not_before > now:
+                    deferred.append((index, attempt, not_before))
+                    continue
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker,
+                    args=(fn, params[index], attempt, child_conn),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                running[index] = _Running(proc, parent_conn,
+                                          time.monotonic(), attempt)
+            pending.extend(deferred)
+
+            if not running:
+                # Only backoff waits remain.
+                wake = min(nb for _, _, nb in pending)
+                time.sleep(max(0.0, min(wake - time.monotonic(),
+                                        poll_interval)))
+                continue
+
+            # Sleep until a result, an EOF (crash), or the next deadline.
+            timeout = poll_interval
+            if cell_timeout is not None:
+                soonest = min(r.started for r in running.values())
+                timeout = min(
+                    timeout,
+                    max(0.0, soonest + cell_timeout - time.monotonic()),
+                )
+            ready = conn_wait([r.conn for r in running.values()],
+                              timeout=timeout)
+
+            for conn in ready:
+                index = next(i for i, r in running.items()
+                             if r.conn is conn)
+                run = running.pop(index)
+                try:
+                    res: SweepResult = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died without reporting: crash (segfault,
+                    # OOM kill, os._exit) -- retry or record.
+                    run.proc.join(1.0)
+                    handle_failure(
+                        index, run, run.attempt,
+                        f"worker died without reporting "
+                        f"(exit code {run.proc.exitcode}) "
+                        f"on attempt {run.attempt}",
+                        time.monotonic() - run.started,
+                    )
+                    conn.close()
+                    continue
+                conn.close()
+                run.proc.join(1.0)
+                if not res.ok and retry_errors and run.attempt <= retries:
+                    handle_failure(index, run, run.attempt, res.error,
+                                   res.seconds)
+                    continue
+                finalize(index, res)
+                remaining -= 1
+
+            # Watchdog: kill workers that exceeded the cell timeout.
+            if cell_timeout is not None:
+                now = time.monotonic()
+                for index, run in list(running.items()):
+                    if now - run.started <= cell_timeout:
+                        continue
+                    del running[index]
+                    kill(run)
+                    handle_failure(
+                        index, run, run.attempt,
+                        f"TimeoutError: cell exceeded cell_timeout="
+                        f"{cell_timeout:g}s on attempt {run.attempt}; "
+                        f"worker killed",
+                        now - run.started,
+                    )
+    finally:
+        # Never leak workers, whatever interrupted the supervisor.
+        for run in running.values():
+            kill(run)

@@ -14,10 +14,20 @@ from dataclasses import dataclass, field
 __all__ = [
     "ExperimentRow",
     "format_table",
+    "fmt_cost",
     "fmt_seconds",
     "fmt_thousands",
     "render_allocation",
 ]
+
+
+def fmt_cost(cost: int | None, proven: bool = True) -> str:
+    """Render a cost honestly: ``42`` when certified optimal, ``<=42*``
+    when it is only an anytime upper bound (budget or time limit expired
+    before the binary search closed), ``-`` when there is no bound."""
+    if cost is None:
+        return "-"
+    return str(cost) if proven else f"<={cost}*"
 
 
 def fmt_seconds(seconds: float) -> str:

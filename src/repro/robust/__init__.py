@@ -1,0 +1,51 @@
+"""Solve supervision: budgets, checkpoints, watchdogs, degradation.
+
+The SOLVE/BIN_SEARCH loop (paper section 5.2) and the tables-1-4 sweeps
+are long-running searches over NP-hard instances; serving them at
+production scale demands that every solve is *bounded*, *resumable*, and
+*degradable*.  This package supplies the supervision layer:
+
+- :mod:`repro.robust.budget` -- cooperative :class:`Budget` limits
+  (wall time / conflicts / decisions) honored inside the CDCL search
+  loop, so a single probe is interruptible mid-search,
+- :mod:`repro.robust.checkpoint` -- JSON checkpoint/resume state for
+  binary searches (:class:`SearchCheckpoint`) and benchmark sweeps
+  (:class:`SweepCheckpoint`),
+- :mod:`repro.robust.supervisor` -- the :class:`SolveSupervisor`
+  escalation chain (incremental -> rebuild -> heuristic) that always
+  returns a usable allocation with an honest status,
+- :mod:`repro.robust.faults` -- deterministic fault injection (worker
+  hangs, crashes, mid-cell errors) for testing all of the above.
+
+The sweep watchdog itself lives in :func:`repro.parallel.run_sweep`
+(per-cell timeouts, hung-worker kill, bounded retry); see
+``docs/ROBUSTNESS.md`` for the full picture.
+"""
+
+from repro.robust.budget import Budget, BudgetExpired
+from repro.robust.checkpoint import SearchCheckpoint, SweepCheckpoint
+from repro.robust.faults import (
+    FAULT_EXIT_CODE,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.robust.supervisor import (
+    SolveSupervisor,
+    StageReport,
+    SupervisedResult,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExpired",
+    "SearchCheckpoint",
+    "SweepCheckpoint",
+    "SolveSupervisor",
+    "StageReport",
+    "SupervisedResult",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultInjected",
+    "FAULT_EXIT_CODE",
+]

@@ -1,0 +1,220 @@
+"""Checkpoint/resume state for binary searches and benchmark sweeps.
+
+Both checkpoints serialize to plain JSON so an interrupted run can be
+inspected, archived, or resumed on another machine:
+
+- :class:`SearchCheckpoint` records the BIN_SEARCH interval ``[left,
+  right]``, the probe log, and an optional caller payload (the best
+  allocation found so far).  :func:`repro.core.optimize.bin_search`
+  updates it after every probe and consults it on resume -- a resumed
+  search re-certifies the optimum with a final probe, so the result is
+  exactly the one an uninterrupted run would have produced.
+- :class:`SweepCheckpoint` records finished sweep cells by index (guarded
+  by a fingerprint of the parameter list), so
+  :func:`repro.parallel.run_sweep` can skip completed cells after an
+  interruption.
+
+Saves are atomic (write-to-temp + rename): a crash mid-save leaves the
+previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SearchCheckpoint", "SweepCheckpoint", "atomic_write_json"]
+
+
+def atomic_write_json(path: str, payload: dict) -> None:
+    """Write ``payload`` as JSON to ``path`` atomically."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+@dataclass
+class SearchCheckpoint:
+    """Resumable state of one BIN_SEARCH run.
+
+    ``feasible is None`` means the initial unconstrained SOLVE has not
+    finished yet; ``left``/``right`` are only meaningful afterwards.
+    ``payload`` is free-form caller state (the :class:`Allocator` stores
+    the best decoded allocation there).
+    """
+
+    lower: int = 0
+    upper: int = 0
+    left: int | None = None
+    right: int | None = None
+    feasible: bool | None = None
+    probes: list[dict] = field(default_factory=list)
+    payload: dict | None = None
+    path: str | None = None
+
+    VERSION = 1
+
+    @property
+    def started(self) -> bool:
+        """Whether the initial SOLVE finished (there is state to resume)."""
+        return self.feasible is not None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the recorded search already closed its interval."""
+        if self.feasible is False:
+            return True
+        return (
+            self.feasible is True
+            and self.left is not None
+            and self.right is not None
+            and self.left >= self.right
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "bin_search",
+            "version": self.VERSION,
+            "lower": self.lower,
+            "upper": self.upper,
+            "left": self.left,
+            "right": self.right,
+            "feasible": self.feasible,
+            "probes": self.probes,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchCheckpoint":
+        if data.get("kind") != "bin_search":
+            raise ValueError("not a bin_search checkpoint")
+        if data.get("version") != cls.VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {data.get('version')!r}"
+            )
+        return cls(
+            lower=data["lower"],
+            upper=data["upper"],
+            left=data["left"],
+            right=data["right"],
+            feasible=data["feasible"],
+            probes=list(data.get("probes") or []),
+            payload=data.get("payload"),
+        )
+
+    def save(self, path: str | None = None) -> None:
+        """Persist to ``path`` (or the path it was loaded from)."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no checkpoint path given")
+        self.path = path
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str) -> "SearchCheckpoint":
+        with open(path) as fh:
+            out = cls.from_dict(json.load(fh))
+        out.path = path
+        return out
+
+
+def _fingerprint(params: list) -> str:
+    return hashlib.sha1(repr(params).encode()).hexdigest()
+
+
+@dataclass
+class SweepCheckpoint:
+    """Completed-cell record of one :func:`repro.parallel.run_sweep` run.
+
+    Cells are keyed by their index in the parameter list; ``fingerprint``
+    guards against resuming with a different parameter list.  Cells whose
+    value is not JSON-serializable are *not* recorded (they re-run on
+    resume) -- graceful degradation instead of a corrupt checkpoint.
+    """
+
+    fingerprint: str = ""
+    cells: dict[str, dict] = field(default_factory=dict)
+    path: str | None = None
+
+    VERSION = 1
+
+    @classmethod
+    def for_params(cls, params: list, path: str | None = None
+                   ) -> "SweepCheckpoint":
+        return cls(fingerprint=_fingerprint(params), path=path)
+
+    def matches(self, params: list) -> bool:
+        return self.fingerprint == _fingerprint(params)
+
+    def record(self, index: int, value: Any = None, error: str | None = None,
+               seconds: float = 0.0, attempts: int = 1) -> None:
+        cell = {
+            "error": error,
+            "seconds": seconds,
+            "attempts": attempts,
+        }
+        if error is None:
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                return  # unserializable result: re-run this cell on resume
+            cell["value"] = value
+        self.cells[str(index)] = cell
+        if self.path is not None:
+            self.save(self.path)
+
+    def get(self, index: int) -> dict | None:
+        return self.cells.get(str(index))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "sweep",
+            "version": self.VERSION,
+            "fingerprint": self.fingerprint,
+            "cells": self.cells,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepCheckpoint":
+        if data.get("kind") != "sweep":
+            raise ValueError("not a sweep checkpoint")
+        if data.get("version") != cls.VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {data.get('version')!r}"
+            )
+        return cls(
+            fingerprint=data.get("fingerprint", ""),
+            cells=dict(data.get("cells") or {}),
+        )
+
+    def save(self, path: str | None = None) -> None:
+        path = path or self.path
+        if path is None:
+            raise ValueError("no checkpoint path given")
+        self.path = path
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str) -> "SweepCheckpoint":
+        with open(path) as fh:
+            out = cls.from_dict(json.load(fh))
+        out.path = path
+        return out
+
+    @classmethod
+    def load_or_create(cls, path: str, params: list) -> "SweepCheckpoint":
+        """Load ``path`` when it exists and matches ``params``; otherwise
+        start a fresh checkpoint bound to ``path``."""
+        if os.path.exists(path):
+            try:
+                out = cls.load(path)
+            except (ValueError, OSError, json.JSONDecodeError):
+                return cls.for_params(params, path=path)
+            if out.matches(params):
+                return out
+        return cls.for_params(params, path=path)

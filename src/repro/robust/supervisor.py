@@ -1,0 +1,227 @@
+"""Graceful degradation: an escalation chain that always answers.
+
+``SolveSupervisor`` runs the exact optimizer under supervision and, when
+it cannot deliver a certified optimum, degrades through a fixed chain
+instead of hanging or crashing::
+
+    incremental BIN_SEARCH  --crash-->  rebuild BIN_SEARCH
+           |  budget expired with a model        |  crash / unknown
+           v                                     v
+    anytime upper bound (honest)        heuristic bound (baselines/)
+
+Every stage is recorded in :class:`StageReport`; the final
+:class:`SupervisedResult.status` is always honest about what the returned
+allocation *is*:
+
+- ``optimal``      -- certified optimum from an exact stage,
+- ``upper_bound``  -- feasible allocation whose cost is an anytime bound
+  (budget expired mid-search),
+- ``heuristic``    -- allocation from a baseline heuristic (exact stages
+  produced nothing usable),
+- ``infeasible``   -- an exact stage *certified* unsatisfiability,
+- ``unknown``      -- nothing usable and no certificate either.
+
+The supervisor never raises for solver-side failures: a production
+caller always gets a usable allocation when one is obtainable, plus the
+stage log to understand what happened.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.robust.budget import Budget
+from repro.robust.checkpoint import SearchCheckpoint
+
+__all__ = ["StageReport", "SupervisedResult", "SolveSupervisor"]
+
+
+@dataclass
+class StageReport:
+    """What one escalation stage did."""
+
+    stage: str
+    status: str  # optimal/upper_bound/infeasible/unknown/failed/skipped
+    seconds: float = 0.0
+    detail: str | None = None
+
+
+@dataclass
+class SupervisedResult:
+    """Outcome of a supervised solve: always usable, always honest."""
+
+    status: str
+    cost: int | None = None
+    allocation: object | None = None
+    proven: bool = False
+    #: AllocationResult of the last exact stage that produced one.
+    result: object | None = None
+    stages: list[StageReport] = field(default_factory=list)
+
+    @property
+    def usable(self) -> bool:
+        """Whether :attr:`allocation` holds a deployable allocation."""
+        return self.allocation is not None
+
+
+class SolveSupervisor:
+    """Supervise one allocation solve end-to-end.
+
+    ``heuristics`` names the fallback chain tried (in order) when the
+    exact stages produce no usable result; pass ``()`` when the caller
+    races its own heuristics (as :func:`repro.core.portfolio.
+    solve_portfolio` does).  ``checkpoint`` is forwarded to the
+    incremental stage, so an interrupted supervised run resumes too.
+    """
+
+    def __init__(
+        self,
+        tasks,
+        arch,
+        objective,
+        config=None,
+        budget: Budget | None = None,
+        checkpoint: SearchCheckpoint | str | None = None,
+        heuristics: tuple[str, ...] = ("greedy", "annealing"),
+        verify: bool = True,
+    ):
+        self.tasks = tasks
+        self.arch = arch
+        self.objective = objective
+        self.config = config
+        self.budget = budget
+        self.checkpoint = checkpoint
+        self.heuristics = tuple(heuristics)
+        self.verify = verify
+
+    # ------------------------------------------------------------------
+
+    def solve(self) -> SupervisedResult:
+        out = SupervisedResult(status="unknown")
+        exact = self._exact_stage(out, "incremental", reuse_learned=True)
+        if exact is not None:
+            return exact
+        if self.budget is None or not self.budget.expired():
+            # The incremental stage *failed* (rather than running out of
+            # budget): a fresh non-incremental encoding sidesteps bugs in
+            # guard bookkeeping or clause reuse.
+            exact = self._exact_stage(out, "rebuild", reuse_learned=False)
+            if exact is not None:
+                return exact
+        else:
+            out.stages.append(
+                StageReport("rebuild", "skipped", detail="budget exhausted")
+            )
+        return self._heuristic_stages(out)
+
+    # ------------------------------------------------------------------
+
+    def _exact_stage(
+        self, out: SupervisedResult, stage: str, reuse_learned: bool
+    ) -> SupervisedResult | None:
+        """Run one exact stage.  Returns the finished result when the
+        stage settled the problem (optimum, honest anytime bound, or a
+        certificate of infeasibility); None to escalate."""
+        from repro.core.allocator import Allocator
+
+        t0 = time.perf_counter()
+        try:
+            res = Allocator(self.tasks, self.arch, self.config).minimize(
+                self.objective,
+                reuse_learned=reuse_learned,
+                verify=self.verify,
+                budget=self.budget,
+                checkpoint=self.checkpoint if reuse_learned else None,
+            )
+        except Exception:  # noqa: BLE001 - supervision boundary by design
+            out.stages.append(
+                StageReport(
+                    stage, "failed",
+                    seconds=time.perf_counter() - t0,
+                    detail=traceback.format_exc(),
+                )
+            )
+            return None
+        status = res.status
+        out.stages.append(
+            StageReport(
+                stage, status,
+                seconds=time.perf_counter() - t0,
+                detail=res.outcome.interrupt_reason if res.outcome else None,
+            )
+        )
+        out.result = res
+        if status == "unknown":
+            return None  # escalate: no model, no certificate
+        if status == "upper_bound" and res.allocation is None:
+            return None  # bound without a usable model: escalate
+        out.status = status
+        out.cost = res.cost
+        out.allocation = res.allocation
+        out.proven = res.proven
+        return out
+
+    def _heuristic_stages(self, out: SupervisedResult) -> SupervisedResult:
+        """Last resort: a cheap, bounded heuristic allocation with an
+        honest ``heuristic`` status."""
+        from repro.baselines.common import evaluate_cost
+        from repro.core.objectives import objective_spec
+
+        spec, medium = objective_spec(self.objective)
+        for name in self.heuristics:
+            t0 = time.perf_counter()
+            try:
+                feasible, alloc = self._run_heuristic(name, spec, medium)
+            except Exception:  # noqa: BLE001 - supervision boundary
+                out.stages.append(
+                    StageReport(
+                        f"heuristic:{name}", "failed",
+                        seconds=time.perf_counter() - t0,
+                        detail=traceback.format_exc(),
+                    )
+                )
+                continue
+            secs = time.perf_counter() - t0
+            if not feasible or alloc is None:
+                out.stages.append(
+                    StageReport(f"heuristic:{name}", "unknown", seconds=secs)
+                )
+                continue
+            cost = evaluate_cost(self.tasks, self.arch, alloc, spec, medium)
+            out.stages.append(
+                StageReport(f"heuristic:{name}", "heuristic", seconds=secs)
+            )
+            out.status = "heuristic"
+            out.cost = cost
+            out.allocation = alloc
+            out.proven = False
+            return out
+        # Nothing anywhere: status stays "unknown" (or whatever an exact
+        # stage certified before failing to produce a model).
+        return out
+
+    def _run_heuristic(self, name: str, spec: str, medium: str | None):
+        if name == "greedy":
+            from repro.baselines.greedy import greedy_first_fit
+
+            res = greedy_first_fit(self.tasks, self.arch)
+            return res.feasible, res.allocation
+        if name == "annealing":
+            from repro.baselines.annealing import simulated_annealing
+
+            res = simulated_annealing(
+                self.tasks, self.arch, objective=spec, medium=medium,
+                iterations=800, seed=1,
+            )
+            return res.feasible, res.allocation
+        if name == "genetic":
+            from repro.baselines.genetic import genetic_allocator
+
+            res = genetic_allocator(
+                self.tasks, self.arch, objective=spec, medium=medium,
+                population=24, generations=25, seed=1,
+            )
+            return res.feasible, res.allocation
+        raise ValueError(f"unknown heuristic {name!r}")

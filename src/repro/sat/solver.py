@@ -11,7 +11,12 @@ The engine follows the Chaff/MiniSat lineage the paper cites [11, 12]:
 - Luby-sequence restarts and activity-based learnt-clause deletion,
 - solving under assumptions (used to retract objective bounds between
   the binary-search probes of :mod:`repro.core.optimize` while *keeping*
-  learnt clauses -- the incremental-reuse idea of the paper's section 7).
+  learnt clauses -- the incremental-reuse idea of the paper's section 7),
+- cooperative budgets: ``solve(budget=...)`` charges a
+  :class:`repro.robust.budget.Budget` on every conflict and decision and
+  raises :class:`repro.robust.budget.BudgetExpired` when it runs out,
+  after backtracking to level 0 so the solver stays usable.  A hung probe
+  becomes an interruptible UNKNOWN instead of a wedged process.
 
 Performance notes (see the hpc-parallel guides referenced in DESIGN.md):
 the hot loop (:meth:`Solver._propagate`) works exclusively on flat Python
@@ -25,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.robust.budget import Budget, BudgetExpired
 from repro.sat.literals import (
     VAL_FALSE,
     VAL_TRUE,
@@ -825,17 +831,31 @@ class Solver:
     # Main search
     # ------------------------------------------------------------------
 
-    def solve(self, assumptions: list[int] | None = None) -> bool:
+    def solve(
+        self,
+        assumptions: list[int] | None = None,
+        budget: Budget | None = None,
+    ) -> bool:
         """Solve under the given assumption literals.
 
         Returns True (SAT) or False (UNSAT under the assumptions). The
         model is available via :meth:`model` after a SAT answer. Learnt
         clauses are retained across calls.
+
+        ``budget`` makes the search interruptible: the loop charges it on
+        every conflict and decision and raises :class:`BudgetExpired`
+        (after backtracking to level 0, keeping the solver usable and its
+        learnt clauses intact) when any limit is hit.  Without a budget
+        the search runs to completion exactly as before.
         """
         self.stats.solve_calls += 1
         self.conflict_core = []
         if not self.ok:
             return False
+        if budget is not None:
+            budget.start()
+            if budget.expired():
+                self._budget_stop(budget)
         assumptions = list(assumptions or [])
         self._cancel_until(0)
         conflicts_this_restart = 0
@@ -850,7 +870,9 @@ class Solver:
                 conflicts_this_restart += 1
                 if self._decision_level() == 0:
                     self.ok = False
-                    return False
+                    return False  # definitive UNSAT beats budget expiry
+                if budget is not None and budget.step(conflicts=1):
+                    self._budget_stop(budget)
                 learnt, bt = self._analyze(confl)
                 self._cancel_until(bt)
                 if len(learnt) == 1:
@@ -900,10 +922,18 @@ class Solver:
                     ]
                     return True  # all variables assigned: SAT
                 self.stats.decisions += 1
+                if budget is not None and budget.step(decisions=1):
+                    self._budget_stop(budget)
                 self._new_decision_level()
                 phase = self.saved_phase[var]
                 lit = mklit(var, phase == VAL_FALSE)
                 self._unchecked_enqueue(lit, None)
+
+    def _budget_stop(self, budget: Budget) -> None:
+        """Abort the current search cooperatively: restore level 0 (the
+        incremental-solving invariant) and report the exhausted budget."""
+        self._cancel_until(0)
+        raise BudgetExpired(budget.expired_reason or "budget exhausted")
 
     def model(self) -> list[bool]:
         """The satisfying assignment of the last successful solve().

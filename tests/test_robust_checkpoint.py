@@ -1,0 +1,236 @@
+"""Tests of checkpoint/resume (repro.robust.checkpoint).
+
+The core promise: an interrupted binary search, resumed from its
+checkpoint on a *fresh* solver, reaches exactly the optimum an
+uninterrupted run would have -- with a model to show for it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.arith import IntSolver
+from repro.core.optimize import bin_search
+from repro.robust import Budget, SearchCheckpoint, SweepCheckpoint
+
+
+def _solver():
+    s = IntSolver()
+    x = s.int_var("x", 0, 1023)
+    y = s.int_var("y", 0, 1023)
+    s.require(x + y >= 777)
+    s.require(x >= 37)
+    return s, x
+
+
+class TestSearchCheckpointCodec:
+    def test_roundtrip(self, tmp_path):
+        ck = SearchCheckpoint(lower=0, upper=100, left=10, right=40,
+                              feasible=True,
+                              probes=[{"lo": 0, "hi": 100, "sat": True,
+                                       "cost": 40, "seconds": 0.1,
+                                       "conflicts": 5, "decisions": 9,
+                                       "interrupted": False}],
+                              payload={"note": "best"})
+        path = str(tmp_path / "ck.json")
+        ck.save(path)
+        back = SearchCheckpoint.load(path)
+        assert back.to_dict() == ck.to_dict()
+        assert back.path == path
+
+    def test_rejects_foreign_kind_and_version(self):
+        with pytest.raises(ValueError):
+            SearchCheckpoint.from_dict({"kind": "sweep", "version": 1})
+        with pytest.raises(ValueError):
+            SearchCheckpoint.from_dict({"kind": "bin_search", "version": 99})
+
+    def test_save_is_atomic(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        ck = SearchCheckpoint(lower=0, upper=9)
+        ck.save(path)
+        # No temp droppings next to the checkpoint.
+        assert os.listdir(tmp_path) == ["ck.json"]
+        with open(path) as fh:
+            assert json.load(fh)["kind"] == "bin_search"
+
+    def test_started_and_finished(self):
+        ck = SearchCheckpoint()
+        assert not ck.started and not ck.finished
+        ck.feasible = True
+        ck.left, ck.right = 3, 7
+        assert ck.started and not ck.finished
+        ck.left = 7
+        assert ck.finished
+        assert SearchCheckpoint(feasible=False).finished  # certified UNSAT
+
+
+class TestBinSearchResume:
+    def test_interrupt_then_resume_matches_uninterrupted(self, tmp_path):
+        s_ref, x_ref = _solver()
+        reference = bin_search(s_ref, x_ref, 0, 1023)
+        assert reference.status == "optimal" and reference.optimum == 37
+        decisions = s_ref.stats.decisions
+
+        path = str(tmp_path / "search.json")
+        s1, x1 = _solver()
+        ck = SearchCheckpoint()
+        ck.path = path
+        out1 = bin_search(s1, x1, 0, 1023, checkpoint=ck,
+                          budget=Budget(
+                              max_decisions=max(2, decisions // 3)))
+        assert out1.interrupted and not out1.proven
+        assert os.path.exists(path)
+
+        # Resume on a brand-new solver from the file alone.
+        s2, x2 = _solver()
+        out2 = bin_search(s2, x2, 0, 1023,
+                          checkpoint=SearchCheckpoint.load(path))
+        assert out2.resumed
+        assert out2.status == "optimal"
+        assert out2.optimum == reference.optimum
+        assert out2.proven
+        # The re-certification probe loaded the optimum's model.
+        assert s2.value(x2) == reference.optimum
+
+    def test_resume_of_certified_unsat(self, tmp_path):
+        s = IntSolver()
+        x = s.int_var("x", 0, 7)
+        s.require(x >= 5)
+        s.require(x <= 2)
+        path = str(tmp_path / "unsat.json")
+        ck = SearchCheckpoint()
+        ck.path = path
+        out = bin_search(s, x, 0, 7, checkpoint=ck)
+        assert not out.feasible and out.proven
+
+        s2 = IntSolver()
+        x2 = s2.int_var("x", 0, 7)
+        out2 = bin_search(s2, x2, 0, 7,
+                          checkpoint=SearchCheckpoint.load(path))
+        # Infeasibility was certified: the resume does not probe at all.
+        assert out2.resumed and out2.status == "infeasible"
+
+    def test_range_mismatch_is_rejected(self):
+        s, x = _solver()
+        ck = SearchCheckpoint(lower=0, upper=99, left=0, right=50,
+                              feasible=True)
+        with pytest.raises(ValueError, match="does not match"):
+            bin_search(s, x, 0, 1023, checkpoint=ck)
+
+    def test_inconsistent_checkpoint_is_detected(self):
+        # A checkpoint claiming an optimum below what the constraints
+        # allow must fail loudly at re-certification, not return a bogus
+        # "certified" answer.
+        s, x = _solver()  # requires x >= 37
+        ck = SearchCheckpoint(lower=0, upper=1023, left=5, right=5,
+                              feasible=True)
+        with pytest.raises(ValueError, match="inconsistent"):
+            bin_search(s, x, 0, 1023, checkpoint=ck)
+
+
+class TestAllocatorResume:
+    def _system(self):
+        from repro.model import (
+            TOKEN_RING,
+            Architecture,
+            Ecu,
+            Medium,
+            Message,
+            Task,
+            TaskSet,
+        )
+
+        arch = Architecture(
+            ecus=[Ecu("p0"), Ecu("p1")],
+            media=[Medium("ring", TOKEN_RING, ("p0", "p1"),
+                          bit_rate=1_000_000, frame_overhead_bits=0,
+                          min_slot=50, slot_overhead=10)],
+        )
+        tasks = TaskSet([
+            Task("a", 2000, {"p0": 400, "p1": 400}, 2000,
+                 messages=(Message("b", 100, 1000),),
+                 separated_from=frozenset({"b"})),
+            Task("b", 2000, {"p0": 400, "p1": 400}, 2000),
+        ])
+        return tasks, arch
+
+    def test_interrupted_allocation_resumes_to_same_optimum(self, tmp_path):
+        from repro.core import Allocator, MinimizeTRT
+
+        tasks, arch = self._system()
+        reference = Allocator(tasks, arch).minimize(MinimizeTRT("ring"))
+        assert reference.proven
+
+        # Find a budget that interrupts *between* the initial SOLVE and
+        # the certified optimum, so there is real state to resume.
+        path = str(tmp_path / "alloc.json")
+        starved = None
+        for max_decisions in (40, 80, 160, 320, 640, 1280, 2560):
+            if os.path.exists(path):
+                os.remove(path)
+            starved = Allocator(tasks, arch).minimize(
+                MinimizeTRT("ring"),
+                budget=Budget(max_decisions=max_decisions),
+                checkpoint=path,
+            )
+            if starved.outcome.feasible and not starved.proven:
+                break
+        if not (starved.outcome.feasible and not starved.proven):
+            pytest.skip("could not starve the search mid-interval here")
+        assert os.path.exists(path)
+
+        resumed = Allocator(tasks, arch).minimize(
+            MinimizeTRT("ring"), checkpoint=path
+        )
+        assert resumed.proven
+        assert resumed.cost == reference.cost
+        assert resumed.outcome.resumed
+        assert resumed.verified  # independent analysis still passes
+
+    def test_checkpoint_payload_preserves_best_allocation(self, tmp_path):
+        # Even when the *resumed* run is interrupted before probing, the
+        # checkpoint payload hands back the best allocation found so far.
+        from repro.core import Allocator, MinimizeTRT
+
+        tasks, arch = self._system()
+        path = str(tmp_path / "alloc.json")
+        first = Allocator(tasks, arch).minimize(
+            MinimizeTRT("ring"), budget=Budget(max_decisions=200),
+            checkpoint=path,
+        )
+        if first.allocation is None:
+            pytest.skip("budget too small to find any model on this host")
+        data = json.load(open(path))
+        assert data["payload"] is not None
+        resumed = Allocator(tasks, arch).minimize(
+            MinimizeTRT("ring"), budget=Budget(max_decisions=1),
+            checkpoint=path,
+        )
+        assert resumed.allocation is not None
+
+
+class TestSweepCheckpoint:
+    def test_record_and_resume(self, tmp_path):
+        params = [1, 2, 3]
+        path = str(tmp_path / "sweep.json")
+        ck = SweepCheckpoint.load_or_create(path, params)
+        ck.record(0, value=10, seconds=0.5)
+        ck.record(2, error="Traceback ...", seconds=0.1, attempts=2)
+
+        back = SweepCheckpoint.load_or_create(path, params)
+        assert back.get(0)["value"] == 10
+        assert back.get(1) is None
+        assert back.get(2)["attempts"] == 2
+
+    def test_fingerprint_guards_against_other_params(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        ck = SweepCheckpoint.load_or_create(path, [1, 2])
+        ck.record(0, value=1)
+        fresh = SweepCheckpoint.load_or_create(path, [9, 9, 9])
+        assert fresh.cells == {}  # mismatch: start over
+
+    def test_unserializable_values_are_skipped(self):
+        ck = SweepCheckpoint.for_params([0])
+        ck.record(0, value=object())
+        assert ck.get(0) is None  # cell will re-run on resume

@@ -1,0 +1,163 @@
+"""Tests of the sweep watchdog (repro.parallel + repro.robust.faults).
+
+Injects deterministic worker hangs, crashes, and errors and checks that
+``run_sweep`` kills, retries, records, and -- above all -- never loses
+the other cells.
+"""
+
+import pytest
+
+from repro.parallel import SweepResult, run_sweep
+from repro.robust import FAULT_EXIT_CODE, FaultInjector, FaultPlan
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+class TestErrorReporting:
+    def test_error_carries_full_traceback(self):
+        results = run_sweep(_fail_on_three, [1, 3], processes=1)
+        assert results[0].ok and results[0].value == 1
+        bad = results[1]
+        assert not bad.ok
+        assert "Traceback" in bad.error
+        assert "ValueError: three is right out" in bad.error
+        assert "_fail_on_three" in bad.error  # the frame is visible
+
+    def test_seconds_and_attempts_are_recorded(self):
+        results = run_sweep(_square, [2, 5], processes=2)
+        for r in results:
+            assert r.ok
+            assert r.seconds >= 0.0
+            assert r.attempts == 1
+
+    def test_retry_errors_in_process(self):
+        results = run_sweep(_fail_on_three, [3], processes=1,
+                            retries=2, retry_errors=True,
+                            retry_backoff=0.01)
+        assert not results[0].ok  # deterministic failure every attempt
+        assert results[0].attempts == 3
+
+
+@pytest.fixture
+def plan_dir(tmp_path):
+    return str(tmp_path / "faults")
+
+
+class TestHungWorkerKill:
+    def test_hung_worker_is_killed_and_retried(self, plan_dir):
+        plan = FaultPlan(plan_dir, faults={repr(1): ("hang", 1)})
+        fn = FaultInjector(_square, plan)
+        results = run_sweep(fn, [0, 1, 4], processes=2,
+                            cell_timeout=1.0, retries=1,
+                            retry_backoff=0.05, poll_interval=0.05)
+        assert [r.value for r in results] == [0, 1, 16]
+        assert results[1].attempts == 2  # killed once, succeeded on retry
+        assert results[0].attempts == 1 and results[2].attempts == 1
+        assert plan.executions_of(repr(1)) == 2
+
+    def test_retries_exhausted_reports_timeout(self, plan_dir):
+        plan = FaultPlan(plan_dir, faults={repr(7): ("hang", 99)})
+        fn = FaultInjector(_square, plan)
+        results = run_sweep(fn, [7, 2], processes=2,
+                            cell_timeout=0.5, retries=1,
+                            retry_backoff=0.05, poll_interval=0.05)
+        dead = results[0]
+        assert not dead.ok
+        assert "TimeoutError" in dead.error
+        assert "cell_timeout=0.5s" in dead.error
+        assert "worker killed" in dead.error
+        assert dead.attempts == 2
+        # The healthy cell is untouched by its neighbour's death.
+        assert results[1].ok and results[1].value == 4
+
+
+class TestCrashedWorker:
+    def test_crash_is_detected_and_retried(self, plan_dir):
+        plan = FaultPlan(plan_dir, faults={repr(2): ("crash", 1)})
+        fn = FaultInjector(_square, plan)
+        results = run_sweep(fn, [2, 3], processes=2,
+                            cell_timeout=5.0, retries=1,
+                            retry_backoff=0.05, poll_interval=0.05)
+        assert [r.value for r in results] == [4, 9]
+        assert results[0].attempts == 2
+
+    def test_crash_without_retry_is_recorded(self, plan_dir):
+        plan = FaultPlan(plan_dir, faults={repr(2): ("crash", 1)})
+        fn = FaultInjector(_square, plan)
+        results = run_sweep(fn, [2, 3], processes=2,
+                            cell_timeout=5.0, poll_interval=0.05)
+        dead = results[0]
+        assert not dead.ok
+        assert "died without reporting" in dead.error
+        assert str(FAULT_EXIT_CODE) in dead.error
+        assert results[1].ok
+
+
+class TestRaisedFaults:
+    def test_raise_fault_records_then_clears(self, plan_dir):
+        # The fault fires on the first two *executions* of the cell
+        # (counted across sweeps): once in the record-only sweep below,
+        # once more on the retrying sweep's first attempt.
+        plan = FaultPlan(plan_dir, faults={repr(5): ("raise", 2)})
+        fn = FaultInjector(_square, plan)
+        # Worker errors are deterministic by default: recorded, no retry.
+        results = run_sweep(fn, [5], processes=2, cell_timeout=5.0,
+                            poll_interval=0.05)
+        assert not results[0].ok
+        assert "FaultInjected" in results[0].error
+        # With retry_errors the second attempt succeeds (fault cleared).
+        results = run_sweep(fn, [5], processes=2, cell_timeout=5.0,
+                            retries=1, retry_errors=True,
+                            retry_backoff=0.05, poll_interval=0.05)
+        assert results[0].ok and results[0].value == 25
+        assert results[0].attempts == 2
+
+
+class TestSweepResume:
+    def test_finished_cells_are_not_rerun(self, plan_dir, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        plan = FaultPlan(plan_dir)  # no faults; counters still count
+        fn = FaultInjector(_square, plan)
+        params = [1, 2, 3]
+        plan.faults = {repr(p): ("raise", 0) for p in ()}  # no-op
+        first = run_sweep(fn, params, processes=1, checkpoint=path)
+        assert [r.value for r in first] == [1, 4, 9]
+
+        # Re-run with the checkpoint: nothing executes again.
+        second = run_sweep(_fail_on_three, params, processes=1,
+                           checkpoint=path)
+        assert [r.value for r in second] == [1, 4, 9]
+        assert all(r.ok for r in second)
+
+    def test_checkpoint_roundtrips_worker_results(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        params = [2, 3]
+        first = run_sweep(_square, params, processes=2,
+                          cell_timeout=10.0, checkpoint=path,
+                          poll_interval=0.05)
+        assert [r.value for r in first] == [4, 9]
+        second = run_sweep(_square, params, processes=2,
+                           cell_timeout=10.0, checkpoint=path,
+                           poll_interval=0.05)
+        assert [r.value for r in second] == [4, 9]
+
+    def test_param_mismatch_is_rejected(self, tmp_path):
+        from repro.robust import SweepCheckpoint
+
+        ck = SweepCheckpoint.for_params([1, 2, 3])
+        with pytest.raises(ValueError, match="different parameter list"):
+            run_sweep(_square, [9, 9], processes=1, checkpoint=ck)
+
+
+class TestSweepResultShape:
+    def test_ok_property(self):
+        assert SweepResult(param=0, value=1).ok
+        assert not SweepResult(param=0, error="boom").ok
