@@ -10,9 +10,13 @@ Profiles (select with ``REPRO_PROFILE``):
 
 Every benchmark prints a paper-style table (via ``repro.reporting``) and
 appends it to ``benchmarks/out/results.txt`` so EXPERIMENTS.md can quote
-the measured numbers.
+the measured numbers.  Machine-readable counterparts
+(``benchmarks/out/BENCH_<name>.json``) carry per-cell encode/solve wall
+time, CNF sizes, probe counts and the cross-layer ``EncodeStats`` so the
+performance trajectory is diffable across PRs.
 """
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -72,3 +76,37 @@ def record_table():
         fh.write("Reproduction benchmark results\n")
         fh.write("==============================\n\n")
     return _record
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Write a JSON payload to ``benchmarks/out/BENCH_<name>.json``."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, payload) -> None:
+        path = OUT_DIR / f"BENCH_{name}.json"
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n[bench] wrote {path}")
+
+    return _record
+
+
+def bench_cell(res, **extra) -> dict:
+    """Flatten an AllocationResult into a JSON-ready benchmark cell."""
+    out = {
+        "feasible": res.feasible,
+        "cost": res.cost,
+        "proven": res.proven,
+        "encode_seconds": round(res.encode_seconds, 4),
+        "solve_seconds": round(res.solve_seconds, 4),
+        "cnf_vars": res.formula_size.get("bool_vars"),
+        "cnf_clauses": res.formula_size.get("clauses"),
+        "cnf_literals": res.formula_size.get("literals"),
+        "pb_constraints": res.formula_size.get("pb_constraints"),
+        "probes": res.outcome.num_probes if res.outcome else 0,
+        "encode_stats": res.encode_stats,
+    }
+    out.update(extra)
+    return out

@@ -7,8 +7,6 @@ in-between is where CDCL works).  Cells are independent, so the sweep
 runs through :func:`repro.parallel.run_sweep`.
 """
 
-import pytest
-
 from repro.parallel import run_sweep
 from repro.reporting import ExperimentRow, format_table
 
@@ -33,10 +31,15 @@ def _solve_cell(param):
         "cost": res.cost,
         "seconds": time.perf_counter() - t0,
         "conflicts": res.solver_stats["conflicts"],
+        "encode_seconds": round(res.encode_seconds, 4),
+        "solve_seconds": round(res.solve_seconds, 4),
+        "cnf_vars": res.formula_size["bool_vars"],
+        "cnf_clauses": res.formula_size["clauses"],
+        "probes": res.outcome.num_probes if res.outcome else 0,
     }
 
 
-def test_utilization_sweep(benchmark, profile, record_table):
+def test_utilization_sweep(benchmark, profile, record_table, record_json):
     utils = (0.6, 1.2, 1.8) if profile.name == "ci" else (
         0.8, 1.2, 1.6, 2.0, 2.4, 2.8)
     seeds = (0, 1) if profile.name == "ci" else (0, 1, 2, 3)
@@ -77,3 +80,10 @@ def test_utilization_sweep(benchmark, profile, record_table):
     record_table(
         format_table("Random-workload sweep (load vs. effort)", rows)
     )
+    record_json("sweep", {
+        "profile": profile.name,
+        "cells": [
+            {"util": r.param[0], "seed": r.param[1], **r.value}
+            for r in results
+        ],
+    })

@@ -18,6 +18,7 @@ constants, different hardware, pure-Python solver):
 """
 
 import pytest
+from conftest import bench_cell
 
 from repro.baselines import simulated_annealing
 from repro.core import Allocator, MinimizeCanUtilization, MinimizeTRT
@@ -35,7 +36,12 @@ def rows():
     return []
 
 
-def test_token_ring_optimum_vs_annealing(benchmark, profile, rows):
+@pytest.fixture(scope="module")
+def cells():
+    return {}
+
+
+def test_token_ring_optimum_vs_annealing(benchmark, profile, rows, cells):
     arch = tindell_architecture()
     tasks = tindell_partition(profile.table1_tasks)
 
@@ -75,9 +81,12 @@ def test_token_ring_optimum_vs_annealing(benchmark, profile, rows):
             extra={"probes": res.outcome.num_probes},
         )
     )
+    cells["token_ring"] = bench_cell(res, tasks=len(tasks),
+                                     sa_cost=sa.cost)
 
 
-def test_can_bus_utilization(benchmark, profile, rows, record_table):
+def test_can_bus_utilization(benchmark, profile, rows, cells,
+                             record_table, record_json):
     arch = tindell_architecture(kind=CAN)
     tasks = tindell_partition(profile.table1_tasks)
 
@@ -103,4 +112,6 @@ def test_can_bus_utilization(benchmark, profile, rows, record_table):
             extra={"probes": res.outcome.num_probes},
         )
     )
+    cells["can"] = bench_cell(res, tasks=len(tasks))
     record_table(format_table("Table 1 reproduction", rows))
+    record_json("table1", {"profile": profile.name, "cells": cells})

@@ -13,17 +13,18 @@ the architecture, much slower than it grows with the task count (table
 number of formulae does not depend directly on the ECU count).
 """
 
-import pytest
+from conftest import bench_cell
 
-from repro.core import Allocator, MinimizeTRT, ProblemEncoding
+from repro.core import Allocator, MinimizeTRT
 from repro.reporting import ExperimentRow, format_table
 from repro.workloads import ring_architecture, scaling_taskset, ticks_to_ms
 
 
-def test_ecu_scaling(benchmark, profile, record_table):
+def test_ecu_scaling(benchmark, profile, record_table, record_json):
     rows = []
     sizes = []
     results = {}
+    cells = {}
 
     def run_all():
         for n_ecus in profile.table2_ecus:
@@ -59,6 +60,8 @@ def test_ecu_scaling(benchmark, profile, record_table):
             "literals": res.formula_size["literals"],
             "seconds": round(res.solve_seconds, 2),
         }
+        cells[str(n_ecus)] = bench_cell(res, ecus=n_ecus,
+                                        tasks=profile.table2_tasks)
 
     # Shape: formula size is monotone in the ECU count...
     assert all(a <= b for a, b in zip(sizes, sizes[1:]))
@@ -69,3 +72,4 @@ def test_ecu_scaling(benchmark, profile, record_table):
     ecu_growth = last_n / first_n
     assert growth < ecu_growth, (growth, ecu_growth)
     record_table(format_table("Table 2 reproduction (architecture scaling)", rows))
+    record_json("table2", {"profile": profile.name, "cells": cells})

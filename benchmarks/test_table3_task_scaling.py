@@ -12,7 +12,7 @@ Shape targets: formula size grows super-linearly in the task count
 tasks than with ECUs -- "an almost exponential blow-up".
 """
 
-import pytest
+from conftest import bench_cell
 
 from repro.core import Allocator, MinimizeTRT
 from repro.reporting import ExperimentRow, format_table
@@ -23,12 +23,13 @@ from repro.workloads import (
 )
 
 
-def test_task_scaling(benchmark, profile, record_table):
+def test_task_scaling(benchmark, profile, record_table, record_json):
     arch = tindell_architecture()
     rows = []
     sizes = []
     trts = []
     results = {}
+    cells = {}
 
     def run_all():
         for n in profile.table3_tasks:
@@ -63,6 +64,7 @@ def test_task_scaling(benchmark, profile, record_table):
             "literals": res.formula_size["literals"],
             "seconds": round(res.solve_seconds, 2),
         }
+        cells[str(n)] = bench_cell(res, tasks=n)
 
     # Shape: strictly growing formulae, super-linear in the task count.
     assert all(a < b for a, b in zip(sizes, sizes[1:]))
@@ -71,3 +73,4 @@ def test_task_scaling(benchmark, profile, record_table):
     # More tasks -> more unavoidable traffic -> TRT never shrinks.
     assert all(a <= b for a, b in zip(trts, trts[1:]))
     record_table(format_table("Table 3 reproduction (task-set scaling)", rows))
+    record_json("table3", {"profile": profile.name, "cells": cells})

@@ -18,9 +18,12 @@ Shape targets:
   sum TRT(C) <= sum TRT(A) < sum TRT(B).
 """
 
-import pytest
+import time
 
-from repro.core import Allocator, MinimizeSumTRT, MinimizeTRT
+from conftest import bench_cell
+
+from repro.core import Allocator, EncoderConfig, MinimizeSumTRT, MinimizeTRT
+from repro.core.encoder import ProblemEncoding
 from repro.reporting import ExperimentRow, format_table
 from repro.workloads import (
     architecture_a,
@@ -32,7 +35,23 @@ from repro.workloads import (
 )
 
 
-def test_hierarchical_architectures(benchmark, profile, record_table):
+def _encode_only(tasks, arch, config) -> dict:
+    """Build just the encoding (no solve) and report its size/time."""
+    t0 = time.perf_counter()
+    enc = ProblemEncoding(tasks, arch, config)
+    seconds = time.perf_counter() - t0
+    size = enc.formula_size()
+    return {
+        "encode_seconds": round(seconds, 4),
+        "cnf_vars": size["bool_vars"],
+        "cnf_clauses": size["clauses"],
+        "cnf_literals": size["literals"],
+        "pb_constraints": size["pb_constraints"],
+    }
+
+
+def test_hierarchical_architectures(benchmark, profile, record_table,
+                                    record_json):
     tasks = tindell_partition(profile.table4_tasks)
     archs = {
         "Arch A": architecture_a(),
@@ -51,6 +70,7 @@ def test_hierarchical_architectures(benchmark, profile, record_table):
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     rows = []
+    cells = {}
     for name in archs:
         res = results[name]
         assert res.feasible, name
@@ -69,6 +89,7 @@ def test_hierarchical_architectures(benchmark, profile, record_table):
             "sum_trt": res.cost,
             "seconds": round(res.solve_seconds, 2),
         }
+        cells[name] = bench_cell(res, tasks=len(tasks))
 
     a = results["Arch A"].cost
     b = results["Arch B"].cost
@@ -81,8 +102,49 @@ def test_hierarchical_architectures(benchmark, profile, record_table):
                      rows)
     )
 
+    # Acceptance instrumentation: re-encode every architecture with the
+    # simplification passes and bit narrowing disabled and record the
+    # clause/time reduction they buy on top of the shared gate library.
+    # SEED_SIZES pins the pre-refactor encoder's output (measured at the
+    # growth seed, 10-task ci workload) so the reduction against the
+    # original encoder survives later baseline improvements.
+    seed_sizes = {
+        "Arch A": {"cnf_vars": 52269, "cnf_clauses": 107982},
+        "Arch B": {"cnf_vars": 70243, "cnf_clauses": 148258},
+        "Arch C": {"cnf_vars": 51635, "cnf_clauses": 106308},
+    } if len(tasks) == 10 else {}
+    baseline_cfg = EncoderConfig(simplify=False, narrow_bits=False)
+    comparison = {}
+    for name, arch in archs.items():
+        refactored = _encode_only(tasks, arch, EncoderConfig())
+        baseline = _encode_only(tasks, arch, baseline_cfg)
+        comparison[name] = {
+            "refactored": refactored,
+            "baseline": baseline,
+            "clause_reduction": round(
+                1.0 - refactored["cnf_clauses"] / baseline["cnf_clauses"], 4
+            ),
+            "encode_speedup": round(
+                baseline["encode_seconds"]
+                / max(refactored["encode_seconds"], 1e-9), 3
+            ),
+        }
+        seed = seed_sizes.get(name)
+        if seed:
+            comparison[name]["seed"] = seed
+            comparison[name]["clause_reduction_vs_seed"] = round(
+                1.0 - refactored["cnf_clauses"] / seed["cnf_clauses"], 4
+            )
+    record_json("table4", {
+        "profile": profile.name,
+        "tasks": len(tasks),
+        "cells": cells,
+        "encoder_comparison": comparison,
+    })
 
-def test_arch_c_with_can_backbone(benchmark, profile, record_table):
+
+def test_arch_c_with_can_backbone(benchmark, profile, record_table,
+                                  record_json):
     """Section 6: swapping architecture C's upper medium for CAN still
     yields an optimal TRT on the lower ring."""
     tasks = tindell_partition(profile.table4_tasks)
@@ -97,6 +159,11 @@ def test_arch_c_with_can_backbone(benchmark, profile, record_table):
     assert res.feasible
     assert res.verified, res.verification.problems
     benchmark.extra_info["lower_trt"] = res.cost
+    record_json("table4_can", {
+        "profile": profile.name,
+        "tasks": len(tasks),
+        "cells": {"Arch C/CAN": bench_cell(res, tasks=len(tasks))},
+    })
     record_table(
         format_table(
             "Section 6 variant (arch C, CAN upper medium)",

@@ -35,8 +35,11 @@ from repro.arith.ast import (
     IntVar,
     Not,
     Or,
+    intern_counters,
+    interning,
 )
 from repro.arith.solver import IntSolver
+from repro.arith.stats import EncodeStats
 
 __all__ = [
     "IntSolver",
@@ -52,4 +55,7 @@ __all__ = [
     "Iff",
     "TRUE",
     "FALSE",
+    "EncodeStats",
+    "interning",
+    "intern_counters",
 ]

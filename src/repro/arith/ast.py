@@ -1,4 +1,4 @@
-"""Expression AST for bounded-integer formulae.
+"""Hash-consed expression IR for bounded-integer formulae.
 
 Two expression families:
 
@@ -11,9 +11,38 @@ Two expression families:
 Note on ``==``: like other solver DSLs (z3py), comparing two IntExpr
 builds a constraint rather than testing object identity; hashing is by
 identity so expressions can still live in dicts/sets.
+
+Hash-consing
+------------
+
+All *derived* nodes (constants, arithmetic operators, comparisons and
+Boolean connectives) are **interned**: constructing a node that is
+structurally identical to a live one returns the existing object, so
+syntactically equal subterms are pointer-equal.  Every node carries a
+process-unique ``nid`` (assigned at construction, never reused), which
+downstream layers use as a cache key -- unlike ``id()``, a ``nid`` can
+never alias a recycled address, so memo tables stay sound without
+pinning whole expression trees.
+
+Variables (:class:`IntVar`, :class:`BoolVar`) are deliberately *not*
+interned: two variables with the same name are still distinct objects,
+preserving the seed semantics where identity defines a variable.  The
+intern table holds the structural key of a node in terms of its
+children's ``nid``\\ s, so interning composes: once the leaves are fixed
+objects, equal trees over them collapse to one object per distinct
+subterm.  The table is weak -- dropping every reference to a formula
+releases its nodes.
+
+:func:`interning` temporarily disables the intern table (used by the
+encoding-equivalence tests to compare consed against un-consed runs);
+:func:`intern_counters` exposes hit/miss counters for
+:class:`repro.arith.stats.EncodeStats`.
 """
 
 from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
 
 __all__ = [
     "IntExpr",
@@ -34,7 +63,67 @@ __all__ = [
     "TRUE",
     "FALSE",
     "as_int",
+    "interning",
+    "intern_counters",
 ]
+
+# ---------------------------------------------------------------------------
+# Intern table
+# ---------------------------------------------------------------------------
+
+#: Structural key -> node.  Keys reference children by nid (stable, never
+#: reused), so a surviving entry can only describe live children: the
+#: value holds its children strongly, and the entry dies with the value.
+_TABLE: weakref.WeakValueDictionary = weakref.WeakValueDictionary()
+
+_COUNTS = {"created": 0, "interned": 0}
+
+_ENABLED = [True]
+
+_next_nid = 0
+
+
+def _fresh_nid() -> int:
+    global _next_nid
+    _next_nid += 1
+    _COUNTS["created"] += 1
+    return _next_nid
+
+
+def _intern_get(key):
+    if not _ENABLED[0]:
+        return None
+    node = _TABLE.get(key)
+    if node is not None:
+        _COUNTS["interned"] += 1
+    return node
+
+
+def _intern_put(key, node) -> None:
+    if _ENABLED[0]:
+        _TABLE[key] = node
+
+
+def intern_counters() -> dict:
+    """Snapshot of the hash-consing counters (process-wide):
+    ``created`` nodes and ``interned`` constructor cache hits."""
+    return dict(_COUNTS, live=len(_TABLE))
+
+
+@contextmanager
+def interning(enabled: bool):
+    """Context manager toggling structural interning of new nodes.
+
+    With interning disabled every constructor call builds a fresh node
+    (the seed behaviour); existing interned nodes are unaffected.  Used
+    by the equivalence tests to diff consed vs. un-consed encodings.
+    """
+    old = _ENABLED[0]
+    _ENABLED[0] = enabled
+    try:
+        yield
+    finally:
+        _ENABLED[0] = old
 
 
 def as_int(value) -> "IntExpr":
@@ -51,7 +140,7 @@ def as_int(value) -> "IntExpr":
 class IntExpr:
     """Base class for integer-valued expressions."""
 
-    __slots__ = ()
+    __slots__ = ("nid", "__weakref__")
 
     def __add__(self, other) -> "IntExpr":
         return Add(self, as_int(other))
@@ -97,7 +186,8 @@ class IntExpr:
 
 
 class IntVar(IntExpr):
-    """A bounded integer variable ``lo <= v <= hi``."""
+    """A bounded integer variable ``lo <= v <= hi`` (never interned:
+    identity defines the variable)."""
 
     __slots__ = ("name", "lo", "hi")
 
@@ -107,54 +197,79 @@ class IntVar(IntExpr):
         self.name = name
         self.lo = lo
         self.hi = hi
+        self.nid = _fresh_nid()
 
     def __repr__(self) -> str:
         return f"IntVar({self.name}:[{self.lo},{self.hi}])"
 
 
 class IntConst(IntExpr):
-    """An integer literal."""
+    """An integer literal (interned by value)."""
 
     __slots__ = ("value",)
 
-    def __init__(self, value: int):
+    def __new__(cls, value: int):
+        key = ("ic", value)
+        self = _intern_get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         self.value = value
+        self.nid = _fresh_nid()
+        _intern_put(key, self)
+        return self
 
     def __repr__(self) -> str:
         return f"IntConst({self.value})"
 
 
-class Add(IntExpr):
+class _BinOp(IntExpr):
+    """Shared interning constructor for binary arithmetic operators."""
+
     __slots__ = ("a", "b")
 
-    def __init__(self, a: IntExpr, b: IntExpr):
+    _TAG = "?"
+
+    def __new__(cls, a: IntExpr, b: IntExpr):
+        a = as_int(a)
+        b = as_int(b)
+        key = (cls._TAG, a.nid, b.nid)
+        self = _intern_get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         self.a = a
         self.b = b
+        self.nid = _fresh_nid()
+        _intern_put(key, self)
+        return self
+
+
+class Add(_BinOp):
+    __slots__ = ()
+
+    _TAG = "+"
 
     def __repr__(self) -> str:
         return f"({self.a!r} + {self.b!r})"
 
 
-class Sub(IntExpr):
-    __slots__ = ("a", "b")
+class Sub(_BinOp):
+    __slots__ = ()
 
-    def __init__(self, a: IntExpr, b: IntExpr):
-        self.a = a
-        self.b = b
+    _TAG = "-"
 
     def __repr__(self) -> str:
         return f"({self.a!r} - {self.b!r})"
 
 
-class Mul(IntExpr):
+class Mul(_BinOp):
     """Multiplication; either factor may be a variable (the paper's
     encoding needs variable*variable for the TDMA blocking term)."""
 
-    __slots__ = ("a", "b")
+    __slots__ = ()
 
-    def __init__(self, a: IntExpr, b: IntExpr):
-        self.a = a
-        self.b = b
+    _TAG = "*"
 
     def __repr__(self) -> str:
         return f"({self.a!r} * {self.b!r})"
@@ -168,7 +283,7 @@ class Mul(IntExpr):
 class BoolExpr:
     """Base class for propositional formulas."""
 
-    __slots__ = ()
+    __slots__ = ("nid", "__weakref__")
 
     def __and__(self, other) -> "BoolExpr":
         return And(self, other)
@@ -191,12 +306,13 @@ class BoolExpr:
 
 
 class BoolVar(BoolExpr):
-    """A free propositional variable."""
+    """A free propositional variable (never interned)."""
 
     __slots__ = ("name",)
 
     def __init__(self, name: str):
         self.name = name
+        self.nid = _fresh_nid()
 
     def __repr__(self) -> str:
         return f"BoolVar({self.name})"
@@ -207,8 +323,16 @@ class BoolConst(BoolExpr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: bool):
+    def __new__(cls, value: bool):
+        key = ("bc", bool(value))
+        self = _intern_get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         self.value = value
+        self.nid = _fresh_nid()
+        _intern_put(key, self)
+        return self
 
     def __repr__(self) -> str:
         return "TRUE" if self.value else "FALSE"
@@ -216,6 +340,9 @@ class BoolConst(BoolExpr):
 
 TRUE = BoolConst(True)
 FALSE = BoolConst(False)
+# Pin the two singletons: with interning active every BoolConst(True)
+# resolves to TRUE even under memory pressure.
+_BOOL_CONSTS = (TRUE, FALSE)
 
 
 class Cmp(BoolExpr):
@@ -225,48 +352,69 @@ class Cmp(BoolExpr):
 
     OPS = ("==", "!=", "<", "<=", ">", ">=")
 
-    def __init__(self, op: str, a: IntExpr, b: IntExpr):
-        if op not in self.OPS:
+    def __new__(cls, op: str, a: IntExpr, b: IntExpr):
+        if op not in cls.OPS:
             raise ValueError(f"unknown comparison {op!r}")
+        a = as_int(a)
+        b = as_int(b)
+        key = ("cmp", op, a.nid, b.nid)
+        self = _intern_get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         self.op = op
         self.a = a
         self.b = b
+        self.nid = _fresh_nid()
+        _intern_put(key, self)
+        return self
 
     def __repr__(self) -> str:
         return f"({self.a!r} {self.op} {self.b!r})"
 
 
-class And(BoolExpr):
-    """N-ary conjunction."""
+class _NaryOp(BoolExpr):
+    """Shared flattening + interning constructor for And/Or."""
 
     __slots__ = ("parts",)
 
-    def __init__(self, *parts: BoolExpr):
+    _TAG = "?"
+
+    def __new__(cls, *parts: BoolExpr):
         flat: list[BoolExpr] = []
         for p in parts:
-            if isinstance(p, And):
+            if isinstance(p, cls):
                 flat.extend(p.parts)
             else:
                 flat.append(p)
+        key = (cls._TAG,) + tuple(p.nid for p in flat)
+        self = _intern_get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         self.parts = tuple(flat)
+        self.nid = _fresh_nid()
+        _intern_put(key, self)
+        return self
+
+
+class And(_NaryOp):
+    """N-ary conjunction."""
+
+    __slots__ = ()
+
+    _TAG = "and"
 
     def __repr__(self) -> str:
         return "And(" + ", ".join(map(repr, self.parts)) + ")"
 
 
-class Or(BoolExpr):
+class Or(_NaryOp):
     """N-ary disjunction."""
 
-    __slots__ = ("parts",)
+    __slots__ = ()
 
-    def __init__(self, *parts: BoolExpr):
-        flat: list[BoolExpr] = []
-        for p in parts:
-            if isinstance(p, Or):
-                flat.extend(p.parts)
-            else:
-                flat.append(p)
-        self.parts = tuple(flat)
+    _TAG = "or"
 
     def __repr__(self) -> str:
         return "Or(" + ", ".join(map(repr, self.parts)) + ")"
@@ -275,8 +423,16 @@ class Or(BoolExpr):
 class Not(BoolExpr):
     __slots__ = ("a",)
 
-    def __init__(self, a: BoolExpr):
+    def __new__(cls, a: BoolExpr):
+        key = ("not", a.nid)
+        self = _intern_get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         self.a = a
+        self.nid = _fresh_nid()
+        _intern_put(key, self)
+        return self
 
     def __repr__(self) -> str:
         return f"Not({self.a!r})"
@@ -285,9 +441,17 @@ class Not(BoolExpr):
 class Implies(BoolExpr):
     __slots__ = ("a", "b")
 
-    def __init__(self, a: BoolExpr, b: BoolExpr):
+    def __new__(cls, a: BoolExpr, b: BoolExpr):
+        key = ("->", a.nid, b.nid)
+        self = _intern_get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         self.a = a
         self.b = b
+        self.nid = _fresh_nid()
+        _intern_put(key, self)
+        return self
 
     def __repr__(self) -> str:
         return f"({self.a!r} -> {self.b!r})"
@@ -296,9 +460,17 @@ class Implies(BoolExpr):
 class Iff(BoolExpr):
     __slots__ = ("a", "b")
 
-    def __init__(self, a: BoolExpr, b: BoolExpr):
+    def __new__(cls, a: BoolExpr, b: BoolExpr):
+        key = ("<->", a.nid, b.nid)
+        self = _intern_get(key)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         self.a = a
         self.b = b
+        self.nid = _fresh_nid()
+        _intern_put(key, self)
+        return self
 
     def __repr__(self) -> str:
         return f"({self.a!r} <-> {self.b!r})"

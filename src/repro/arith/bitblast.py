@@ -16,6 +16,19 @@ Circuits:
   identity, with a Tseitin gate library that constant-folds aggressively
   so comparisons against constants cost almost nothing.
 
+All caches key on ``IntVar.nid`` (process-unique node ids from the
+hash-consed IR): unlike ``id()`` keys, a nid can never alias a recycled
+address of a garbage-collected expression, so the vector and range
+caches stay sound over arbitrarily long incremental encodes.
+
+Range narrowing (``narrow_bits``, on by default): a variable whose range
+is non-negative -- nearly every quantity in the paper's model (response
+times, slots, priorities) -- never needs its sign bit, and needs only
+``hi.bit_length()`` value bits; the remaining bits are hardwired to the
+constant-false literal.  The gate library folds constant inputs away, so
+every circuit touching the variable shrinks, and the range assertion for
+a ``[0, 2^k - 1]`` variable vanishes entirely.
+
 All clauses are emitted into a :class:`repro.sat.solver.Solver`; when
 ``pb_mode`` is enabled the full-adder axioms are emitted as the paper's
 pseudo-Boolean pair ``2*cout + s = x + y + cin`` (section 5.1's PB
@@ -25,7 +38,7 @@ formulation) instead of CNF.
 from __future__ import annotations
 
 from repro.arith.ast import IntConst, IntVar
-from repro.arith.ranges import Range, infer_range, width_for
+from repro.arith.ranges import Range, width_for
 from repro.arith.triplet import TOK_FALSE, TOK_TRUE, ArithDef, BoolDef, CmpDef
 from repro.sat.literals import mklit, neg
 from repro.sat.solver import Solver
@@ -40,18 +53,31 @@ class Blaster:
     of shared subcircuits is free.
     """
 
-    def __init__(self, solver: Solver, pb_mode: bool = False):
+    def __init__(
+        self,
+        solver: Solver,
+        pb_mode: bool = False,
+        narrow_bits: bool = True,
+    ):
         self.solver = solver
         self.pb_mode = pb_mode
+        self.narrow_bits = narrow_bits
         self._true_lit: int | None = None
-        self._vectors: dict[int, list[int]] = {}   # id(IntVar) -> bit lits
-        self._vec_vars: dict[int, IntVar] = {}
+        self._vectors: dict[int, list[int]] = {}   # IntVar nid -> bit lits
+        self._vec_vars: dict[int, IntVar] = {}     # IntVar nid -> IntVar
         self._token_lit: dict[int, int] = {}       # triplet token -> lit
         self._lit_token: dict[int, int] = {}       # lit base -> token base
         self._and_cache: dict[tuple, int] = {}
         self._or_cache: dict[tuple, int] = {}
         self._xor_cache: dict[tuple, int] = {}
+        self._maj_cache: dict[tuple, int] = {}
         self.range_cache: dict[int, Range] = {}
+        #: Instrumentation: gates materialized (fresh gate variables),
+        #: gate requests served from a cache, and variable bits hardwired
+        #: to constants by range narrowing.
+        self.gates = 0
+        self.gate_hits = 0
+        self.narrowed_bits = 0
 
     # ------------------------------------------------------------------
     # Constants and token mapping
@@ -100,17 +126,39 @@ class Blaster:
     def vector(self, var: IntVar) -> list[int]:
         """Bit vector (LSB first) of an integer variable; created on first
         use with range constraints asserted for declared variables."""
-        vec = self._vectors.get(id(var))
+        vec = self._vectors.get(var.nid)
         if vec is not None:
             return vec
-        r = self.range_cache.get(id(var))
+        r = self.range_cache.get(var.nid)
         if r is None:
             r = Range(var.lo, var.hi)
-            self.range_cache[id(var)] = r
+            self.range_cache[var.nid] = r
         w = width_for(r)
+        if self.narrow_bits and r.lo >= 0:
+            # Non-negative range: the sign bit (and any high bit beyond
+            # hi's magnitude) is constant 0.  Hardwiring it shrinks every
+            # circuit the variable feeds, because the gate library folds
+            # constant inputs.
+            nbits = r.hi.bit_length()
+            vec = [mklit(self.solver.new_var()) for _ in range(nbits)]
+            vec += [self.lit_false] * (w - nbits)
+            self.narrowed_bits += w - nbits
+            self._vectors[var.nid] = vec
+            self._vec_vars[var.nid] = var
+            # lo <= var is vacuous for lo == 0; hi >= var is vacuous when
+            # hi saturates the narrowed width.
+            if r.lo > 0:
+                lo_bits = self.const_bits(r.lo, w)
+                ge = self._unsigned_le_signed_flip(lo_bits, vec)
+                self.solver.add_clause([ge])
+            if r.hi != (1 << nbits) - 1:
+                hi_bits = self.const_bits(r.hi, w)
+                le = self._unsigned_le_signed_flip(vec, hi_bits)
+                self.solver.add_clause([le])
+            return vec
         vec = [mklit(self.solver.new_var()) for _ in range(w)]
-        self._vectors[id(var)] = vec
-        self._vec_vars[id(var)] = var
+        self._vectors[var.nid] = vec
+        self._vec_vars[var.nid] = var
         # Assert lo <= var <= hi unless the width makes it vacuous.
         if r.lo != -(1 << (w - 1)):
             lo_bits = self.const_bits(r.lo, w)
@@ -154,11 +202,14 @@ class Blaster:
         out = self._and_cache.get(key)
         if out is None:
             out = mklit(self.solver.new_var())
+            self.gates += 1
             add = self.solver.add_clause
             add([neg(out), a])
             add([neg(out), b])
             add([out, neg(a), neg(b)])
             self._and_cache[key] = out
+        else:
+            self.gate_hits += 1
         return out
 
     def gate_or(self, a: int, b: int) -> int:
@@ -184,13 +235,91 @@ class Blaster:
         out = self._xor_cache.get(key)
         if out is None:
             out = mklit(self.solver.new_var())
+            self.gates += 1
             add = self.solver.add_clause
             add([neg(out), pa, pb])
             add([neg(out), neg(pa), neg(pb)])
             add([out, neg(pa), pb])
             add([out, pa, neg(pb)])
             self._xor_cache[key] = out
+        else:
+            self.gate_hits += 1
         return out ^ parity
+
+    def gate_and_many(self, bits: list[int]) -> int:
+        """n-ary AND in one Tseitin gate (n+1 clauses, one variable)
+        instead of a chain of binary ANDs (3 clauses and a variable per
+        link)."""
+        seen: set[int] = set()
+        uniq: list[int] = []
+        for b in bits:
+            c = self._is_const(b)
+            if c is False or neg(b) in seen:
+                return self.lit_false
+            if c is True or b in seen:
+                continue
+            seen.add(b)
+            uniq.append(b)
+        if not uniq:
+            return self.lit_true
+        if len(uniq) == 1:
+            return uniq[0]
+        if len(uniq) == 2:
+            return self.gate_and(uniq[0], uniq[1])
+        key = tuple(sorted(uniq))
+        out = self._and_cache.get(key)
+        if out is None:
+            out = mklit(self.solver.new_var())
+            self.gates += 1
+            add = self.solver.add_clause
+            for b in uniq:
+                add([neg(out), b])
+            add([out] + [neg(b) for b in uniq])
+            self._and_cache[key] = out
+        else:
+            self.gate_hits += 1
+        return out
+
+    def gate_maj(self, a: int, b: int, c: int) -> int:
+        """Majority of three literals in 6 clauses and one variable.
+
+        The carry-out of a full adder and each step of a ripple
+        comparator are majority functions; encoding them directly beats
+        composing them from and/or/ite gates by roughly 2x in clauses
+        and 3x in auxiliary variables.
+        """
+        for u, v, w in ((a, b, c), (b, c, a), (c, a, b)):
+            cu = self._is_const(u)
+            if cu is True:
+                return self.gate_or(v, w)
+            if cu is False:
+                return self.gate_and(v, w)
+        if a == b or a == c:
+            return a
+        if b == c:
+            return b
+        if a == neg(b):
+            return c
+        if a == neg(c):
+            return b
+        if b == neg(c):
+            return a
+        key = tuple(sorted((a, b, c)))
+        out = self._maj_cache.get(key)
+        if out is None:
+            out = mklit(self.solver.new_var())
+            self.gates += 1
+            add = self.solver.add_clause
+            add([neg(out), a, b])
+            add([neg(out), a, c])
+            add([neg(out), b, c])
+            add([out, neg(a), neg(b)])
+            add([out, neg(a), neg(c)])
+            add([out, neg(b), neg(c)])
+            self._maj_cache[key] = out
+        else:
+            self.gate_hits += 1
+        return out
 
     def gate_ite(self, c: int, t: int, e: int) -> int:
         cc = self._is_const(c)
@@ -218,16 +347,14 @@ class Blaster:
             self._is_const(l) is None for l in (x, y, cin)
         ):
             cout = mklit(self.solver.new_var())
+            self.gates += 1
             # cout <-> (x + y + cin >= 2), as two PB constraints.
             self.solver.add_pb([neg(cout), x, y, cin], [2, 1, 1, 1], 2)
             self.solver.add_pb(
                 [cout, neg(x), neg(y), neg(cin)], [2, 1, 1, 1], 2
             )
         else:
-            cout = self.gate_or(
-                self.gate_and(x, y),
-                self.gate_and(cin, self.gate_xor(x, y)),
-            )
+            cout = self.gate_maj(x, y, cin)
         return s, cout
 
     # ------------------------------------------------------------------
@@ -278,10 +405,15 @@ class Blaster:
     # ------------------------------------------------------------------
 
     def _unsigned_lt(self, x: list[int], y: list[int]) -> int:
-        """Literal for unsigned x < y (equal widths)."""
+        """Literal for unsigned x < y (equal widths).
+
+        One ripple step per bit: ``lt_i = (~x_i & y_i) | ((x_i <-> y_i)
+        & lt_{i-1})``, which is exactly ``majority(~x_i, y_i, lt_{i-1})``
+        -- a single 6-clause gate per bit.
+        """
         lt = self.lit_false
         for xi, yi in zip(x, y):  # LSB to MSB
-            lt = self.gate_ite(self.gate_xor(xi, yi), self.gate_and(neg(xi), yi), lt)
+            lt = self.gate_maj(neg(xi), yi, lt)
         return lt
 
     def _unsigned_le_signed_flip(self, x: list[int], y: list[int]) -> int:
@@ -299,10 +431,9 @@ class Blaster:
         x = self.extend(x, w)
         y = self.extend(y, w)
         if op == "==":
-            acc = self.lit_true
-            for xi, yi in zip(x, y):
-                acc = self.gate_and(acc, self.gate_iff(xi, yi))
-            return acc
+            return self.gate_and_many(
+                [self.gate_iff(xi, yi) for xi, yi in zip(x, y)]
+            )
         fx = x[:-1] + [neg(x[-1])]
         fy = y[:-1] + [neg(y[-1])]
         if op == "<":
@@ -323,11 +454,45 @@ class Blaster:
         assert isinstance(atom, IntVar)
         return self.vector(atom)
 
+    def _equate(self, xs: list[int], ys: list[int]) -> None:
+        """Assert xs[i] <-> ys[i], folding constant bits into unit
+        clauses (a narrowed vector has constant high bits; the generic
+        two-clause equivalence would emit vacuous or single-literal
+        clauses the long way around)."""
+        add = self.solver.add_clause
+        for a, b in zip(xs, ys):
+            if a == b:
+                continue
+            ca, cb = self._is_const(a), self._is_const(b)
+            if ca is not None and cb is not None:
+                if ca != cb:
+                    # Contradictory constants: the instance is UNSAT.
+                    add([self.lit_false])
+                continue
+            if ca is not None:
+                add([b if ca else neg(b)])
+                continue
+            if cb is not None:
+                add([a if cb else neg(a)])
+                continue
+            add([neg(a), b])
+            add([a, neg(b)])
+
     def encode_cmp_def(self, d: CmpDef) -> None:
-        """Encode ``token <-> (a OP b)``."""
+        """Encode ``token <-> (a OP b)``.
+
+        When the token has no SAT literal yet (the common case: a
+        definition is blasted before anything references its token), the
+        token is bound directly to the comparator's output literal --
+        no fresh variable, no equivalence clauses.
+        """
         xa = self._atom_bits(d.a)
         xb = self._atom_bits(d.b)
         lit = self.cmp_lit(d.op, xa, xb)
+        if d.out & ~1 not in self._token_lit:
+            # d.out is a freshly allocated token, always positive parity.
+            self._token_lit[d.out & ~1] = lit
+            return
         out = self.token_lit(d.out)
         self.solver.add_clause([neg(out), lit])
         self.solver.add_clause([out, neg(lit)])
@@ -347,10 +512,7 @@ class Blaster:
             res = self.mul_vec(xa, xb, w)
         else:
             raise ValueError(f"unknown arithmetic op {d.op!r}")
-        add = self.solver.add_clause
-        for ob, rb in zip(out_vec, res):
-            add([neg(ob), rb])
-            add([ob, neg(rb)])
+        self._equate(out_vec, res)
 
     def encode_bool_def(self, d: BoolDef) -> None:
         """Tseitin encoding of ``token <-> AND/OR(args)``."""
@@ -374,7 +536,7 @@ class Blaster:
 
     def decode_var(self, var: IntVar) -> int:
         """Integer value of ``var`` in the solver's current model."""
-        vec = self._vectors.get(id(var))
+        vec = self._vectors.get(var.nid)
         if vec is None:
             # Never blasted: unconstrained, any in-range value works.
             return var.lo

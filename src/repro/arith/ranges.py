@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.arith.ast import Add, IntConst, IntExpr, IntVar, Mul, Sub
 
-__all__ = ["Range", "infer_range", "width_for"]
+__all__ = ["Range", "infer_range", "width_for", "compare_ranges"]
 
 
 class Range:
@@ -67,10 +67,19 @@ class Range:
 
 
 def infer_range(expr: IntExpr, cache: dict | None = None) -> Range:
-    """Compute the range of ``expr`` bottom-up (memoized on identity)."""
+    """Compute the range of ``expr`` bottom-up (memoized on ``nid``).
+
+    Keys are node ids (``expr.nid``), which are never reused -- unlike
+    ``id()``, a cached entry can never alias a different expression whose
+    object happened to land on a recycled address.  With hash-consing,
+    every occurrence of a shared subterm hits the same cache slot.
+    """
     if cache is None:
         cache = {}
-    hit = cache.get(id(expr))
+    nid = getattr(expr, "nid", None)
+    if nid is None:
+        raise TypeError(f"cannot infer range of {expr!r}")
+    hit = cache.get(nid)
     if hit is not None:
         return hit
     if isinstance(expr, IntVar):
@@ -85,8 +94,43 @@ def infer_range(expr: IntExpr, cache: dict | None = None) -> Range:
         r = infer_range(expr.a, cache).mul(infer_range(expr.b, cache))
     else:
         raise TypeError(f"cannot infer range of {expr!r}")
-    cache[id(expr)] = r
+    cache[nid] = r
     return r
+
+
+def compare_ranges(op: str, ra: Range, rb: Range) -> bool | None:
+    """Decide ``ra OP rb`` statically when the ranges permit, else None.
+
+    Sound for every concrete pair drawn from the ranges: returns True
+    (False) only when the comparison holds (fails) for *all* value pairs.
+    Used by the tautology/contradiction elimination in the simplifier and
+    the Tripletizer.
+    """
+    if op == "==":
+        if ra.lo == ra.hi == rb.lo == rb.hi:
+            return True
+        if ra.hi < rb.lo or rb.hi < ra.lo:
+            return False
+    elif op == "!=":
+        eq = compare_ranges("==", ra, rb)
+        return None if eq is None else not eq
+    elif op == "<=":
+        if ra.hi <= rb.lo:
+            return True
+        if ra.lo > rb.hi:
+            return False
+    elif op == "<":
+        if ra.hi < rb.lo:
+            return True
+        if ra.lo >= rb.hi:
+            return False
+    elif op == ">":
+        return compare_ranges("<", rb, ra)
+    elif op == ">=":
+        return compare_ranges("<=", rb, ra)
+    else:
+        raise ValueError(f"unknown comparison {op!r}")
+    return None
 
 
 def width_for(r: Range) -> int:

@@ -14,8 +14,11 @@ simply never assumed again.
 
 from __future__ import annotations
 
-from repro.arith.ast import BoolExpr, BoolVar, IntVar
+import time
+
+from repro.arith.ast import BoolExpr, BoolVar, IntVar, intern_counters
 from repro.arith.bitblast import Blaster
+from repro.arith.stats import EncodeStats
 from repro.arith.triplet import TOK_FALSE, TOK_TRUE, Tripletizer
 from repro.sat.literals import neg
 from repro.sat.solver import Solver, SolverStats
@@ -37,14 +40,27 @@ class IntSolver:
         s.value(x), s.value(y)   # -> 5, 7 (or 7, 5)
     """
 
-    def __init__(self, pb_mode: bool = False):
+    def __init__(
+        self,
+        pb_mode: bool = False,
+        simplify: bool = True,
+        narrow_bits: bool = True,
+    ):
         self.sat = Solver()
-        self.trip = Tripletizer()
-        self.blaster = Blaster(self.sat, pb_mode=pb_mode)
+        self.trip = Tripletizer(simplify=simplify)
+        self.blaster = Blaster(self.sat, pb_mode=pb_mode,
+                               narrow_bits=narrow_bits)
         # Share the range cache between the two stages.
         self.blaster.range_cache = self.trip.range_cache
         self._vars: dict[str, IntVar] = {}
         self._guard_count = 0
+        # Per-stage wall time (seconds); simplify time lives on the
+        # Tripletizer, which runs the pre-pass.
+        self._t_triplet = 0.0
+        self._t_blast = 0.0
+        # Hash-consing counters are process-global; remember the baseline
+        # so encode_stats() reports this solver's own traffic.
+        self._intern_base = intern_counters()
 
     # ------------------------------------------------------------------
     # Declarations
@@ -77,7 +93,9 @@ class IntSolver:
         Returns False when the problem became unsatisfiable at the top
         level (without any guard).
         """
+        t0 = time.perf_counter()
         root = self.trip.transform(formula)
+        self._t_triplet += time.perf_counter() - t0
         self._flush_new_defs()
         if guard is None:
             if root == TOK_TRUE:
@@ -95,6 +113,7 @@ class IntSolver:
         return self.sat.add_clause([neg(glit), self.blaster.token_lit(root)])
 
     def _flush_new_defs(self) -> None:
+        t0 = time.perf_counter()
         bool_defs, cmp_defs, arith_defs = self.trip.drain_new_defs()
         # Arithmetic first: comparison encodings may reference the fresh
         # vectors, and vectors assert their range constraints on creation.
@@ -104,6 +123,7 @@ class IntSolver:
             self.blaster.encode_cmp_def(d)
         for d in bool_defs:
             self.blaster.encode_bool_def(d)
+        self._t_blast += time.perf_counter() - t0
 
     # ------------------------------------------------------------------
     # Solving and models
@@ -146,7 +166,9 @@ class IntSolver:
         engine-level pseudo-Boolean constraints over formula truth values
         (e.g. per-ECU memory capacities).
         """
+        t0 = time.perf_counter()
         tok = self.trip.transform(formula)
+        self._t_triplet += time.perf_counter() - t0
         self._flush_new_defs()
         return self.blaster.token_lit(tok)
 
@@ -241,3 +263,40 @@ class IntSolver:
             "clauses": self.sat.num_clauses(),
             "pb_constraints": len(self.sat.pbs),
         }
+
+    def encode_stats(self) -> EncodeStats:
+        """Cross-layer :class:`repro.arith.stats.EncodeStats` snapshot:
+        hash-consing traffic since this solver was created, simplifier
+        and Tripletizer counters, blaster gate statistics, and the final
+        formula sizes with per-stage wall time."""
+        ic = intern_counters()
+        trip = self.trip
+        simp = trip.simplifier
+        blaster = self.blaster
+        t_simplify = trip.t_simplify
+        # transform() time includes the embedded simplify pre-pass;
+        # report the triplet stage net of it.
+        t_triplet = max(self._t_triplet - t_simplify, 0.0)
+        return EncodeStats(
+            nodes_created=ic["created"] - self._intern_base["created"],
+            nodes_interned=ic["interned"] - self._intern_base["interned"],
+            simplify_rewrites=simp.rewrites,
+            simplify_folds=simp.folds,
+            triplet_defs=(
+                len(trip.bool_defs) + len(trip.cmp_defs)
+                + len(trip.arith_defs)
+            ),
+            triplet_cse_hits=trip.cse_hits,
+            triplet_folds=trip.folds,
+            gates=blaster.gates,
+            gate_cache_hits=blaster.gate_hits,
+            narrowed_bits=blaster.narrowed_bits,
+            cnf_vars=self.sat.nvars,
+            cnf_clauses=self.sat.num_clauses(),
+            cnf_literals=self.sat.num_literals(),
+            pb_constraints=len(self.sat.pbs),
+            t_simplify=t_simplify,
+            t_triplet=t_triplet,
+            t_blast=self._t_blast,
+            t_total=t_simplify + t_triplet + self._t_blast,
+        )

@@ -16,9 +16,17 @@ ranges are inferred from the ranges of the subexpressions").
 Boolean tokens use the same packed-int literal trick as the SAT layer:
 ``token = index*2 (+1 when negated)``; constants fold eagerly so no
 definition is ever emitted for TRUE/FALSE subformulas.
+
+With the hash-consed IR (:mod:`repro.arith.ast`) all memo tables key on
+node ``nid``\\ s: one definition is emitted per *distinct subterm*, not
+per occurrence, and the tables stay sound without pinning trees alive
+(nids are never reused, unlike ``id()``).  Unless disabled, every root
+formula is first run through :class:`repro.arith.simplify.Simplifier`.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.arith.ast import (
     Add,
@@ -37,7 +45,8 @@ from repro.arith.ast import (
     Or,
     Sub,
 )
-from repro.arith.ranges import Range, infer_range
+from repro.arith.ranges import Range, compare_ranges, infer_range
+from repro.arith.simplify import Simplifier
 
 __all__ = [
     "Tripletizer",
@@ -114,19 +123,24 @@ class Tripletizer:
     A single instance is reused across all `require` calls of an
     :class:`repro.arith.solver.IntSolver` so common subexpressions (the
     same ``a_i = p`` comparison appearing in dozens of formulae, say)
-    are defined exactly once.
+    are defined exactly once.  ``simplify=False`` skips the algebraic
+    pre-pass (used by the equivalence tests and ablations).
     """
 
-    def __init__(self):
+    def __init__(self, simplify: bool = True):
         self.ntokens = 0
         self.bool_defs: list[BoolDef] = []
         self.cmp_defs: list[CmpDef] = []
         self.arith_defs: list[ArithDef] = []
         self.range_cache: dict[int, Range] = {}
-        # Memo tables.
-        self._boolvar_tok: dict[int, int] = {}       # id(BoolVar) -> token
-        self._formula_tok: dict[int, int] = {}        # id(BoolExpr) -> token
-        self._expr_atom: dict[int, object] = {}       # id(IntExpr) -> atom
+        self.simplify = simplify
+        #: Persistent simplifier (caches survive across require calls and
+        #: share the range cache so ranges are inferred once per node).
+        self.simplifier = Simplifier(self.range_cache)
+        # Memo tables, all keyed by nid (never reused, so no pinning).
+        self._boolvar_tok: dict[int, int] = {}        # BoolVar nid -> token
+        self._formula_tok: dict[int, int] = {}        # BoolExpr nid -> token
+        self._expr_atom: dict[int, object] = {}       # IntExpr nid -> atom
         self._struct_bool: dict[tuple, int] = {}      # (op, args) -> token
         self._struct_cmp: dict[tuple, int] = {}       # (op, a, b) -> token
         self._struct_arith: dict[tuple, IntVar] = {}  # (op, a, b) -> IntVar
@@ -137,12 +151,13 @@ class Tripletizer:
         self._new_arith: list[ArithDef] = []
         #: BoolVar objects by token index (for model readback).
         self.boolvar_by_index: dict[int, BoolVar] = {}
-        #: Strong references to every transformed root formula.  All memo
-        #: tables key by id(); without pinning, a garbage-collected
-        #: temporary could let a new object reuse the address and alias a
-        #: stale cache entry.  Pinning the root keeps its whole subtree
-        #: (and hence every cached id) alive.
-        self._pins: list = []
+        #: Instrumentation: requests answered by an existing definition
+        #: or memoized token instead of new work, and comparisons folded
+        #: to constants here (the simplifier keeps its own counters).
+        self.cse_hits = 0
+        self.folds = 0
+        #: Wall time spent in the simplification pre-pass (seconds).
+        self.t_simplify = 0.0
 
     # -- token allocation ------------------------------------------------
 
@@ -153,10 +168,10 @@ class Tripletizer:
 
     def token_for_boolvar(self, bv: BoolVar) -> int:
         """Token of a user Boolean variable (stable across calls)."""
-        tok = self._boolvar_tok.get(id(bv))
+        tok = self._boolvar_tok.get(bv.nid)
         if tok is None:
             tok = self._new_token()
-            self._boolvar_tok[id(bv)] = tok
+            self._boolvar_tok[bv.nid] = tok
             self.boolvar_by_index[tok >> 1] = bv
         return tok
 
@@ -165,15 +180,16 @@ class Tripletizer:
     def _atom_key(self, atom) -> tuple:
         if isinstance(atom, IntConst):
             return ("c", atom.value)
-        return ("v", id(atom))
+        return ("v", atom.nid)
 
     def flatten_expr(self, expr: IntExpr):
         """Reduce an expression to an atom (IntVar or IntConst), emitting
         ArithDefs for every operator node (eq. 17)."""
         if isinstance(expr, (IntVar, IntConst)):
             return expr
-        hit = self._expr_atom.get(id(expr))
+        hit = self._expr_atom.get(expr.nid)
         if hit is not None:
+            self.cse_hits += 1
             return hit
         if isinstance(expr, Add):
             op = "+"
@@ -192,8 +208,9 @@ class Tripletizer:
                 "-": a.value - b.value,
                 "*": a.value * b.value,
             }[op]
+            self.folds += 1
             atom = IntConst(value)
-            self._expr_atom[id(expr)] = atom
+            self._expr_atom[expr.nid] = atom
             return atom
         key = (op, self._atom_key(a), self._atom_key(b))
         out = self._struct_arith.get(key)
@@ -203,27 +220,38 @@ class Tripletizer:
             r = {"+": ra.add, "-": ra.sub, "*": ra.mul}[op](rb)
             self._fresh_count += 1
             out = IntVar(f"$t{self._fresh_count}", r.lo, r.hi)
-            self.range_cache[id(out)] = r
+            self.range_cache[out.nid] = r
             d = ArithDef(out, op, a, b)
             self.arith_defs.append(d)
             self._new_arith.append(d)
             self._struct_arith[key] = out
-        self._expr_atom[id(expr)] = out
+        else:
+            self.cse_hits += 1
+        self._expr_atom[expr.nid] = out
         return out
 
     # -- Boolean formulas ---------------------------------------------------
 
     def transform(self, formula: BoolExpr) -> int:
-        """Transform a formula, returning its root token (eq. 15/16)."""
-        self._pins.append(formula)
+        """Transform a formula, returning its root token (eq. 15/16).
+
+        The formula is first simplified (unless the pass is disabled);
+        the simplifier's caches persist across calls, so re-simplifying
+        a shared subterm is a dict hit.
+        """
+        if self.simplify:
+            t0 = time.perf_counter()
+            formula = self.simplifier.bool_expr(formula)
+            self.t_simplify += time.perf_counter() - t0
         return self._transform(formula)
 
     def _transform(self, formula: BoolExpr) -> int:
-        hit = self._formula_tok.get(id(formula))
+        hit = self._formula_tok.get(formula.nid)
         if hit is not None:
+            self.cse_hits += 1
             return hit
         tok = self._transform_uncached(formula)
-        self._formula_tok[id(formula)] = tok
+        self._formula_tok[formula.nid] = tok
         return tok
 
     def _transform_uncached(self, formula: BoolExpr) -> int:
@@ -271,13 +299,15 @@ class Tripletizer:
                 "<=": a.value <= b.value,
                 "<": a.value < b.value,
             }[op]
+            self.folds += 1
             tok = TOK_TRUE if holds != negate else TOK_FALSE
             return tok
         # Range-based fold: disjoint ranges decide comparisons statically.
         ra = infer_range(a, self.range_cache)
         rb = infer_range(b, self.range_cache)
-        folded = _fold_by_range(op, ra, rb)
+        folded = compare_ranges(op, ra, rb)
         if folded is not None:
+            self.folds += 1
             return (
                 TOK_TRUE if folded != negate else TOK_FALSE
             )
@@ -289,15 +319,23 @@ class Tripletizer:
             self.cmp_defs.append(d)
             self._new_cmp.append(d)
             self._struct_cmp[key] = tok
+        else:
+            self.cse_hits += 1
         return tok_neg(tok) if negate else tok
 
     def _mk_and(self, toks: list[int]) -> int:
         out: list[int] = []
+        seen: set[int] = set()
         for t in toks:
             if t == TOK_FALSE:
                 return TOK_FALSE
             if t == TOK_TRUE:
                 continue
+            if t in seen:
+                continue  # idempotence: t & t == t
+            if tok_neg(t) in seen:
+                return TOK_FALSE  # complement: t & ~t == false
+            seen.add(t)
             out.append(t)
         if not out:
             return TOK_TRUE
@@ -311,17 +349,25 @@ class Tripletizer:
             self.bool_defs.append(d)
             self._new_bool.append(d)
             self._struct_bool[key] = tok
+        else:
+            self.cse_hits += 1
         return tok
 
     def _mk_or(self, toks: list[int]) -> int:
         # De Morgan onto the AND path would lose sharing; keep a direct
         # OR definition instead.
         out: list[int] = []
+        seen: set[int] = set()
         for t in toks:
             if t == TOK_TRUE:
                 return TOK_TRUE
             if t == TOK_FALSE:
                 continue
+            if t in seen:
+                continue  # idempotence: t | t == t
+            if tok_neg(t) in seen:
+                return TOK_TRUE  # complement: t | ~t == true
+            seen.add(t)
             out.append(t)
         if not out:
             return TOK_FALSE
@@ -335,6 +381,8 @@ class Tripletizer:
             self.bool_defs.append(d)
             self._new_bool.append(d)
             self._struct_bool[key] = tok
+        else:
+            self.cse_hits += 1
         return tok
 
     # -- incremental drain -------------------------------------------------
@@ -346,23 +394,3 @@ class Tripletizer:
         self._new_cmp = []
         self._new_arith = []
         return out
-
-
-def _fold_by_range(op: str, ra: Range, rb: Range):
-    """Decide a comparison statically when the operand ranges permit."""
-    if op == "==":
-        if ra.lo == ra.hi == rb.lo == rb.hi:
-            return True
-        if ra.hi < rb.lo or rb.hi < ra.lo:
-            return False
-    elif op == "<=":
-        if ra.hi <= rb.lo:
-            return True
-        if ra.lo > rb.hi:
-            return False
-    elif op == "<":
-        if ra.hi < rb.lo:
-            return True
-        if ra.lo >= rb.hi:
-            return False
-    return None

@@ -108,6 +108,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rebuild the encoding per binary-search probe")
     p_solve.add_argument("--pb", action="store_true",
                          help="pseudo-Boolean adder axioms (GOBLIN mode)")
+    p_solve.add_argument(
+        "--stats", action="store_true",
+        help="print the EncodeStats JSON (hash-consing, simplification, "
+        "triplet, bit-blast counters and per-stage times)",
+    )
+    p_solve.add_argument(
+        "--no-simplify", action="store_true",
+        help="disable the algebraic simplification pass (ablation)",
+    )
+    p_solve.add_argument(
+        "--no-narrow-bits", action="store_true",
+        help="disable bit-width narrowing of non-negative variables "
+        "(ablation)",
+    )
     p_solve.add_argument("-o", "--output", default=None,
                          help="write the allocation JSON here")
 
@@ -123,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("system")
     p_exp.add_argument("--format", choices=("opb", "dimacs"),
                        default="opb")
+    p_exp.add_argument(
+        "--stats", action="store_true",
+        help="print the EncodeStats JSON to stderr after the dump",
+    )
     p_exp.add_argument("-o", "--output", default=None)
 
     p_an = sub.add_parser(
@@ -204,6 +222,16 @@ _STATUS_NOTE = {
 }
 
 
+def _print_stats(res) -> None:
+    """Print an AllocationResult's EncodeStats JSON (when present)."""
+    stats = getattr(res, "encode_stats", None)
+    if stats:
+        print(json.dumps(stats, indent=2))
+    else:
+        print("no encode stats available for this solve path",
+              file=sys.stderr)
+
+
 def _cmd_solve_supervised(args, tasks, arch, cfg, objective,
                           budget, checkpoint) -> int:
     from repro.reporting import fmt_cost
@@ -225,13 +253,19 @@ def _cmd_solve_supervised(args, tasks, arch, cfg, objective,
         return 2
     print(f"feasible; cost = {fmt_cost(sup.cost, sup.proven)} "
           f"({_STATUS_NOTE[sup.status]})")
+    if args.stats:
+        _print_stats(sup.result)
     _emit_allocation(args, sup.allocation, sup.cost, sup.proven, sup.status)
     return 0
 
 
 def _cmd_solve(args) -> int:
     tasks, arch = load_system(args.system)
-    cfg = EncoderConfig(pb_mode=args.pb)
+    cfg = EncoderConfig(
+        pb_mode=args.pb,
+        simplify=not args.no_simplify,
+        narrow_bits=not args.no_narrow_bits,
+    )
     budget = _solve_budget(args)
     checkpoint = _solve_checkpoint(args)
     objective = (
@@ -274,6 +308,8 @@ def _cmd_solve(args) -> int:
           f"vars = {res.formula_size['bool_vars']}, "
           f"literals = {res.formula_size['literals']}")
     print(f"independently verified: {res.verified}")
+    if args.stats:
+        _print_stats(res)
     status = res.status if objective is not None else "feasible"
     _emit_allocation(args, res.allocation, res.cost, res.proven, status)
     return 0
@@ -327,6 +363,9 @@ def _cmd_export(args) -> int:
             out.close()
             print(f"{args.format} written to {args.output}",
                   file=sys.stderr)
+    if args.stats:
+        # The dump owns stdout; stats go to stderr so piping stays clean.
+        print(json.dumps(enc.encode_stats(), indent=2), file=sys.stderr)
     return 0
 
 

@@ -46,6 +46,9 @@ class AllocationResult:
     verification: FeasibilityReport | None = None
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
+    #: Cross-layer encoding instrumentation (see
+    #: :class:`repro.arith.stats.EncodeStats`), JSON-ready.
+    encode_stats: dict = field(default_factory=dict)
 
     @property
     def verified(self) -> bool:
@@ -317,4 +320,5 @@ class Allocator:
             verification=report,
             encode_seconds=enc_secs,
             solve_seconds=outcome.seconds,
+            encode_stats=enc.encode_stats(),
         )

@@ -43,6 +43,17 @@ class EncoderConfig:
         capacities) so that :func:`repro.core.diagnose.diagnose` can
         extract an unsatisfiable core naming the requirements that
         together make a system infeasible.
+    simplify
+        Run the algebraic simplification pass
+        (:mod:`repro.arith.simplify`: constant folding, range-based
+        tautology/contradiction elimination, And/Or dedupe) on every
+        formula before triplet transformation.  Equivalence-preserving;
+        off only for ablations and differential tests.
+    narrow_bits
+        Hardwire the statically-zero high bits of non-negative integer
+        variables during bit-blasting (smaller circuits, fewer clauses).
+        Equivalence-preserving; off only for ablations and differential
+        tests.
     """
 
     interference: str = "tight"
@@ -52,6 +63,8 @@ class EncoderConfig:
     pb_mode: bool = False
     enforce_priority_transitivity: bool = True
     diagnostics: bool = False
+    simplify: bool = True
+    narrow_bits: bool = True
 
     def __post_init__(self):
         if self.interference not in ("paper", "tight"):

@@ -33,7 +33,6 @@ from repro.arith import And, IntSolver, Not, Or
 from repro.arith.ast import (
     BoolExpr,
     BoolVar,
-    Cmp,
     FALSE,
     Implies,
     IntConst,
@@ -80,7 +79,11 @@ class ProblemEncoding:
         self.tasks = tasks
         self.arch = arch
         self.config = config or EncoderConfig()
-        self.solver = IntSolver(pb_mode=self.config.pb_mode)
+        self.solver = IntSolver(
+            pb_mode=self.config.pb_mode,
+            simplify=self.config.simplify,
+            narrow_bits=self.config.narrow_bits,
+        )
 
         self.ecu_names = arch.ecu_names()
         self.ecu_index = {p: i for i, p in enumerate(self.ecu_names)}
@@ -866,6 +869,12 @@ class ProblemEncoding:
     def formula_size(self) -> dict:
         """The paper's complexity metrics (Var. / Lit. columns)."""
         return self.solver.formula_size()
+
+    def encode_stats(self) -> dict:
+        """Cross-layer encoding instrumentation (hash-consing, simplify,
+        triplet, blast counters and timings) as a JSON-ready dict; see
+        :class:`repro.arith.stats.EncodeStats`."""
+        return self.solver.encode_stats().to_dict()
 
     def to_dimacs(self, out) -> None:
         """Dump the bit-blasted instance in DIMACS CNF (PB constraints

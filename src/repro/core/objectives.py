@@ -17,7 +17,7 @@ minimizes the cost variable by binary search.
 
 from __future__ import annotations
 
-from repro.arith.ast import And, Implies, IntConst, IntExpr, Not
+from repro.arith.ast import Implies, IntConst, IntExpr, Not
 from repro.core.encoder import ProblemEncoding, _sum_exprs
 from repro.model.architecture import MediumKind
 

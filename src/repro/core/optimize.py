@@ -64,6 +64,10 @@ class ProbeLog:
     #: True when the probe was cut off by a budget before answering --
     #: ``sat`` is then False but means UNKNOWN, not UNSAT.
     interrupted: bool = False
+    #: CNF growth caused by this probe's bound constraints (incremental
+    #: strategy only; defaults keep old checkpoints loadable).
+    vars_added: int = 0
+    clauses_added: int = 0
 
 
 @dataclass
@@ -159,6 +163,9 @@ def bin_search(
 
     def run_probe(lo: int | None, hi: int | None) -> tuple[bool, int | None]:
         guard = solver.new_guard()
+        sat_engine = getattr(solver, "sat", None)
+        v0 = sat_engine.nvars if sat_engine is not None else 0
+        n0 = sat_engine.num_clauses() if sat_engine is not None else 0
         parts = []
         if lo is not None and lo > lower:
             parts.append(cost_var >= lo)
@@ -167,6 +174,12 @@ def bin_search(
         if parts:
             solver.require(And(*parts) if len(parts) > 1 else parts[0],
                            guard=guard)
+        vars_added = (
+            sat_engine.nvars - v0 if sat_engine is not None else 0
+        )
+        clauses_added = (
+            sat_engine.num_clauses() - n0 if sat_engine is not None else 0
+        )
         p0 = time.perf_counter()
         c0 = solver.stats.conflicts
         d0 = solver.stats.decisions
@@ -186,6 +199,8 @@ def bin_search(
                     conflicts=solver.stats.conflicts - c0,
                     decisions=solver.stats.decisions - d0,
                     interrupted=True,
+                    vars_added=vars_added,
+                    clauses_added=clauses_added,
                 )
             )
             out.interrupted = True
@@ -202,6 +217,8 @@ def bin_search(
                 seconds=seconds,
                 conflicts=solver.stats.conflicts - c0,
                 decisions=solver.stats.decisions - d0,
+                vars_added=vars_added,
+                clauses_added=clauses_added,
             )
         )
         if sat and on_sat is not None:

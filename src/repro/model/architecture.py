@@ -20,7 +20,7 @@ Times are integer microsecond ticks throughout.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 __all__ = ["MediumKind", "TOKEN_RING", "CAN", "Ecu", "Medium", "Architecture"]

@@ -17,7 +17,7 @@ deadline-monotonically with ties broken by the optimizer (eqs. 9-10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.model.architecture import Architecture
 

@@ -44,13 +44,24 @@ class EncodeMode(Enum):
 def encode_pb(solver: Solver, con: PBConstraint, mode: EncodeMode) -> bool:
     """Add ``con`` to ``solver`` using the requested encoding.
 
-    Returns False when the solver became unsatisfiable.
+    Structurally identical constraints are encoded once per solver: the
+    auxiliary ladder/DAG of an earlier encode already enforces the bound,
+    so re-encoding would only duplicate clauses.  Returns False when the
+    solver became unsatisfiable.
     """
     if con.trivial:
         return True
     if con.unsatisfiable:
         solver.ok = False
         return False
+    key = (tuple(con.lits), tuple(con.coefs), con.bound, mode.value)
+    cache = getattr(solver, "_pb_encoded", None)
+    if cache is None:
+        cache = set()
+        solver._pb_encoded = cache
+    if key in cache:
+        return solver.ok
+    cache.add(key)
     if mode is EncodeMode.NATIVE:
         return solver.add_pb(list(con.lits), list(con.coefs), con.bound)
     if con.is_clause():

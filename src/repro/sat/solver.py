@@ -28,7 +28,7 @@ list. Profiling on the paper's workloads shows >80% of time inside
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.robust.budget import Budget, BudgetExpired
 from repro.sat.literals import (

@@ -9,7 +9,6 @@ is linked into communication chains with placement restrictions.
 
 from __future__ import annotations
 
-import math
 import random
 
 from repro.model.architecture import Architecture

@@ -23,7 +23,6 @@ Time base: 1 tick = 100 us; a TRT of ~85 ticks reads as ~8.5 ms.
 from __future__ import annotations
 
 from repro.model.architecture import (
-    CAN,
     TOKEN_RING,
     Architecture,
     Ecu,

@@ -1,0 +1,88 @@
+"""Encoder-size regression guard.
+
+Pins the exact CNF output of the default pipeline on a fixed fig. 1
+workload.  The encode path is deterministic, so any drift in these
+numbers is a real change to the generated formula: an intentional
+encoder improvement should update the pins (and the expected direction
+is *down*), an accidental one should fail here before it reaches the
+benchmarks.
+"""
+
+from repro.core import EncoderConfig
+from repro.core.encoder import ProblemEncoding
+from repro.model import (
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+    Message,
+    Task,
+    TaskSet,
+)
+
+# Exact output of the current default encoder on the fig. 1 workload.
+PINNED_VARS = 5966
+PINNED_CLAUSES = 19493
+
+# Pre-refactor encoder output on the 10-task table-4 Arch A workload
+# (measured at the growth seed).  The hash-consed pipeline must keep at
+# least a 20% clause reduction against it -- the PR's acceptance bar.
+SEED_ARCH_A_CLAUSES = 107982
+
+
+def _fig1_system():
+    kw = dict(bit_rate=1_000_000, frame_overhead_bits=0,
+              min_slot=50, slot_overhead=10, gateway_service=25)
+    arch = Architecture(
+        ecus=[Ecu(f"p{i}") for i in range(1, 6)],
+        media=[
+            Medium("k1", TOKEN_RING, ("p1", "p2", "p3"), **kw),
+            Medium("k2", TOKEN_RING, ("p2", "p4"), **kw),
+            Medium("k3", TOKEN_RING, ("p3", "p5"), **kw),
+        ],
+    )
+    every = {f"p{i}": 400 for i in range(1, 6)}
+    tasks = TaskSet([
+        Task("src", 10_000, dict(every), 10_000,
+             messages=(Message("dst", 200, 8_000),)),
+        Task("dst", 10_000, dict(every), 10_000,
+             allowed=frozenset({"p4", "p5"})),
+        Task("load1", 5_000, dict(every), 5_000),
+        Task("load2", 5_000, dict(every), 5_000,
+             separated_from=frozenset({"load1"})),
+    ])
+    return tasks, arch
+
+
+class TestPinnedFormulaSize:
+    def test_fig1_workload_is_pinned(self):
+        tasks, arch = _fig1_system()
+        size = ProblemEncoding(tasks, arch, EncoderConfig()).formula_size()
+        assert size["bool_vars"] == PINNED_VARS, size
+        assert size["clauses"] == PINNED_CLAUSES, size
+
+    def test_fig1_encoding_is_deterministic(self):
+        tasks, arch = _fig1_system()
+        a = ProblemEncoding(tasks, arch, EncoderConfig()).formula_size()
+        b = ProblemEncoding(tasks, arch, EncoderConfig()).formula_size()
+        assert a == b
+
+    def test_passes_never_grow_the_formula(self):
+        tasks, arch = _fig1_system()
+        new = ProblemEncoding(tasks, arch, EncoderConfig()).formula_size()
+        plain = ProblemEncoding(
+            tasks, arch, EncoderConfig(simplify=False, narrow_bits=False)
+        ).formula_size()
+        assert new["clauses"] < plain["clauses"]
+        assert new["bool_vars"] < plain["bool_vars"]
+
+
+class TestSeedReductionGuard:
+    def test_arch_a_keeps_20_percent_reduction_vs_seed(self):
+        from repro.workloads import architecture_a, tindell_partition
+
+        enc = ProblemEncoding(
+            tindell_partition(10), architecture_a(), EncoderConfig()
+        )
+        clauses = enc.formula_size()["clauses"]
+        assert clauses <= 0.8 * SEED_ARCH_A_CLAUSES, clauses

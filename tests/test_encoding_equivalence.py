@@ -1,0 +1,292 @@
+"""Differential tests of the hash-consed encode pipeline.
+
+The refactored path (structural interning + simplification passes + bit
+narrowing) must be *observationally identical* to the plain path: any
+formula is satisfiable under one configuration iff it is satisfiable
+under the other, models satisfy the original formula, and the end-to-end
+allocator reaches the same optimum on the paper's fig. 1 architecture.
+
+Random formulas are generated as config-independent *specs* (nested
+tuples) and materialized into fresh ASTs per configuration, so the
+interning toggle really exercises both construction paths.  Ground truth
+comes from exhaustive enumeration of the (tiny) variable domains, and --
+for formulas whose CNF stays small -- from the brute-force reference
+checker in :mod:`repro.sat.reference`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import IntSolver
+from repro.arith.ast import interning
+from repro.sat.reference import brute_force_sat
+
+# Fixed variable layout: three bounded integers, two free Booleans.
+INT_DOMAINS = (("x", 0, 5), ("y", 0, 5), ("z", -2, 3))
+N_BOOLS = 2
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+# ----------------------------------------------------------------------
+# Random formula specs (config-independent recipes)
+# ----------------------------------------------------------------------
+
+def int_specs(depth: int = 2):
+    leaf = st.one_of(
+        st.tuples(st.just("ivar"), st.integers(0, len(INT_DOMAINS) - 1)),
+        st.tuples(st.just("const"), st.integers(-4, 8)),
+    )
+
+    def extend(children):
+        return st.tuples(
+            st.sampled_from(("+", "-", "*")), children, children
+        )
+
+    return st.recursive(leaf, extend, max_leaves=4)
+
+
+def bool_specs():
+    leaf = st.one_of(
+        st.tuples(st.just("bvar"), st.integers(0, N_BOOLS - 1)),
+        st.tuples(
+            st.just("cmp"), st.sampled_from(_CMP_OPS),
+            int_specs(), int_specs(),
+        ),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(
+                st.sampled_from(("and", "or", "implies", "iff")),
+                children, children,
+            ),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=6)
+
+
+# ----------------------------------------------------------------------
+# Spec interpreters: build an AST, or evaluate under an assignment
+# ----------------------------------------------------------------------
+
+def build_int(spec, ivars):
+    tag = spec[0]
+    if tag == "ivar":
+        return ivars[spec[1]]
+    if tag == "const":
+        return spec[1]
+    a, b = build_int(spec[1], ivars), build_int(spec[2], ivars)
+    if tag == "+":
+        return a + b
+    if tag == "-":
+        return a - b
+    return a * b
+
+
+def build_bool(spec, ivars, bvars):
+    tag = spec[0]
+    if tag == "bvar":
+        return bvars[spec[1]]
+    if tag == "cmp":
+        a = build_int(spec[2], ivars)
+        b = build_int(spec[3], ivars)
+        # Constant-constant comparisons are not AST nodes; guard at the
+        # spec level by wrapping one side in +0 via an IntVar... instead
+        # the strategy may produce them, so lift through the first ivar.
+        op = spec[1]
+        if isinstance(a, int) and isinstance(b, int):
+            a = ivars[0] * 0 + a
+        if op == "==":
+            return a == b
+        if op == "!=":
+            return a != b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        return a >= b
+    if tag == "not":
+        return ~build_bool(spec[1], ivars, bvars)
+    a = build_bool(spec[1], ivars, bvars)
+    b = build_bool(spec[2], ivars, bvars)
+    if tag == "and":
+        return a & b
+    if tag == "or":
+        return a | b
+    if tag == "implies":
+        return a.implies(b)
+    return a.iff(b)
+
+
+def eval_int(spec, ivals):
+    tag = spec[0]
+    if tag == "ivar":
+        return ivals[spec[1]]
+    if tag == "const":
+        return spec[1]
+    a, b = eval_int(spec[1], ivals), eval_int(spec[2], ivals)
+    return a + b if tag == "+" else a - b if tag == "-" else a * b
+
+
+def eval_bool(spec, ivals, bvals):
+    tag = spec[0]
+    if tag == "bvar":
+        return bvals[spec[1]]
+    if tag == "cmp":
+        a, b = eval_int(spec[2], ivals), eval_int(spec[3], ivals)
+        op = spec[1]
+        return {
+            "==": a == b, "!=": a != b, "<": a < b,
+            "<=": a <= b, ">": a > b, ">=": a >= b,
+        }[op]
+    if tag == "not":
+        return not eval_bool(spec[1], ivals, bvals)
+    a = eval_bool(spec[1], ivals, bvals)
+    b = eval_bool(spec[2], ivals, bvals)
+    if tag == "and":
+        return a and b
+    if tag == "or":
+        return a or b
+    if tag == "implies":
+        return (not a) or b
+    return a == b
+
+
+def ground_truth_sat(spec) -> bool:
+    """Exhaustive enumeration over the fixed variable domains."""
+    from itertools import product
+
+    ranges = [range(lo, hi + 1) for (_, lo, hi) in INT_DOMAINS]
+    for ivals in product(*ranges):
+        for bits in range(1 << N_BOOLS):
+            bvals = [bool(bits >> i & 1) for i in range(N_BOOLS)]
+            if eval_bool(spec, ivals, bvals):
+                return True
+    return False
+
+
+def encode_and_solve(spec, intern_on: bool, simplify: bool,
+                     narrow: bool):
+    """Build the formula under one configuration; return (solver, spec
+    evaluation of the model) -- model eval is None when UNSAT."""
+    with interning(intern_on):
+        s = IntSolver(simplify=simplify, narrow_bits=narrow)
+        ivars = [s.int_var(n, lo, hi) for (n, lo, hi) in INT_DOMAINS]
+        bvars = [s.bool_var(f"b{i}") for i in range(N_BOOLS)]
+        s.require(build_bool(spec, ivars, bvars))
+        # Materialize every Boolean variable so the model has a value
+        # for it even when the formula never mentions it.
+        for bv in bvars:
+            s.literal(bv)
+        sat = s.solve()
+        if not sat:
+            return s, None
+        ivals = [s.value(v) for v in ivars]
+        bvals = [s.value_bool(v) for v in bvars]
+        for (name, lo, hi), val in zip(INT_DOMAINS, ivals):
+            assert lo <= val <= hi, (name, val)
+        return s, eval_bool(spec, ivals, bvals)
+
+
+CONFIGS = (
+    # (interning, simplify, narrow_bits)
+    (True, True, True),      # the full refactored pipeline
+    (True, True, False),
+    (True, False, True),
+    (False, False, False),   # plain: no consing, no passes, no narrowing
+)
+
+
+class TestRandomFormulaEquisatisfiability:
+    @given(bool_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_all_configs_agree_with_enumeration(self, spec):
+        expect = ground_truth_sat(spec)
+        for intern_on, simplify, narrow in CONFIGS:
+            s, model_eval = encode_and_solve(
+                spec, intern_on, simplify, narrow
+            )
+            got = model_eval is not None
+            assert got == expect, (intern_on, simplify, narrow, spec)
+            if got:
+                # The decoded model must satisfy the *original* formula.
+                assert model_eval is True, (intern_on, simplify, narrow)
+
+    @given(bool_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_small_cnf_agrees_with_reference_checker(self, spec):
+        """When the emitted CNF stays tiny, cross-check the CDCL verdict
+        against the brute-force reference model finder."""
+        s, model_eval = encode_and_solve(spec, True, True, True)
+        if not s.sat.ok:
+            # The pipeline proved UNSAT at the top level (e.g. the
+            # simplifier folded the formula to FALSE); no CNF to check.
+            assert model_eval is None
+            return
+        if s.sat.nvars > 14:
+            return  # 2^nvars enumeration would dominate the suite
+        clauses = [list(c.lits) for c in s.sat.clauses]
+        pbs = [(list(p.lits), list(p.coefs), p.bound) for p in s.sat.pbs]
+        ref = brute_force_sat(s.sat.nvars, clauses, pbs)
+        assert (ref is not None) == (model_eval is not None)
+
+
+class TestFig1Differential:
+    def _system(self):
+        from repro.model import (
+            TOKEN_RING,
+            Architecture,
+            Ecu,
+            Medium,
+            Message,
+            Task,
+            TaskSet,
+        )
+
+        kw = dict(bit_rate=1_000_000, frame_overhead_bits=0,
+                  min_slot=50, slot_overhead=10, gateway_service=25)
+        arch = Architecture(
+            ecus=[Ecu(f"p{i}") for i in range(1, 6)],
+            media=[
+                Medium("k1", TOKEN_RING, ("p1", "p2", "p3"), **kw),
+                Medium("k2", TOKEN_RING, ("p2", "p4"), **kw),
+                Medium("k3", TOKEN_RING, ("p3", "p5"), **kw),
+            ],
+        )
+        every = {f"p{i}": 400 for i in range(1, 6)}
+        tasks = TaskSet([
+            Task("src", 10_000, dict(every), 10_000,
+                 messages=(Message("dst", 200, 8_000),)),
+            Task("dst", 10_000, dict(every), 10_000,
+                 allowed=frozenset({"p4", "p5"})),
+            Task("load1", 5_000, dict(every), 5_000),
+            Task("load2", 5_000, dict(every), 5_000,
+                 separated_from=frozenset({"load1"})),
+        ])
+        return tasks, arch
+
+    def test_allocator_reaches_same_optimum(self):
+        """End-to-end fig. 1 run: the refactored and the plain encoder
+        must agree on feasibility, the optimal cost, and verification."""
+        from repro.core import Allocator, EncoderConfig, MinimizeTRT
+
+        tasks, arch = self._system()
+        cfg_new = EncoderConfig()
+        cfg_old = EncoderConfig(simplify=False, narrow_bits=False)
+        res_new = Allocator(tasks, arch, config=cfg_new).minimize(
+            MinimizeTRT("k1"))
+        res_old = Allocator(tasks, arch, config=cfg_old).minimize(
+            MinimizeTRT("k1"))
+
+        assert res_new.feasible and res_old.feasible
+        assert res_new.proven and res_old.proven
+        assert res_new.cost == res_old.cost
+        assert res_new.verified, res_new.verification.problems
+        assert res_old.verified, res_old.verification.problems
+        # The refactor must never *grow* the formula.
+        assert (res_new.formula_size["clauses"]
+                <= res_old.formula_size["clauses"])

@@ -177,6 +177,31 @@ class TestCli:
     def test_solve_infeasible_exit_code(self, infeasible_file):
         assert main(["solve", str(infeasible_file)]) == 1
 
+    def test_solve_stats_prints_encode_stats_json(self, system_file,
+                                                  capsys):
+        rc = main(["solve", str(system_file), "--objective", "trt:ring",
+                   "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Stats are the first JSON object on stdout (the allocation
+        # dump follows when no -o path is given).
+        stats, _ = json.JSONDecoder().raw_decode(out[out.index("{"):])
+        for key in ("cnf_vars", "cnf_clauses", "triplet_defs", "gates",
+                    "t_total"):
+            assert key in stats, key
+        assert stats["cnf_clauses"] > 0
+
+    def test_solve_no_simplify_matches_default_cost(self, system_file,
+                                                    capsys):
+        assert main(["solve", str(system_file), "--objective",
+                     "trt:ring"]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["solve", str(system_file), "--objective", "trt:ring",
+                     "--no-simplify", "--no-narrow-bits"]) == 0
+        plain_out = capsys.readouterr().out
+        pick = (lambda s: [ln for ln in s.splitlines() if "cost" in ln])
+        assert pick(default_out) == pick(plain_out)
+
     def test_check_roundtrip(self, system_file, tmp_path, capsys):
         out_file = tmp_path / "alloc.json"
         main(["solve", str(system_file), "--objective", "trt:ring",

@@ -1,0 +1,87 @@
+"""Source hygiene checks.
+
+Two layers:
+
+- when ``ruff`` is importable or on PATH it is run over ``src/`` with
+  the configuration in ``pyproject.toml`` (skipped otherwise -- the
+  test container does not ship it, CI does);
+- a dependency-free unused-import check (the F401 subset that has
+  actually bitten this repo) always runs, so the suite catches the
+  common case even without the linter.
+"""
+
+import ast
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def _ruff_command():
+    exe = shutil.which("ruff")
+    if exe:
+        return [exe]
+    try:
+        import ruff  # noqa: F401
+    except ImportError:
+        return None
+    return [sys.executable, "-m", "ruff"]
+
+
+def test_ruff_clean_on_src():
+    cmd = _ruff_command()
+    if cmd is None:
+        pytest.skip("ruff is not installed in this environment")
+    proc = subprocess.run(
+        cmd + ["check", "src"], cwd=REPO,
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def _unused_imports(path: pathlib.Path) -> list[str]:
+    source = path.read_text()
+    tree = ast.parse(source)
+    imported: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = (alias.asname or alias.name).split(".")[0]
+                imported[name] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imported[alias.asname or alias.name] = node.lineno
+    if not imported:
+        return []
+    used = {
+        node.id for node in ast.walk(tree) if isinstance(node, ast.Name)
+    }
+    problems = []
+    for name, lineno in sorted(imported.items(), key=lambda kv: kv[1]):
+        if name in used:
+            continue
+        # Conservative: a name quoted anywhere (``__all__``, doctests,
+        # string annotations) counts as used.
+        if f'"{name}"' in source or f"'{name}'" in source:
+            continue
+        problems.append(f"{path.relative_to(REPO)}:{lineno}: "
+                        f"unused import {name!r}")
+    return problems
+
+
+def test_no_unused_imports_in_src():
+    problems = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "__init__.py":
+            continue  # re-export modules
+        problems.extend(_unused_imports(path))
+    assert not problems, "\n".join(problems)

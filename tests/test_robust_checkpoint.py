@@ -163,10 +163,19 @@ class TestAllocatorResume:
         assert reference.proven
 
         # Find a budget that interrupts *between* the initial SOLVE and
-        # the certified optimum, so there is real state to resume.
+        # the certified optimum, so there is real state to resume.  The
+        # reference run's probe log tells us the decision window: any
+        # budget past the initial probe but short of the full search
+        # starves mid-interval (decisions are deterministic, but keep
+        # the bracketing ladder as a fallback for engine changes).
+        initial = reference.outcome.probes[0].decisions
+        total = sum(p.decisions for p in reference.outcome.probes)
+        ladder = [initial + max((total - initial) // 2, 1)]
+        ladder += [x for x in (40, 80, 160, 320, 640, 1280, 2560)
+                   if x not in ladder]
         path = str(tmp_path / "alloc.json")
         starved = None
-        for max_decisions in (40, 80, 160, 320, 640, 1280, 2560):
+        for max_decisions in ladder:
             if os.path.exists(path):
                 os.remove(path)
             starved = Allocator(tasks, arch).minimize(
