@@ -17,6 +17,8 @@ constants, different hardware, pure-Python solver):
 - the CAN variant solves with a per-mille bus-load optimum.
 """
 
+import os
+
 import pytest
 from conftest import bench_cell
 
@@ -29,6 +31,20 @@ from repro.workloads import (
     tindell_partition,
     ticks_to_ms,
 )
+
+
+# REPRO_CERTIFY=1 runs every probe with full certification (DRUP proof
+# checking + witness audits; see repro.certify) and requires the whole
+# run to verify.  Off by default: checking costs wall time the timing
+# columns should not absorb.
+CERTIFY = os.environ.get("REPRO_CERTIFY") == "1"
+
+
+def check_certificate(res, benchmark) -> None:
+    if not CERTIFY:
+        return
+    assert res.certified, res.certificate and res.certificate.summary()
+    benchmark.extra_info["certificate"] = res.certificate.summary()
 
 
 @pytest.fixture(scope="module")
@@ -47,12 +63,14 @@ def test_token_ring_optimum_vs_annealing(benchmark, profile, rows, cells):
 
     def run():
         return Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), time_limit=profile.time_limit
+            MinimizeTRT("ring"), time_limit=profile.time_limit,
+            certify=CERTIFY,
         )
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert res.feasible
     assert res.verified, res.verification.problems
+    check_certificate(res, benchmark)
     benchmark.extra_info["trt_ticks"] = res.cost
     benchmark.extra_info["trt_ms"] = ticks_to_ms(res.cost)
     benchmark.extra_info.update(res.formula_size)
@@ -92,12 +110,14 @@ def test_can_bus_utilization(benchmark, profile, rows, cells,
 
     def run():
         return Allocator(tasks, arch).minimize(
-            MinimizeCanUtilization("ring"), time_limit=profile.time_limit
+            MinimizeCanUtilization("ring"), time_limit=profile.time_limit,
+            certify=CERTIFY,
         )
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert res.feasible
     assert res.verified, res.verification.problems
+    check_certificate(res, benchmark)
     u = res.cost / 1000.0
     assert 0.0 <= u < 1.0
     benchmark.extra_info["u_can"] = u

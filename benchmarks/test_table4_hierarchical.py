@@ -18,6 +18,7 @@ Shape targets:
   sum TRT(C) <= sum TRT(A) < sum TRT(B).
 """
 
+import os
 import time
 
 from conftest import bench_cell
@@ -33,6 +34,11 @@ from repro.workloads import (
     tindell_partition,
     ticks_to_ms,
 )
+
+
+# REPRO_CERTIFY=1 certifies every probe (proof checking + witness
+# audits); off by default so timing columns exclude checker overhead.
+CERTIFY = os.environ.get("REPRO_CERTIFY") == "1"
 
 
 def _encode_only(tasks, arch, config) -> dict:
@@ -63,7 +69,8 @@ def test_hierarchical_architectures(benchmark, profile, record_table,
     def run_all():
         for name, arch in archs.items():
             results[name] = Allocator(tasks, arch).minimize(
-                MinimizeSumTRT(), time_limit=profile.time_limit
+                MinimizeSumTRT(), time_limit=profile.time_limit,
+                certify=CERTIFY,
             )
         return results
 
@@ -75,6 +82,11 @@ def test_hierarchical_architectures(benchmark, profile, record_table,
         res = results[name]
         assert res.feasible, name
         assert res.verified, (name, res.verification.problems)
+        if CERTIFY:
+            assert res.certified, (name, res.certificate.summary())
+            benchmark.extra_info.setdefault("certificates", {})[name] = (
+                res.certificate.summary()
+            )
         rows.append(
             ExperimentRow(
                 label=f"{name} + [5] ({len(tasks)} tasks)",
@@ -152,12 +164,16 @@ def test_arch_c_with_can_backbone(benchmark, profile, record_table,
 
     def run():
         return Allocator(tasks, arch).minimize(
-            MinimizeTRT("lower"), time_limit=profile.time_limit
+            MinimizeTRT("lower"), time_limit=profile.time_limit,
+            certify=CERTIFY,
         )
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert res.feasible
     assert res.verified, res.verification.problems
+    if CERTIFY:
+        assert res.certified, res.certificate.summary()
+        benchmark.extra_info["certificate"] = res.certificate.summary()
     benchmark.extra_info["lower_trt"] = res.cost
     record_json("table4_can", {
         "profile": profile.name,

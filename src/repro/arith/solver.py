@@ -87,30 +87,42 @@ class IntSolver:
     # Constraints
     # ------------------------------------------------------------------
 
-    def require(self, formula: BoolExpr, guard: BoolVar | None = None) -> bool:
+    def require(
+        self,
+        formula: BoolExpr,
+        guard: BoolVar | None = None,
+        label: str | None = None,
+    ) -> bool:
         """Assert ``formula`` (or ``guard -> formula``).
 
         Returns False when the problem became unsatisfiable at the top
-        level (without any guard).
+        level (without any guard).  ``label`` tags every clause the
+        assertion generates with a provenance string (see
+        :meth:`repro.sat.solver.Solver.tagged`), so unsat-core diagnosis
+        can name the model constraint behind each learnt fact.
         """
-        t0 = time.perf_counter()
-        root = self.trip.transform(formula)
-        self._t_triplet += time.perf_counter() - t0
-        self._flush_new_defs()
-        if guard is None:
+        with self.sat.tagged(label):
+            t0 = time.perf_counter()
+            root = self.trip.transform(formula)
+            self._t_triplet += time.perf_counter() - t0
+            self._flush_new_defs()
+            if guard is None:
+                if root == TOK_TRUE:
+                    return self.sat.ok
+                if root == TOK_FALSE:
+                    # Empty clause rather than a bare ok=False so proof
+                    # logging records the contradiction as an input.
+                    return self.sat.add_clause([])
+                return self.sat.add_clause([self.blaster.token_lit(root)])
+            gtok = self.trip.token_for_boolvar(guard)
+            glit = self.blaster.token_lit(gtok)
             if root == TOK_TRUE:
                 return self.sat.ok
             if root == TOK_FALSE:
-                self.sat.ok = False
-                return False
-            return self.sat.add_clause([self.blaster.token_lit(root)])
-        gtok = self.trip.token_for_boolvar(guard)
-        glit = self.blaster.token_lit(gtok)
-        if root == TOK_TRUE:
-            return self.sat.ok
-        if root == TOK_FALSE:
-            return self.sat.add_clause([neg(glit)])
-        return self.sat.add_clause([neg(glit), self.blaster.token_lit(root)])
+                return self.sat.add_clause([neg(glit)])
+            return self.sat.add_clause(
+                [neg(glit), self.blaster.token_lit(root)]
+            )
 
     def _flush_new_defs(self) -> None:
         t0 = time.perf_counter()

@@ -1,0 +1,38 @@
+"""Certified answers for optimization runs.
+
+Every binary-search probe either proves its answer or is rejected:
+
+- UNSAT probes carry a DRUP-style proof (logged by
+  :class:`repro.sat.proof.ProofLog`) that an independent checker
+  (:mod:`repro.certify.drup`, no solver code imported) replays;
+- SAT probes carry a witness (the decoded allocation) that
+  :mod:`repro.certify.audit` re-verifies against the original analysis
+  and an independently recomputed objective value.
+
+:class:`ProbeCertifier` (:mod:`repro.certify.certifier`) wires both into
+:func:`repro.core.optimize.bin_search`; results surface as a
+:class:`CertifiedResult` on :class:`repro.core.allocator.AllocationResult`.
+"""
+
+from repro.certify.audit import AuditReport, audit_witness, independent_cost
+from repro.certify.certifier import (
+    ProbeCertifier,
+    certify_sat_probe,
+    certify_unsat_probe,
+)
+from repro.certify.drup import ProofError, RupChecker, check_proof_lines
+from repro.certify.result import CertifiedResult, ProbeCertificate
+
+__all__ = [
+    "AuditReport",
+    "CertifiedResult",
+    "ProbeCertificate",
+    "ProbeCertifier",
+    "ProofError",
+    "RupChecker",
+    "audit_witness",
+    "certify_sat_probe",
+    "certify_unsat_probe",
+    "check_proof_lines",
+    "independent_cost",
+]

@@ -106,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument("--no-reuse", action="store_true",
                          help="rebuild the encoding per binary-search probe")
+    p_solve.add_argument(
+        "--certify", action="store_true",
+        help="certify every answer: UNSAT probes log a DRUP-style proof "
+        "replayed by an independent checker, SAT probes are re-audited "
+        "against the analysis; exit code 3 on any certificate failure",
+    )
     p_solve.add_argument("--pb", action="store_true",
                          help="pseudo-Boolean adder axioms (GOBLIN mode)")
     p_solve.add_argument(
@@ -223,13 +229,32 @@ _STATUS_NOTE = {
 
 
 def _print_stats(res) -> None:
-    """Print an AllocationResult's EncodeStats JSON (when present)."""
+    """Print an AllocationResult's EncodeStats JSON (when present),
+    with the certification verdicts merged in as a ``certify`` block."""
     stats = getattr(res, "encode_stats", None)
-    if stats:
-        print(json.dumps(stats, indent=2))
+    cert = getattr(res, "certificate", None)
+    if stats or cert is not None:
+        payload = dict(stats or {})
+        if cert is not None:
+            payload["certify"] = cert.to_dict()
+        print(json.dumps(payload, indent=2))
     else:
         print("no encode stats available for this solve path",
               file=sys.stderr)
+
+
+def _report_certificate(res) -> int:
+    """Print the certification verdict; non-zero on failure."""
+    cert = getattr(res, "certificate", None)
+    if cert is None:
+        return 0
+    print(f"certified: {cert.summary()}")
+    if cert.all_verified:
+        return 0
+    for p in cert.failures:
+        print(f"certificate FAILED (probe {p.index}, {p.kind}): "
+              f"{p.detail}", file=sys.stderr)
+    return 3
 
 
 def _cmd_solve_supervised(args, tasks, arch, cfg, objective,
@@ -240,23 +265,25 @@ def _cmd_solve_supervised(args, tasks, arch, cfg, objective,
     sup = SolveSupervisor(
         tasks, arch, objective, config=cfg,
         budget=budget, checkpoint=checkpoint,
+        certify=args.certify,
     ).solve()
     for st in sup.stages:
         print(f"stage {st.stage}: {st.status} ({st.seconds:.1f}s)",
               file=sys.stderr)
+    cert_rc = _report_certificate(sup.result) if sup.result else 0
     if sup.status == "infeasible":
         print("INFEASIBLE (try: repro diagnose)", file=sys.stderr)
-        return 1
+        return cert_rc or 1
     if not sup.usable:
         print("UNKNOWN: budget exhausted before any allocation was found",
               file=sys.stderr)
-        return 2
+        return cert_rc or 2
     print(f"feasible; cost = {fmt_cost(sup.cost, sup.proven)} "
           f"({_STATUS_NOTE[sup.status]})")
     if args.stats:
         _print_stats(sup.result)
     _emit_allocation(args, sup.allocation, sup.cost, sup.proven, sup.status)
-    return 0
+    return cert_rc
 
 
 def _cmd_solve(args) -> int:
@@ -282,6 +309,7 @@ def _cmd_solve(args) -> int:
                 time_limit=args.time_limit,
                 reuse_learned=not args.no_reuse,
                 checkpoint=checkpoint,
+                certify=args.certify,
             )
         except ValueError as exc:
             # A checkpoint recorded for a different system/objective.
@@ -289,14 +317,15 @@ def _cmd_solve(args) -> int:
                 raise
             raise SystemExit(f"cannot resume: {exc}")
     else:
-        res = allocator.find_feasible(budget=budget)
+        res = allocator.find_feasible(budget=budget, certify=args.certify)
+    cert_rc = _report_certificate(res)
     if not res.feasible:
         if res.status == "unknown":
             print("UNKNOWN: interrupted before an answer "
                   f"({res.outcome.interrupt_reason})", file=sys.stderr)
-            return 2
+            return cert_rc or 2
         print("INFEASIBLE (try: repro diagnose)", file=sys.stderr)
-        return 1
+        return cert_rc or 1
     from repro.reporting import fmt_cost
 
     note = "" if objective is None else (
@@ -312,7 +341,7 @@ def _cmd_solve(args) -> int:
         _print_stats(res)
     status = res.status if objective is not None else "feasible"
     _emit_allocation(args, res.allocation, res.cost, res.proven, status)
-    return 0
+    return cert_rc
 
 
 def _cmd_check(args) -> int:
@@ -345,7 +374,11 @@ def _cmd_diagnose(args) -> int:
           f"({d.solve_calls} solver calls):")
     for kind, items in sorted(d.by_kind().items()):
         for item in items:
+            label = f"{kind}:{item}"
             print(f"  - {kind}: {item}")
+            detail = d.details.get(label)
+            if detail and detail != label:
+                print(f"      {detail}")
     return 1
 
 

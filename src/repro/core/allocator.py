@@ -49,6 +49,10 @@ class AllocationResult:
     #: Cross-layer encoding instrumentation (see
     #: :class:`repro.arith.stats.EncodeStats`), JSON-ready.
     encode_stats: dict = field(default_factory=dict)
+    #: Per-probe certification verdicts (a
+    #: :class:`repro.certify.CertifiedResult`) when the run was made with
+    #: ``certify=True``; None otherwise.
+    certificate: object | None = None
 
     @property
     def verified(self) -> bool:
@@ -66,6 +70,14 @@ class AllocationResult:
     def status(self) -> str:
         """``optimal`` / ``upper_bound`` / ``infeasible`` / ``unknown``."""
         return self.outcome.status if self.outcome is not None else "unknown"
+
+    @property
+    def certified(self) -> bool:
+        """True when the run was certified and every answered probe's
+        certificate checked out."""
+        return bool(
+            self.certificate is not None and self.certificate.all_verified
+        )
 
 
 class Allocator:
@@ -100,8 +112,14 @@ class Allocator:
         verify: bool = True,
         budget: Budget | None = None,
         checkpoint: SearchCheckpoint | str | None = None,
+        certify: bool = False,
     ) -> AllocationResult:
         """Find the cost-minimal feasible allocation.
+
+        ``certify=True`` makes every probe return a checkable artifact
+        (see :mod:`repro.certify`): UNSAT answers log a DRUP-style proof
+        replayed by an independent checker, SAT answers are audited
+        against the analysis; verdicts land on ``result.certificate``.
 
         ``reuse_learned=False`` rebuilds the encoding from scratch for
         every binary-search probe (the paper's pre-section-7 baseline;
@@ -118,9 +136,11 @@ class Allocator:
         ckpt = self._as_checkpoint(checkpoint)
         if reuse_learned:
             return self._minimize_incremental(
-                objective, time_limit, verify, budget, ckpt
+                objective, time_limit, verify, budget, ckpt, certify
             )
-        return self._minimize_rebuild(objective, time_limit, verify, budget)
+        return self._minimize_rebuild(
+            objective, time_limit, verify, budget, certify
+        )
 
     @staticmethod
     def _as_checkpoint(
@@ -143,9 +163,15 @@ class Allocator:
         verify: bool,
         budget: Budget | None = None,
         checkpoint: SearchCheckpoint | None = None,
+        certify: bool = False,
     ) -> AllocationResult:
         enc, cost_var, lo, hi, enc_secs = self._encode(objective)
         assert cost_var is not None
+        certifier = None
+        if certify:
+            from repro.certify import ProbeCertifier
+
+            certifier = ProbeCertifier(self.tasks, self.arch, enc, objective)
         best: list[Allocation | None] = [None]
 
         def snapshot() -> None:
@@ -166,12 +192,16 @@ class Allocator:
             enc.solver, cost_var, lo, hi, on_sat=snapshot,
             time_limit=time_limit, budget=budget,
             checkpoint=checkpoint, on_checkpoint=on_checkpoint,
+            on_probe=certifier.on_probe if certifier is not None else None,
         )
         if best[0] is None and checkpoint is not None and checkpoint.payload:
             from repro.io import allocation_from_dict
 
             best[0] = allocation_from_dict(checkpoint.payload)
-        return self._finish(enc, outcome, best[0], enc_secs, verify)
+        certificate = certifier.finalize() if certifier is not None else None
+        return self._finish(
+            enc, outcome, best[0], enc_secs, verify, certificate
+        )
 
     def _minimize_rebuild(
         self,
@@ -179,14 +209,24 @@ class Allocator:
         time_limit: float | None,
         verify: bool,
         budget: Budget | None = None,
+        certify: bool = False,
     ) -> AllocationResult:
         """BIN_SEARCH with a fresh solver per probe (no clause reuse).
 
         One ``budget`` spans all probes (each fresh solver charges the
         same pool), so the rebuild strategy honors the same end-to-end
-        bound as the incremental one.
+        bound as the incremental one.  With ``certify=True`` every fresh
+        solver logs its own self-contained proof, checked right after the
+        probe answers (UNSAT probes here run without assumptions, so
+        their proof must derive the empty clause outright).
         """
         from repro.core.optimize import OptimizationOutcome, ProbeLog
+
+        certificate = None
+        if certify:
+            from repro.certify import CertifiedResult
+
+            certificate = CertifiedResult()
 
         t0 = time.perf_counter()
         enc, cost_var, lo, hi, enc_secs = self._encode(objective)
@@ -207,6 +247,8 @@ class Allocator:
                 if hi_b is not None:
                     probe_enc.solver.require(pcost <= hi_b)
             last_enc = probe_enc
+            if certificate is not None:
+                probe_enc.solver.sat.start_proof()
             p0 = time.perf_counter()
             try:
                 sat = probe_enc.solver.solve(budget=budget)
@@ -225,6 +267,16 @@ class Allocator:
                 )
                 outcome.interrupted = True
                 outcome.interrupt_reason = str(exc)
+                if certificate is not None:
+                    from repro.certify import ProbeCertificate
+
+                    certificate.add(
+                        ProbeCertificate(
+                            index=len(certificate.probes),
+                            kind="skipped",
+                            ok=True,
+                        )
+                    )
                 raise
             secs = time.perf_counter() - p0
             cost = probe_enc.solver.value(pcost) if sat else None
@@ -241,13 +293,33 @@ class Allocator:
             )
             if sat:
                 best = probe_enc.decode()
+            if certificate is not None:
+                from repro.certify import (
+                    certify_sat_probe,
+                    certify_unsat_probe,
+                )
+
+                index = len(certificate.probes)
+                if sat:
+                    certificate.add(
+                        certify_sat_probe(
+                            self.tasks, self.arch, probe_enc, objective,
+                            claimed_cost=cost, index=index,
+                        )
+                    )
+                else:
+                    cert, lines = certify_unsat_probe(probe_enc, index)
+                    certificate.add(cert)
+                    certificate.proof_lines += lines
             return sat, cost
 
         try:
             sat, cost = probe(None, None)
         except BudgetExpired:
             outcome.seconds = time.perf_counter() - t0
-            return self._finish(last_enc, outcome, best, enc_secs, verify)
+            return self._finish(
+                last_enc, outcome, best, enc_secs, verify, certificate
+            )
         if sat:
             outcome.feasible = True
             assert cost is not None
@@ -277,13 +349,24 @@ class Allocator:
         else:
             outcome.proven = True  # certified infeasibility
         outcome.seconds = time.perf_counter() - t0
-        return self._finish(last_enc, outcome, best, enc_secs, verify)
+        return self._finish(
+            last_enc, outcome, best, enc_secs, verify, certificate
+        )
 
     def find_feasible(
-        self, verify: bool = True, budget: Budget | None = None
+        self,
+        verify: bool = True,
+        budget: Budget | None = None,
+        certify: bool = False,
     ) -> AllocationResult:
         """One SOLVE call: any allocation satisfying all constraints."""
         enc, _, _, _, enc_secs = self._encode(None)
+        certificate = None
+        if certify:
+            from repro.certify import CertifiedResult
+
+            certificate = CertifiedResult()
+            enc.solver.sat.start_proof()
         t0 = time.perf_counter()
         try:
             sat = enc.solver.solve(budget=budget)
@@ -293,11 +376,30 @@ class Allocator:
                 interrupted=True, interrupt_reason=str(exc),
             )
             outcome.seconds = time.perf_counter() - t0
-            return self._finish(enc, outcome, None, enc_secs, verify)
+            if certificate is not None:
+                from repro.certify import ProbeCertificate
+
+                certificate.add(
+                    ProbeCertificate(index=0, kind="skipped", ok=True)
+                )
+            return self._finish(
+                enc, outcome, None, enc_secs, verify, certificate
+            )
         outcome = OptimizationOutcome(feasible=sat, optimum=None)
         outcome.seconds = time.perf_counter() - t0
         alloc = enc.decode() if sat else None
-        return self._finish(enc, outcome, alloc, enc_secs, verify)
+        if certificate is not None:
+            from repro.certify import certify_sat_probe, certify_unsat_probe
+
+            if sat:
+                certificate.add(
+                    certify_sat_probe(self.tasks, self.arch, enc)
+                )
+            else:
+                cert, lines = certify_unsat_probe(enc)
+                certificate.add(cert)
+                certificate.proof_lines += lines
+        return self._finish(enc, outcome, alloc, enc_secs, verify, certificate)
 
     def _finish(
         self,
@@ -306,6 +408,7 @@ class Allocator:
         alloc: Allocation | None,
         enc_secs: float,
         verify: bool,
+        certificate=None,
     ) -> AllocationResult:
         report = None
         if verify and alloc is not None:
@@ -321,4 +424,5 @@ class Allocator:
             encode_seconds=enc_secs,
             solve_seconds=outcome.seconds,
             encode_stats=enc.encode_stats(),
+            certificate=certificate,
         )

@@ -41,6 +41,11 @@ class Diagnosis:
     core: list[str] = field(default_factory=list)
     minimized: bool = False
     solve_calls: int = 0
+    #: Core label -> human-readable explanation of the obligation.
+    details: dict[str, str] = field(default_factory=dict)
+    #: Provenance label -> number of solver clauses/PB constraints the
+    #: encoder tagged with it (how much formula each requirement owns).
+    tagged_clauses: dict[str, int] = field(default_factory=dict)
 
     def by_kind(self) -> dict[str, list[str]]:
         """Group the core labels by obligation kind
@@ -50,6 +55,43 @@ class Diagnosis:
             kind, _, rest = label.partition(":")
             out.setdefault(kind, []).append(rest)
         return out
+
+    def describe(self) -> list[str]:
+        """Human-readable line per core obligation."""
+        return [
+            self.details.get(label, label) for label in self.core
+        ]
+
+
+def _describe_label(label: str, tasks: TaskSet, arch: Architecture) -> str:
+    """Map a constraint provenance label to a model-level sentence."""
+    kind, _, rest = label.partition(":")
+    if kind == "deadline" and rest in tasks.names():
+        t = tasks[rest]
+        return (
+            f'task "{rest}" must meet its deadline of {t.deadline} ticks'
+        )
+    if kind == "separation":
+        a, _, b = rest.partition(",")
+        return (
+            f'tasks "{a}" and "{b}" must be placed on different ECUs'
+        )
+    if kind == "memory":
+        cap = None
+        ecu = arch.ecus.get(rest)
+        if ecu is not None:
+            cap = ecu.memory
+        if cap is not None:
+            return (
+                f'ECU "{rest}" cannot hold its tasks within '
+                f"{cap} memory units"
+            )
+        return f'ECU "{rest}" cannot hold its tasks within its memory'
+    if kind == "msg-deadline":
+        return (
+            f"message {rest} must arrive within its end-to-end deadline"
+        )
+    return label
 
 
 def diagnose(
@@ -84,6 +126,14 @@ def diagnose(
             assumptions=[guard_of[l] for l in active]
         )
 
+    def finish(diag: Diagnosis) -> Diagnosis:
+        diag.details = {
+            label: _describe_label(label, tasks, arch)
+            for label in diag.core
+        }
+        diag.tagged_clauses = solver.sat.tag_counts()
+        return diag
+
     if solve_with(labels):
         return Diagnosis(feasible=True, solve_calls=calls)
 
@@ -91,7 +141,7 @@ def diagnose(
     core_vars = {id(v) for v in solver.last_core()}
     core = [l for l in labels if id(guard_of[l]) in core_vars]
     if not core:
-        return Diagnosis(feasible=False, core=[], solve_calls=calls)
+        return finish(Diagnosis(feasible=False, core=[], solve_calls=calls))
 
     if minimize:
         # Deletion filter: drop one obligation at a time; if still UNSAT
@@ -109,7 +159,10 @@ def diagnose(
             else:
                 i += 1
         core = kept
-        return Diagnosis(
-            feasible=False, core=core, minimized=True, solve_calls=calls
+        return finish(
+            Diagnosis(
+                feasible=False, core=core, minimized=True,
+                solve_calls=calls,
+            )
         )
-    return Diagnosis(feasible=False, core=core, solve_calls=calls)
+    return finish(Diagnosis(feasible=False, core=core, solve_calls=calls))

@@ -152,20 +152,21 @@ class ProblemEncoding:
             if not terms:
                 continue
             guard = self._obligation_guard(f"memory:{p}")
-            if guard is not None:
-                # g -> (sum <= cap), as the relaxed PB constraint
-                # sum + M*g <= cap + M with M covering the full demand.
-                big_m = max(0, sum(m for m, _ in terms) - ecu.memory)
-                glit = self.solver.literal(guard)
-                terms.append((big_m, glit))
-                add_constraint(
-                    self.solver.sat, terms, Relation.LE,
-                    ecu.memory + big_m,
-                )
-            else:
-                add_constraint(
-                    self.solver.sat, terms, Relation.LE, ecu.memory
-                )
+            with self.solver.sat.tagged(f"memory:{p}"):
+                if guard is not None:
+                    # g -> (sum <= cap), as the relaxed PB constraint
+                    # sum + M*g <= cap + M with M covering the full demand.
+                    big_m = max(0, sum(m for m, _ in terms) - ecu.memory)
+                    glit = self.solver.literal(guard)
+                    terms.append((big_m, glit))
+                    add_constraint(
+                        self.solver.sat, terms, Relation.LE,
+                        ecu.memory + big_m,
+                    )
+                else:
+                    add_constraint(
+                        self.solver.sat, terms, Relation.LE, ecu.memory
+                    )
 
     def _boost_primary_decisions(self) -> None:
         """Seed VSIDS toward the primary decision variables (allocation,
@@ -253,6 +254,7 @@ class ProblemEncoding:
                     guard=self._obligation_guard(
                         f"separation:{key[0]},{key[1]}"
                     ),
+                    label=f"separation:{key[0]},{key[1]}",
                 )
 
     # ------------------------------------------------------------------
@@ -387,8 +389,11 @@ class ProblemEncoding:
             # (definition + check): the response variable's range already
             # encodes r <= d, so relaxing only the check would be vacuous.
             g = self._obligation_guard(f"deadline:{ti.name}")
-            s.require(r == _sum_exprs(costs), guard=g)
-            s.require(r <= ti.deadline - ti.release_jitter, guard=g)
+            label = f"deadline:{ti.name}"
+            s.require(r == _sum_exprs(costs), guard=g, label=label)
+            s.require(
+                r <= ti.deadline - ti.release_jitter, guard=g, label=label
+            )
 
     # ------------------------------------------------------------------
     # Token-ring slot table and TRT variables
@@ -557,6 +562,7 @@ class ProblemEncoding:
                 s.require(
                     _sum_exprs(dl_terms) <= msg.deadline,
                     guard=self._obligation_guard(f"msg-deadline:{ref}"),
+                    label=f"msg-deadline:{ref}",
                 )
             # Gateway cost: charged on every used medium except the first
             # of the chosen closure (crossings = used media - 1).
@@ -749,7 +755,8 @@ class ProblemEncoding:
                     if self.config.pin_unused:
                         s.require(Implies(Not(ku), b == 0))
             s.require(
-                Implies(ku, r == _sum_exprs(ic_terms)), guard=msg_guard
+                Implies(ku, r == _sum_exprs(ic_terms)), guard=msg_guard,
+                label=f"msg-deadline:{ref}",
             )
         else:
             # TDMA blocking: Imb rounds, each paying (Lambda - own slot).
@@ -787,12 +794,16 @@ class ProblemEncoding:
                     ),
                 ),
                 guard=msg_guard,
+                label=f"msg-deadline:{ref}",
             )
             if self.config.pin_unused:
                 s.require(Implies(Not(ku), And(imb == 0, block == 0)))
 
         # Local deadline check (section 4) and unused pinning.
-        s.require(Implies(ku, r <= dl), guard=msg_guard)
+        s.require(
+            Implies(ku, r <= dl), guard=msg_guard,
+            label=f"msg-deadline:{ref}",
+        )
         if self.config.pin_unused:
             s.require(Implies(Not(ku), r == 0))
 

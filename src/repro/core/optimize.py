@@ -111,12 +111,18 @@ def bin_search(
     budget: Budget | None = None,
     checkpoint: SearchCheckpoint | None = None,
     on_checkpoint: Callable[[SearchCheckpoint], None] | None = None,
+    on_probe: Callable[[ProbeLog, object], None] | None = None,
 ) -> OptimizationOutcome:
     """Minimize ``cost_var`` over an :class:`repro.arith.IntSolver`.
 
     ``on_sat`` is invoked after every satisfiable probe (while the model
     is loaded) so the caller can snapshot the best allocation found so
     far -- after the search the last snapshot belongs to the optimum.
+
+    ``on_probe`` is invoked after *every* probe (including interrupted
+    ones) with the fresh :class:`ProbeLog` and the probe's guard
+    literal; :class:`repro.certify.ProbeCertifier` uses it to check each
+    answer's certificate while the probe's state is still loaded.
 
     ``time_limit`` (seconds) turns the search into an anytime algorithm:
     on expiry the best known upper bound is returned with ``feasible``
@@ -205,6 +211,8 @@ def bin_search(
             )
             out.interrupted = True
             out.interrupt_reason = str(exc)
+            if on_probe is not None:
+                on_probe(out.probes[-1], guard)
             raise
         seconds = time.perf_counter() - p0
         cost = solver.value(cost_var) if sat else None
@@ -223,6 +231,8 @@ def bin_search(
         )
         if sat and on_sat is not None:
             on_sat()
+        if on_probe is not None:
+            on_probe(out.probes[-1], guard)
         return sat, cost
 
     left: int | None = None

@@ -188,8 +188,9 @@ def add_constraint(
     """
     cons = normalize(terms, rel, rhs)
     if cons is UNSAT:
-        solver.ok = False
-        return False
+        # Empty clause rather than a bare ok=False so proof logging
+        # records the contradiction as an input.
+        return solver.add_clause([])
     ok = True
     for con in cons:
         if con.is_clause():

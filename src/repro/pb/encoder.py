@@ -52,8 +52,9 @@ def encode_pb(solver: Solver, con: PBConstraint, mode: EncodeMode) -> bool:
     if con.trivial:
         return True
     if con.unsatisfiable:
-        solver.ok = False
-        return False
+        # Empty clause rather than a bare ok=False so proof logging
+        # records the contradiction as an input.
+        return solver.add_clause([])
     key = (tuple(con.lits), tuple(con.coefs), con.bound, mode.value)
     cache = getattr(solver, "_pb_encoded", None)
     if cache is None:
@@ -88,8 +89,7 @@ def encode_at_most_k(solver: Solver, lits: list[int], k: int) -> bool:
     if k >= n:
         return True
     if k < 0:
-        solver.ok = False
-        return False
+        return solver.add_clause([])
     if k == 0:
         ok = True
         for l in lits:
@@ -200,6 +200,5 @@ def encode_bdd(solver: Solver, con: PBConstraint) -> bool:
     if root is _TRUE:
         return ok_flag[0]
     if root is _FALSE:
-        solver.ok = False
-        return False
+        return solver.add_clause([]) and ok_flag[0]
     return solver.add_clause([root]) and ok_flag[0]

@@ -26,9 +26,12 @@ from repro.robust.budget import Budget, BudgetExpired
 from repro.robust.checkpoint import SearchCheckpoint, SweepCheckpoint
 from repro.robust.faults import (
     FAULT_EXIT_CODE,
+    PROOF_CORRUPTIONS,
     FaultInjected,
     FaultInjector,
     FaultPlan,
+    corrupt_allocation,
+    corrupt_proof_line,
 )
 from repro.robust.supervisor import (
     SolveSupervisor,
@@ -48,4 +51,7 @@ __all__ = [
     "FaultInjector",
     "FaultInjected",
     "FAULT_EXIT_CODE",
+    "PROOF_CORRUPTIONS",
+    "corrupt_proof_line",
+    "corrupt_allocation",
 ]

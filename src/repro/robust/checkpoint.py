@@ -30,12 +30,32 @@ __all__ = ["SearchCheckpoint", "SweepCheckpoint", "atomic_write_json"]
 
 
 def atomic_write_json(path: str, payload: dict) -> None:
-    """Write ``payload`` as JSON to ``path`` atomically."""
+    """Write ``payload`` as JSON to ``path`` atomically and durably.
+
+    The temp file is fsynced before the rename (otherwise a crash can
+    leave the *renamed* file empty or truncated: rename-over-unflushed-
+    data is the classic ext4 zero-length-file hazard), and the containing
+    directory is fsynced after it so the rename itself survives a power
+    loss.
+    """
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    dirpath = os.path.dirname(os.path.abspath(path))
+    try:
+        dfd = os.open(dirpath, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds (e.g. Windows)
+    try:
+        os.fsync(dfd)
+    except OSError:
+        pass  # directory fsync unsupported on this filesystem
+    finally:
+        os.close(dfd)
 
 
 @dataclass

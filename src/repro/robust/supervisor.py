@@ -86,6 +86,7 @@ class SolveSupervisor:
         checkpoint: SearchCheckpoint | str | None = None,
         heuristics: tuple[str, ...] = ("greedy", "annealing"),
         verify: bool = True,
+        certify: bool = False,
     ):
         self.tasks = tasks
         self.arch = arch
@@ -95,6 +96,9 @@ class SolveSupervisor:
         self.checkpoint = checkpoint
         self.heuristics = tuple(heuristics)
         self.verify = verify
+        #: Ask the exact stages for per-probe certificates (proof-checked
+        #: UNSAT answers, audited SAT witnesses); see :mod:`repro.certify`.
+        self.certify = certify
 
     # ------------------------------------------------------------------
 
@@ -134,6 +138,7 @@ class SolveSupervisor:
                 verify=self.verify,
                 budget=self.budget,
                 checkpoint=self.checkpoint if reuse_learned else None,
+                certify=self.certify,
             )
         except Exception:  # noqa: BLE001 - supervision boundary by design
             out.stages.append(

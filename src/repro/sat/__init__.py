@@ -10,6 +10,8 @@ Public API
 ----------
 - :class:`repro.sat.solver.Solver` -- the CDCL engine
 - :class:`repro.sat.solver.SolverStats` -- search statistics
+- :class:`repro.sat.proof.ProofLog` -- DRUP-style proof log (enabled via
+  :meth:`Solver.start_proof`; checked by :mod:`repro.certify.drup`)
 - :func:`repro.sat.literals.mklit` / :func:`neg` / :func:`lit_var` /
   :func:`lit_sign` -- literal encoding helpers
 - :mod:`repro.sat.dimacs` -- DIMACS CNF reader/writer
@@ -18,11 +20,13 @@ Public API
 """
 
 from repro.sat.literals import lit_sign, lit_var, mklit, neg
+from repro.sat.proof import ProofLog
 from repro.sat.solver import Solver, SolverStats
 
 __all__ = [
     "Solver",
     "SolverStats",
+    "ProofLog",
     "mklit",
     "neg",
     "lit_var",

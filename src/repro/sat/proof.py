@@ -1,0 +1,105 @@
+"""DRUP-style proof logging for the CDCL/PB engine.
+
+A :class:`ProofLog` records, in order, everything needed to re-derive an
+UNSAT answer by reverse unit propagation (RUP) *without trusting the
+solver*:
+
+- ``("i", lits)``      -- an input clause, exactly as handed to
+  :meth:`repro.sat.solver.Solver.add_clause` (pre-simplification, so the
+  proof is self-contained),
+- ``("b", lits, coefs, bound)`` -- an input pseudo-Boolean constraint
+  ``sum coefs[i]*lits[i] >= bound`` (pre-folding/saturation; both are
+  propagation-neutral, see ``docs/ROBUSTNESS.md``),
+- ``("a", lits)``      -- a clause the solver claims is derivable
+  (learnt clauses, learnt units, assumption-core clauses, and the empty
+  clause on a level-0 conflict); a checker must verify each by RUP,
+- ``("d", lits)``      -- deletion of a previously added clause (from
+  learnt-DB reduction); literal order is irrelevant (watch swaps permute
+  ``lits`` in place), so checkers match by literal multiset.
+
+Literals inside the log use the engine's flat encoding; the serialized
+text form (:meth:`ProofLog.lines`) uses signed DIMACS integers so that a
+checker shares no literal-encoding code with the solver.  The text format
+is one step per line::
+
+    i  1 -2 3 0          input clause
+    b  2  1 4  1 -5 0    input PB:  1*x4 + 1*(-x5) >= 2
+    -2 7 0               RUP addition (plain DRUP style)
+    d -2 7 0             deletion
+
+All hooks in the solver are guarded by ``if self.proof is not None`` so
+the default (no logging) leaves the hot propagation loop untouched.
+"""
+
+from __future__ import annotations
+
+from repro.sat.literals import to_dimacs
+
+__all__ = ["ProofLog", "format_step"]
+
+
+def format_step(step: tuple) -> str:
+    """Serialize one proof step to its text line (signed DIMACS)."""
+    kind = step[0]
+    if kind == "i":
+        body = " ".join(str(to_dimacs(l)) for l in step[1])
+        return f"i {body} 0".replace("  ", " ")
+    if kind == "b":
+        _, lits, coefs, bound = step
+        terms = " ".join(
+            f"{c} {to_dimacs(l)}" for c, l in zip(coefs, lits)
+        )
+        return f"b {bound} {terms} 0".replace("  ", " ")
+    if kind == "a":
+        body = " ".join(str(to_dimacs(l)) for l in step[1])
+        return f"{body} 0".strip()
+    if kind == "d":
+        body = " ".join(str(to_dimacs(l)) for l in step[1])
+        return f"d {body} 0".replace("  ", " ")
+    raise ValueError(f"unknown proof step kind {kind!r}")
+
+
+class ProofLog:
+    """Ordered list of proof steps emitted by one :class:`Solver`."""
+
+    __slots__ = ("steps", "inputs", "pb_inputs", "additions", "deletions")
+
+    def __init__(self) -> None:
+        self.steps: list[tuple] = []
+        self.inputs = 0
+        self.pb_inputs = 0
+        self.additions = 0
+        self.deletions = 0
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def log_input(self, lits: list[int]) -> None:
+        """Record an input clause (pre-simplification)."""
+        self.steps.append(("i", tuple(lits)))
+        self.inputs += 1
+
+    def log_pb(self, lits: list[int], coefs: list[int], bound: int) -> None:
+        """Record an input PB constraint ``sum coefs*lits >= bound``."""
+        self.steps.append(("b", tuple(lits), tuple(coefs), bound))
+        self.pb_inputs += 1
+
+    def log_add(self, lits: list[int]) -> None:
+        """Record a derived (RUP-checkable) clause; ``[]`` is the empty
+        clause, i.e. the claim that the database is unsatisfiable."""
+        self.steps.append(("a", tuple(lits)))
+        self.additions += 1
+
+    def log_delete(self, lits: list[int]) -> None:
+        """Record the deletion of a previously added clause."""
+        self.steps.append(("d", tuple(lits)))
+        self.deletions += 1
+
+    def lines(self, start: int = 0):
+        """Yield the text form of steps ``start..`` (signed DIMACS)."""
+        for step in self.steps[start:]:
+            yield format_step(step)
+
+    def to_lines(self) -> list[str]:
+        """The whole proof as a list of text lines."""
+        return list(self.lines())

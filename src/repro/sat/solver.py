@@ -49,13 +49,16 @@ class Clause:
     by :meth:`Solver._propagate`).
     """
 
-    __slots__ = ("lits", "learnt", "activity", "lbd")
+    __slots__ = ("lits", "learnt", "activity", "lbd", "tag")
 
     def __init__(self, lits: list[int], learnt: bool = False):
         self.lits = lits
         self.learnt = learnt
         self.activity = 0.0
         self.lbd = 0
+        #: Provenance label of the model constraint this clause encodes
+        #: (set by :meth:`Solver.tagged`); None for untagged clauses.
+        self.tag: str | None = None
 
     def __len__(self) -> int:
         return len(self.lits)
@@ -76,7 +79,7 @@ class PBConstraintRef:
     unassigned literal with ``coef > slack`` is forced true.
     """
 
-    __slots__ = ("lits", "coefs", "bound", "slack", "max_coef")
+    __slots__ = ("lits", "coefs", "bound", "slack", "max_coef", "tag")
 
     def __init__(self, lits: list[int], coefs: list[int], bound: int):
         self.lits = lits
@@ -84,10 +87,32 @@ class PBConstraintRef:
         self.bound = bound
         self.slack = sum(coefs) - bound
         self.max_coef = max(coefs) if coefs else 0
+        #: Provenance label (see :meth:`Solver.tagged`); None if untagged.
+        self.tag: str | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         terms = " + ".join(f"{c}*x{l}" for c, l in zip(self.coefs, self.lits))
         return f"PB<{terms} >= {self.bound}>"
+
+
+class _TagScope:
+    """Context manager backing :meth:`Solver.tagged` (nestable)."""
+
+    __slots__ = ("solver", "label", "prev")
+
+    def __init__(self, solver: "Solver", label: str | None):
+        self.solver = solver
+        self.label = label
+        self.prev: str | None = None
+
+    def __enter__(self) -> "_TagScope":
+        self.prev = self.solver._active_tag
+        if self.label is not None:
+            self.solver._active_tag = self.label
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.solver._active_tag = self.prev
 
 
 @dataclass
@@ -193,6 +218,63 @@ class Solver:
         self.stats = SolverStats()
         self.max_learnts = 4000.0
         self.learnt_growth = 1.15
+        #: DRUP-style proof log (see :mod:`repro.sat.proof`); None (the
+        #: default) keeps every hot path free of logging overhead.
+        self.proof = None
+        #: Provenance label applied to constraints added while a
+        #: :meth:`tagged` block is active.
+        self._active_tag: str | None = None
+
+    # ------------------------------------------------------------------
+    # Proof logging / provenance
+    # ------------------------------------------------------------------
+
+    def start_proof(self):
+        """Begin DRUP-style proof logging and return the ProofLog.
+
+        The current database (clauses, PB constraints, level-0 facts) is
+        snapshotted as proof *inputs*, so the log is self-contained no
+        matter when logging starts.  Learnt clauses already present are
+        recorded as inputs too -- i.e. a proof started mid-search
+        certifies unsatisfiability of the database *including* what the
+        solver had derived so far; start logging before the first
+        ``solve()`` for a certificate over the original constraints only.
+        """
+        from repro.sat.proof import ProofLog
+
+        log = ProofLog()
+        self._cancel_until(0)
+        for c in self.clauses:
+            log.log_input(c.lits)
+        for c in self.learnts:
+            log.log_input(c.lits)
+        for con in self.pbs:
+            log.log_pb(con.lits, con.coefs, con.bound)
+        for lit in self.trail:
+            log.log_input([lit])
+        if not self.ok:
+            log.log_input([])
+        self.proof = log
+        return log
+
+    def tagged(self, label: str | None):
+        """Context manager: constraints added inside the block carry
+        ``label`` as their provenance tag (:attr:`Clause.tag` /
+        :attr:`PBConstraintRef.tag`), mapping engine-level constraints
+        back to named model obligations for infeasibility diagnosis."""
+        return _TagScope(self, label)
+
+    def tag_counts(self) -> dict[str, int]:
+        """Number of stored clauses and PB constraints per provenance
+        tag (untagged constraints are not counted)."""
+        out: dict[str, int] = {}
+        for c in self.clauses:
+            if c.tag is not None:
+                out[c.tag] = out.get(c.tag, 0) + 1
+        for con in self.pbs:
+            if con.tag is not None:
+                out[con.tag] = out.get(con.tag, 0) + 1
+        return out
 
     # ------------------------------------------------------------------
     # Variable / constraint creation
@@ -237,6 +319,8 @@ class Solver:
         """
         if not self.ok:
             return False
+        if self.proof is not None:
+            self.proof.log_input(lits)
         self._cancel_until(0)  # adding constraints resets any search state
         seen: set[int] = set()
         out: list[int] = []
@@ -261,6 +345,7 @@ class Solver:
                 return False
             return True
         c = Clause(out)
+        c.tag = self._active_tag
         self.clauses.append(c)
         self._attach_clause(c)
         return True
@@ -274,6 +359,11 @@ class Solver:
         """
         if not self.ok:
             return False
+        if self.proof is not None:
+            # Log the original constraint: level-0 folding and coefficient
+            # saturation are propagation-neutral, so a checker propagating
+            # the original form replicates the engine exactly.
+            self.proof.log_pb(lits, coefs, bound)
         self._cancel_until(0)
         if bound <= 0:
             return True  # trivially satisfied
@@ -297,6 +387,7 @@ class Solver:
             self.ok = False
             return False
         con = PBConstraintRef(flits, fcoefs, bound)
+        con.tag = self._active_tag
         self.pbs.append(con)
         for lit, coef in zip(flits, fcoefs):
             # Constraint must react when `lit` becomes FALSE, i.e. when
@@ -631,6 +722,8 @@ class Solver:
             core.append(neg(p))
         if self._decision_level() == 0:
             self.conflict_core = core
+            if self.proof is not None:
+                self.proof.log_add([neg(l) for l in core])
             return
         seen = self._seen
         marked: list[int] = [p >> 1]
@@ -656,6 +749,12 @@ class Solver:
         for v in marked:
             seen[v] = 0
         self.conflict_core = core
+        if self.proof is not None:
+            # The core clause {neg(a) : a in core} is itself a RUP
+            # consequence: asserting the core assumptions and propagating
+            # re-derives the conflict.  Logging it lets a checker refute
+            # the probe's assumptions by unit propagation alone.
+            self.proof.log_add([neg(l) for l in core])
 
     def _lit_redundant(
         self, lit: int, abstract_levels: int, to_clear: list[int]
@@ -822,6 +921,8 @@ class Solver:
             )
             if len(c.lits) > 2 and not locked and (i < half or c.activity < limit):
                 self._detach_clause(c)
+                if self.proof is not None:
+                    self.proof.log_delete(c.lits)
                 self.stats.deleted_clauses += 1
             else:
                 keep.append(c)
@@ -869,11 +970,15 @@ class Solver:
                 self.stats.conflicts += 1
                 conflicts_this_restart += 1
                 if self._decision_level() == 0:
+                    if self.proof is not None:
+                        self.proof.log_add([])
                     self.ok = False
                     return False  # definitive UNSAT beats budget expiry
                 if budget is not None and budget.step(conflicts=1):
                     self._budget_stop(budget)
                 learnt, bt = self._analyze(confl)
+                if self.proof is not None:
+                    self.proof.log_add(learnt)
                 self._cancel_until(bt)
                 if len(learnt) == 1:
                     self._unchecked_enqueue(learnt[0], None)

@@ -246,6 +246,53 @@ class TestCli:
                      "-o", str(out_file)]) == 0
         assert out_file.read_text().startswith("p cnf")
 
+    def test_solve_certify_prints_verdict(self, system_file, capsys):
+        rc = main(["solve", str(system_file), "--objective", "trt:ring",
+                   "--certify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        cert_lines = [ln for ln in out.splitlines()
+                      if ln.startswith("certified:")]
+        assert cert_lines and "all verified" in cert_lines[0]
+
+    def test_solve_certify_feasibility_only(self, system_file, capsys):
+        assert main(["solve", str(system_file), "--certify"]) == 0
+        assert "certified: all verified" in capsys.readouterr().out
+
+    def test_solve_certify_infeasible_keeps_exit_code(self, infeasible_file,
+                                                      capsys):
+        # The infeasibility itself is proof-checked; the verified
+        # certificate must not mask the infeasible exit code.
+        assert main(["solve", str(infeasible_file), "--certify"]) == 1
+        out = capsys.readouterr().out
+        assert "certified: all verified" in out
+        assert "unsat proof-checked" in out
+
+    def test_solve_certify_stats_block(self, system_file, capsys):
+        rc = main(["solve", str(system_file), "--objective", "trt:ring",
+                   "--certify", "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        stats, _ = json.JSONDecoder().raw_decode(out[out.index("{"):])
+        assert "certify" in stats
+        cert = stats["certify"]
+        for key in ("probes", "sat_probes", "unsat_probes", "verified",
+                    "proof_lines", "proof_steps_checked", "check_seconds",
+                    "audit_seconds", "probe_verdicts"):
+            assert key in cert, key
+        assert cert["verified"] is True
+        assert cert["probes"] >= 1
+        assert len(cert["probe_verdicts"]) == cert["probes"]
+
+    def test_solve_stats_without_certify_has_no_block(self, system_file,
+                                                      capsys):
+        rc = main(["solve", str(system_file), "--objective", "trt:ring",
+                   "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        stats, _ = json.JSONDecoder().raw_decode(out[out.index("{"):])
+        assert "certify" not in stats
+
     def test_bad_objective_spec(self, system_file):
         with pytest.raises(SystemExit):
             main(["solve", str(system_file), "--objective", "bogus"])

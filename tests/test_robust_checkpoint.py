@@ -54,6 +54,56 @@ class TestSearchCheckpointCodec:
         with open(path) as fh:
             assert json.load(fh)["kind"] == "bin_search"
 
+    def test_save_is_durable(self, tmp_path, monkeypatch):
+        """atomic_write_json must fsync the temp file *before* the rename
+        and the directory *after* it -- otherwise a crash can leave the
+        renamed checkpoint empty (the ext4 zero-length-file hazard)."""
+        from repro.robust.checkpoint import atomic_write_json
+
+        events = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def spy_fsync(fd):
+            mode = os.fstat(fd).st_mode
+            import stat
+
+            events.append("fsync-dir" if stat.S_ISDIR(mode)
+                          else "fsync-file")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        path = str(tmp_path / "ck.json")
+        atomic_write_json(path, {"kind": "test", "n": 3})
+        assert events == ["fsync-file", "rename", "fsync-dir"]
+        with open(path) as fh:
+            assert json.load(fh) == {"kind": "test", "n": 3}
+
+    def test_save_survives_unsupported_directory_fsync(self, tmp_path,
+                                                       monkeypatch):
+        """A filesystem refusing directory fsync degrades gracefully."""
+        from repro.robust.checkpoint import atomic_write_json
+
+        real_fsync = os.fsync
+
+        def flaky_fsync(fd):
+            import stat
+
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError("directory fsync unsupported")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", flaky_fsync)
+        path = str(tmp_path / "ck.json")
+        atomic_write_json(path, {"ok": True})
+        with open(path) as fh:
+            assert json.load(fh) == {"ok": True}
+
     def test_started_and_finished(self):
         ck = SearchCheckpoint()
         assert not ck.started and not ck.finished

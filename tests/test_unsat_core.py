@@ -1,0 +1,136 @@
+"""Edge-case tests for assumption cores (``Solver._analyze_final``).
+
+The binary search leans on assumption cores twice: guard literals retire
+cost bounds, and :mod:`repro.core.diagnose` maps cores back to named
+model constraints.  These tests pin down the corner cases at the raw
+CDCL level: empty assumption lists, duplicated and contradictory
+assumptions, strict-subset extraction, and the proof logging of the core
+clause itself.
+"""
+
+from repro.sat import Solver, mklit, neg
+from repro.sat.literals import to_dimacs
+
+
+def _php32(s, guard=None):
+    """Add pigeonhole PHP(3,2) clauses, optionally guarded."""
+    prefix = [neg(mklit(guard))] if guard is not None else []
+    x = [[s.new_var() for _ in range(2)] for _ in range(3)]
+    for p in range(3):
+        s.add_clause(prefix + [mklit(x[p][0]), mklit(x[p][1])])
+    for h in range(2):
+        for p1 in range(3):
+            for p2 in range(p1 + 1, 3):
+                s.add_clause([neg(mklit(x[p1][h])), neg(mklit(x[p2][h]))])
+    return x
+
+
+class TestEmptyAssumptions:
+    def test_outright_unsat_has_empty_core(self):
+        s = Solver()
+        _php32(s)
+        assert not s.solve(assumptions=[])
+        # No assumption contributed, so there is nothing to blame.
+        assert s.conflict_core == []
+
+    def test_outright_unsat_logs_empty_clause(self):
+        s = Solver()
+        _php32(s)
+        proof = s.start_proof()
+        assert not s.solve(assumptions=[])
+        assert ("a", ()) in proof.steps
+
+    def test_core_reset_between_calls(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([mklit(a), mklit(b)])
+        s.add_clause([neg(mklit(a)), mklit(b)])
+        assert not s.solve(assumptions=[neg(mklit(b))])
+        assert s.conflict_core  # the failing assumption is blamed
+        assert s.solve(assumptions=[])
+        assert s.conflict_core == []  # stale core cleared on a SAT call
+
+
+class TestDegenerateAssumptionLists:
+    def test_duplicate_assumptions(self):
+        s = Solver()
+        g = s.new_var()
+        _php32(s, guard=g)
+        assumptions = [mklit(g), mklit(g)]
+        assert not s.solve(assumptions=assumptions)
+        assert set(s.conflict_core) == {mklit(g)}
+        # The solver stays usable and the duplicate is harmless.
+        assert s.solve(assumptions=[neg(mklit(g))])
+
+    def test_contradictory_assumptions_blame_both_literals(self):
+        s = Solver()
+        a = s.new_var()
+        assumptions = [mklit(a), neg(mklit(a))]
+        assert not s.solve(assumptions=assumptions)
+        core = set(s.conflict_core)
+        assert core <= {mklit(a), neg(mklit(a))}
+        # At minimum the assumption found false must be in the core.
+        assert neg(mklit(a)) in core
+
+    def test_contradictory_assumption_core_clause_is_checkable(self):
+        from repro.certify import RupChecker
+
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([mklit(a), neg(mklit(a))])  # keep var known, no-op
+        proof = s.start_proof()
+        assert not s.solve(assumptions=[mklit(a), neg(mklit(a))])
+        checker = RupChecker()
+        for line in proof.lines():
+            checker.add_line(line)
+        # The logged core clause lets the independent checker refute the
+        # assumption set by propagation alone (tautology cores included).
+        assert checker.check_assumptions(
+            [to_dimacs(l) for l in s.conflict_core]
+        )
+
+
+class TestCoreMinimality:
+    def test_strict_subset_core_excludes_irrelevant_assumption(self):
+        s = Solver()
+        x, y, z = s.new_vars(3)
+        s.add_clause([neg(mklit(x)), neg(mklit(y))])  # x and y conflict
+        assumptions = [mklit(z), mklit(x), mklit(y)]
+        assert not s.solve(assumptions=assumptions)
+        core = set(s.conflict_core)
+        assert core == {mklit(x), mklit(y)}
+        assert mklit(z) not in core
+        # Dropping exactly the core assumptions restores satisfiability.
+        assert s.solve(assumptions=[mklit(z)])
+
+    def test_core_after_real_search(self):
+        s = Solver()
+        g = s.new_var()
+        irrelevant = s.new_var()
+        _php32(s, guard=g)
+        assert not s.solve(
+            assumptions=[mklit(irrelevant), mklit(g)]
+        )
+        assert set(s.conflict_core) == {mklit(g)}
+
+    def test_core_clause_logged_and_refutes_assumptions(self):
+        from repro.certify import RupChecker
+
+        s = Solver()
+        g = s.new_var()
+        _php32(s, guard=g)
+        proof = s.start_proof()
+        assert not s.solve(assumptions=[mklit(g)])
+        core = list(s.conflict_core)
+        assert core == [mklit(g)]
+        # The negated core must appear as a proof addition...
+        assert ("a", tuple(neg(l) for l in core)) in proof.steps
+        # ...and the independently replayed proof refutes the core.
+        checker = RupChecker()
+        for line in proof.lines():
+            checker.add_line(line)
+        assert checker.check_assumptions([to_dimacs(l) for l in core])
+        # Without the failing assumption, propagation finds no conflict.
+        assert not checker.check_assumptions(
+            [to_dimacs(neg(l)) for l in core]
+        )
