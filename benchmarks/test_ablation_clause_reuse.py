@@ -17,7 +17,7 @@ since rebuild also pays per-probe encoding time -- reported separately).
 
 import pytest
 
-from repro.core import Allocator, MinimizeTRT
+from repro.core import Allocator, MinimizeTRT, SolveRequest
 from repro.reporting import ExperimentRow, format_table
 from repro.workloads import tindell_architecture, tindell_partition
 
@@ -29,12 +29,16 @@ def test_clause_reuse_speedup(benchmark, profile, record_table):
 
     def run_both():
         results["reuse"] = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), reuse_learned=True,
-            time_limit=profile.time_limit,
+            request=SolveRequest(
+                objective=MinimizeTRT("ring"), reuse_learned=True,
+                time_limit=profile.time_limit,
+            )
         )
         results["rebuild"] = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), reuse_learned=False,
-            time_limit=profile.time_limit,
+            request=SolveRequest(
+                objective=MinimizeTRT("ring"), reuse_learned=False,
+                time_limit=profile.time_limit,
+            )
         )
         return results
 

@@ -13,7 +13,8 @@
 
 import pytest
 
-from repro.core import Allocator, EncoderConfig, MinimizeTRT
+from repro.core import (Allocator, EncoderConfig, MinimizeTRT,
+                        SolveRequest)
 from repro.reporting import ExperimentRow, format_table
 from repro.workloads import tindell_architecture, tindell_partition
 
@@ -27,7 +28,8 @@ def test_pb_vs_cnf_adders(benchmark, profile, record_table):
         for name, pb in (("cnf", False), ("pb", True)):
             cfg = EncoderConfig(pb_mode=pb)
             results[name] = Allocator(tasks, arch, cfg).minimize(
-                MinimizeTRT("ring"), time_limit=profile.time_limit
+                request=SolveRequest(objective=MinimizeTRT("ring"),
+                                     time_limit=profile.time_limit)
             )
         return results
 
@@ -63,7 +65,8 @@ def test_paper_vs_tight_interference(benchmark, profile, record_table):
         for mode in ("paper", "tight"):
             cfg = EncoderConfig(interference=mode)
             results[mode] = Allocator(tasks, arch, cfg).minimize(
-                MinimizeTRT("ring"), time_limit=profile.time_limit
+                request=SolveRequest(objective=MinimizeTRT("ring"),
+                                     time_limit=profile.time_limit)
             )
         return results
 

@@ -16,16 +16,17 @@ from repro.reporting import ExperimentRow, format_table
 def _solve_cell(param):
     import time
 
-    from repro.core import Allocator, MinimizeSumResponseTimes
+    from repro.core import (Allocator, MinimizeSumResponseTimes,
+                            SolveRequest)
     from repro.workloads import random_taskset, ring_architecture
 
     util, seed = param
     arch = ring_architecture(3)
     tasks = random_taskset(arch, 6, total_util=util, seed=seed)
     t0 = time.perf_counter()
-    res = Allocator(tasks, arch).minimize(
-        MinimizeSumResponseTimes(), time_limit=30.0
-    )
+    res = Allocator(tasks, arch).minimize(request=SolveRequest(
+        objective=MinimizeSumResponseTimes(), time_limit=30.0
+    ))
     return {
         "feasible": res.feasible,
         "cost": res.cost,

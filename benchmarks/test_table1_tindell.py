@@ -23,7 +23,12 @@ import pytest
 from conftest import bench_cell
 
 from repro.baselines import simulated_annealing
-from repro.core import Allocator, MinimizeCanUtilization, MinimizeTRT
+from repro.core import (
+    Allocator,
+    MinimizeCanUtilization,
+    MinimizeTRT,
+    SolveRequest,
+)
 from repro.model import CAN
 from repro.reporting import ExperimentRow, format_table
 from repro.workloads import (
@@ -62,10 +67,10 @@ def test_token_ring_optimum_vs_annealing(benchmark, profile, rows, cells):
     tasks = tindell_partition(profile.table1_tasks)
 
     def run():
-        return Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), time_limit=profile.time_limit,
+        return Allocator(tasks, arch).minimize(request=SolveRequest(
+            objective=MinimizeTRT("ring"), time_limit=profile.time_limit,
             certify=CERTIFY,
-        )
+        ))
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert res.feasible
@@ -109,10 +114,11 @@ def test_can_bus_utilization(benchmark, profile, rows, cells,
     tasks = tindell_partition(profile.table1_tasks)
 
     def run():
-        return Allocator(tasks, arch).minimize(
-            MinimizeCanUtilization("ring"), time_limit=profile.time_limit,
+        return Allocator(tasks, arch).minimize(request=SolveRequest(
+            objective=MinimizeCanUtilization("ring"),
+            time_limit=profile.time_limit,
             certify=CERTIFY,
-        )
+        ))
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert res.feasible

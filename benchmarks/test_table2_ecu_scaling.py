@@ -15,7 +15,7 @@ number of formulae does not depend directly on the ECU count).
 
 from conftest import bench_cell
 
-from repro.core import Allocator, MinimizeTRT
+from repro.core import Allocator, MinimizeTRT, SolveRequest
 from repro.reporting import ExperimentRow, format_table
 from repro.workloads import ring_architecture, scaling_taskset, ticks_to_ms
 
@@ -31,8 +31,10 @@ def test_ecu_scaling(benchmark, profile, record_table, record_json):
             arch = ring_architecture(n_ecus)
             tasks = scaling_taskset(n_ecus, n_tasks=profile.table2_tasks)
             res = Allocator(tasks, arch).minimize(
-                MinimizeTRT("ring"),
-                time_limit=profile.table2_solve_limit,
+                request=SolveRequest(
+                    objective=MinimizeTRT("ring"),
+                    time_limit=profile.table2_solve_limit,
+                )
             )
             results[n_ecus] = res
         return results

@@ -14,7 +14,7 @@ tasks than with ECUs -- "an almost exponential blow-up".
 
 from conftest import bench_cell
 
-from repro.core import Allocator, MinimizeTRT
+from repro.core import Allocator, MinimizeTRT, SolveRequest
 from repro.reporting import ExperimentRow, format_table
 from repro.workloads import (
     tindell_architecture,
@@ -35,7 +35,10 @@ def test_task_scaling(benchmark, profile, record_table, record_json):
         for n in profile.table3_tasks:
             tasks = tindell_partition(n)
             res = Allocator(tasks, arch).minimize(
-                MinimizeTRT("ring"), time_limit=profile.time_limit
+                request=SolveRequest(
+                    objective=MinimizeTRT("ring"),
+                    time_limit=profile.time_limit,
+                )
             )
             results[n] = res
         return results

@@ -23,7 +23,13 @@ import time
 
 from conftest import bench_cell
 
-from repro.core import Allocator, EncoderConfig, MinimizeSumTRT, MinimizeTRT
+from repro.core import (
+    Allocator,
+    EncoderConfig,
+    MinimizeSumTRT,
+    MinimizeTRT,
+    SolveRequest,
+)
 from repro.core.encoder import ProblemEncoding
 from repro.reporting import ExperimentRow, format_table
 from repro.workloads import (
@@ -69,8 +75,11 @@ def test_hierarchical_architectures(benchmark, profile, record_table,
     def run_all():
         for name, arch in archs.items():
             results[name] = Allocator(tasks, arch).minimize(
-                MinimizeSumTRT(), time_limit=profile.time_limit,
-                certify=CERTIFY,
+                request=SolveRequest(
+                    objective=MinimizeSumTRT(),
+                    time_limit=profile.time_limit,
+                    certify=CERTIFY,
+                )
             )
         return results
 
@@ -163,10 +172,10 @@ def test_arch_c_with_can_backbone(benchmark, profile, record_table,
     arch = architecture_c_can()
 
     def run():
-        return Allocator(tasks, arch).minimize(
-            MinimizeTRT("lower"), time_limit=profile.time_limit,
+        return Allocator(tasks, arch).minimize(request=SolveRequest(
+            objective=MinimizeTRT("lower"), time_limit=profile.time_limit,
             certify=CERTIFY,
-        )
+        ))
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert res.feasible

@@ -19,6 +19,14 @@ Commands
 
 Objectives: ``trt:<medium>``, ``sum_trt``, ``can:<medium>``,
 ``sum_resp``, ``max_util``.
+
+``solve`` builds one :class:`repro.core.SolveRequest` from argv, so the
+CLI and the library cannot drift apart; ``--processes``/``--speculate``/
+``--race`` route it to the parallel solve engine (see
+``docs/PARALLEL.md``).  Exit codes follow :class:`repro.core.ExitCode`:
+0 answer produced, 1 usage/internal error, 2 certified infeasibility /
+failed schedulability, 3 certificate failure under ``--certify``, 4
+budget exhausted before anything usable.
 """
 
 from __future__ import annotations
@@ -31,12 +39,14 @@ from repro.analysis.feasibility import check_allocation
 from repro.core import (
     Allocator,
     EncoderConfig,
+    ExitCode,
     MinimizeCanUtilization,
     MinimizeMaxUtilization,
     MinimizeSumResponseTimes,
     MinimizeSumTRT,
     MinimizeTRT,
     ProblemEncoding,
+    SolveRequest,
 )
 from repro.core.diagnose import diagnose
 from repro.io import (
@@ -106,6 +116,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument("--no-reuse", action="store_true",
                          help="rebuild the encoding per binary-search probe")
+    p_solve.add_argument(
+        "--processes", type=int, default=1, metavar="N",
+        help="worker processes for the speculative parallel binary "
+        "search (certified optimum is identical to the sequential one)",
+    )
+    p_solve.add_argument(
+        "--speculate", type=int, default=0, metavar="K",
+        help="concurrent speculative probes (default: derived from "
+        "--processes / --race)",
+    )
+    p_solve.add_argument(
+        "--race", type=int, default=1, metavar="R",
+        help="diversified CDCL configurations racing each probe "
+        "(first answer wins; learnt clauses are shared)",
+    )
+    p_solve.add_argument(
+        "--no-share-clauses", action="store_true",
+        help="disable learnt-clause exchange between probe racers",
+    )
     p_solve.add_argument(
         "--certify", action="store_true",
         help="certify every answer: UNSAT probes log a DRUP-style proof "
@@ -247,37 +276,51 @@ def _report_certificate(res) -> int:
     """Print the certification verdict; non-zero on failure."""
     cert = getattr(res, "certificate", None)
     if cert is None:
-        return 0
+        return int(ExitCode.OK)
     print(f"certified: {cert.summary()}")
     if cert.all_verified:
-        return 0
+        return int(ExitCode.OK)
     for p in cert.failures:
         print(f"certificate FAILED (probe {p.index}, {p.kind}): "
               f"{p.detail}", file=sys.stderr)
-    return 3
+    return int(ExitCode.CERTIFICATE_FAILED)
 
 
-def _cmd_solve_supervised(args, tasks, arch, cfg, objective,
-                          budget, checkpoint) -> int:
+def _request_from_args(args, cfg, objective, budget, checkpoint
+                       ) -> SolveRequest:
+    """Build the unified :class:`SolveRequest` from solve argv."""
+    return SolveRequest(
+        objective=objective,
+        config=cfg,
+        time_limit=args.time_limit,
+        reuse_learned=not args.no_reuse,
+        budget=budget,
+        checkpoint=checkpoint,
+        certify=args.certify,
+        strategy="rebuild" if args.no_reuse else "auto",
+        processes=args.processes,
+        speculate=args.speculate,
+        race=args.race,
+        share_clauses=not args.no_share_clauses,
+    )
+
+
+def _cmd_solve_supervised(args, tasks, arch, request) -> int:
     from repro.reporting import fmt_cost
     from repro.robust import SolveSupervisor
 
-    sup = SolveSupervisor(
-        tasks, arch, objective, config=cfg,
-        budget=budget, checkpoint=checkpoint,
-        certify=args.certify,
-    ).solve()
+    sup = SolveSupervisor(tasks, arch, request=request).solve()
     for st in sup.stages:
         print(f"stage {st.stage}: {st.status} ({st.seconds:.1f}s)",
               file=sys.stderr)
     cert_rc = _report_certificate(sup.result) if sup.result else 0
     if sup.status == "infeasible":
         print("INFEASIBLE (try: repro diagnose)", file=sys.stderr)
-        return cert_rc or 1
+        return cert_rc or int(ExitCode.INFEASIBLE)
     if not sup.usable:
         print("UNKNOWN: budget exhausted before any allocation was found",
               file=sys.stderr)
-        return cert_rc or 2
+        return cert_rc or int(ExitCode.BUDGET_EXHAUSTED)
     print(f"feasible; cost = {fmt_cost(sup.cost, sup.proven)} "
           f"({_STATUS_NOTE[sup.status]})")
     if args.stats:
@@ -298,34 +341,28 @@ def _cmd_solve(args) -> int:
     objective = (
         _objective_from_spec(args.objective) if args.objective else None
     )
+    request = _request_from_args(args, cfg, objective, budget, checkpoint)
     if budget is not None and objective is not None:
-        return _cmd_solve_supervised(args, tasks, arch, cfg, objective,
-                                     budget, checkpoint)
+        return _cmd_solve_supervised(args, tasks, arch, request)
     allocator = Allocator(tasks, arch, cfg)
     if objective is not None:
         try:
-            res = allocator.minimize(
-                objective,
-                time_limit=args.time_limit,
-                reuse_learned=not args.no_reuse,
-                checkpoint=checkpoint,
-                certify=args.certify,
-            )
+            res = allocator.minimize(request=request)
         except ValueError as exc:
             # A checkpoint recorded for a different system/objective.
             if "checkpoint" not in str(exc):
                 raise
             raise SystemExit(f"cannot resume: {exc}")
     else:
-        res = allocator.find_feasible(budget=budget, certify=args.certify)
+        res = allocator.find_feasible(request=request)
     cert_rc = _report_certificate(res)
     if not res.feasible:
         if res.status == "unknown":
             print("UNKNOWN: interrupted before an answer "
                   f"({res.outcome.interrupt_reason})", file=sys.stderr)
-            return cert_rc or 2
+            return cert_rc or int(ExitCode.BUDGET_EXHAUSTED)
         print("INFEASIBLE (try: repro diagnose)", file=sys.stderr)
-        return cert_rc or 1
+        return cert_rc or int(ExitCode.INFEASIBLE)
     from repro.reporting import fmt_cost
 
     note = "" if objective is None else (
@@ -357,7 +394,7 @@ def _cmd_check(args) -> int:
     print("NOT SCHEDULABLE:")
     for p in report.problems:
         print(f"  - {p}")
-    return 1
+    return int(ExitCode.INFEASIBLE)
 
 
 def _cmd_diagnose(args) -> int:
@@ -369,7 +406,7 @@ def _cmd_diagnose(args) -> int:
     if not d.core:
         print("infeasible due to structural constraints alone "
               "(placement domains / routing / frame sizes)")
-        return 1
+        return int(ExitCode.INFEASIBLE)
     print(f"infeasible; minimal conflicting requirement set "
           f"({d.solve_calls} solver calls):")
     for kind, items in sorted(d.by_kind().items()):
@@ -379,7 +416,7 @@ def _cmd_diagnose(args) -> int:
             detail = d.details.get(label)
             if detail and detail != label:
                 print(f"      {detail}")
-    return 1
+    return int(ExitCode.INFEASIBLE)
 
 
 def _cmd_export(args) -> int:
@@ -418,7 +455,7 @@ def _cmd_analyze(args) -> int:
         print("NOT SCHEDULABLE:")
         for p in report.problems:
             print(f"  - {p}")
-        return 1
+        return int(ExitCode.INFEASIBLE)
     print(render_allocation(tasks, arch, alloc, report=report))
     print(f"\nWCET scaling margin: "
           f"{wcet_scaling_margin(tasks, arch, alloc)}%")
@@ -440,7 +477,7 @@ def _cmd_analyze(args) -> int:
         for v in out.violations:
             print(f"  - {v}")
         if not out.ok:
-            return 1
+            return int(ExitCode.INFEASIBLE)
     return 0
 
 

@@ -21,6 +21,13 @@ Typical use::
 """
 
 from repro.core.allocator import AllocationResult, Allocator
+from repro.core.api import (
+    ExitCode,
+    SolveReport,
+    SolveRequest,
+    merge_legacy,
+    solve,
+)
 from repro.core.config import EncoderConfig
 from repro.core.encoder import ProblemEncoding
 from repro.core.objectives import (
@@ -44,4 +51,9 @@ __all__ = [
     "MinimizeMaxUtilization",
     "bin_search",
     "OptimizationOutcome",
+    "ExitCode",
+    "SolveRequest",
+    "SolveReport",
+    "merge_legacy",
+    "solve",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.allocation import Allocation
 from repro.analysis.feasibility import FeasibilityReport, check_allocation
+from repro.core.api import SolveRequest, merge_legacy
 from repro.core.config import EncoderConfig
 from repro.core.encoder import ProblemEncoding
 from repro.core.objectives import Objective
@@ -31,6 +32,10 @@ from repro.robust.budget import Budget, BudgetExpired
 from repro.robust.checkpoint import SearchCheckpoint
 
 __all__ = ["Allocator", "AllocationResult"]
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit None, so
+#: the legacy-kwarg shim only deprecation-warns about what was given.
+_UNSET = object()
 
 
 @dataclass
@@ -106,24 +111,31 @@ class Allocator:
 
     def minimize(
         self,
-        objective: Objective,
-        time_limit: float | None = None,
-        reuse_learned: bool = True,
-        verify: bool = True,
-        budget: Budget | None = None,
-        checkpoint: SearchCheckpoint | str | None = None,
-        certify: bool = False,
+        objective: Objective | SolveRequest | None = None,
+        time_limit=_UNSET,
+        reuse_learned=_UNSET,
+        verify=_UNSET,
+        budget=_UNSET,
+        checkpoint=_UNSET,
+        certify=_UNSET,
+        request: SolveRequest | None = None,
     ) -> AllocationResult:
         """Find the cost-minimal feasible allocation.
+
+        Preferred calling convention: pass a
+        :class:`~repro.core.api.SolveRequest` (positionally or as
+        ``request=``); the legacy kwargs keep working through a shim that
+        emits :class:`DeprecationWarning`.
 
         ``certify=True`` makes every probe return a checkable artifact
         (see :mod:`repro.certify`): UNSAT answers log a DRUP-style proof
         replayed by an independent checker, SAT answers are audited
         against the analysis; verdicts land on ``result.certificate``.
 
-        ``reuse_learned=False`` rebuilds the encoding from scratch for
-        every binary-search probe (the paper's pre-section-7 baseline;
-        used by the clause-reuse ablation benchmark).
+        ``reuse_learned=False`` (strategy ``rebuild``) rebuilds the
+        encoding from scratch for every binary-search probe (the paper's
+        pre-section-7 baseline; used by the clause-reuse ablation
+        benchmark).
 
         ``budget`` bounds the whole search (wall time / conflicts /
         decisions) and can interrupt a probe mid-search; the result then
@@ -132,14 +144,55 @@ class Allocator:
         path) persists the binary-search state after every probe and
         resumes from it when it already holds state; a resumed run
         reaches the same certified optimum as an uninterrupted one.
+
+        A request with ``processes > 1``, ``race > 1`` or strategy
+        ``speculative`` routes to the parallel engine
+        (:func:`repro.parallel_solve.speculative_minimize`), which
+        returns the same certified optimum as the sequential search.
         """
-        ckpt = self._as_checkpoint(checkpoint)
-        if reuse_learned:
-            return self._minimize_incremental(
-                objective, time_limit, verify, budget, ckpt, certify
+        if isinstance(objective, SolveRequest):
+            if request is not None:
+                raise TypeError(
+                    "pass the SolveRequest positionally or as request=, "
+                    "not both"
+                )
+            request, objective = objective, None
+        legacy = {
+            k: v
+            for k, v in (
+                ("time_limit", time_limit),
+                ("reuse_learned", reuse_learned),
+                ("verify", verify),
+                ("budget", budget),
+                ("checkpoint", checkpoint),
+                ("certify", certify),
             )
-        return self._minimize_rebuild(
-            objective, time_limit, verify, budget, certify
+            if v is not _UNSET
+        }
+        request = merge_legacy(request, legacy, "Allocator.minimize")
+        if objective is not None:
+            request = request.merged(objective=objective)
+        objective = request.objective
+        if objective is None:
+            raise TypeError("Allocator.minimize requires an objective")
+        ckpt = self._as_checkpoint(request.checkpoint)
+        if (
+            request.parallel
+            and request.effective_groups() * request.effective_racers() > 1
+        ):
+            from repro.parallel_solve import speculative_minimize
+
+            return speculative_minimize(
+                self, objective, request.merged(checkpoint=ckpt)
+            )
+        if request.strategy == "rebuild" or not request.reuse_learned:
+            return self._minimize_rebuild(
+                objective, request.time_limit, request.verify,
+                request.budget, request.certify,
+            )
+        return self._minimize_incremental(
+            objective, request.time_limit, request.verify,
+            request.budget, ckpt, request.certify,
         )
 
     @staticmethod
@@ -355,11 +408,36 @@ class Allocator:
 
     def find_feasible(
         self,
-        verify: bool = True,
-        budget: Budget | None = None,
-        certify: bool = False,
+        verify=_UNSET,
+        budget=_UNSET,
+        certify=_UNSET,
+        request: SolveRequest | None = None,
     ) -> AllocationResult:
-        """One SOLVE call: any allocation satisfying all constraints."""
+        """One SOLVE call: any allocation satisfying all constraints.
+
+        Accepts a :class:`~repro.core.api.SolveRequest` (positionally or
+        as ``request=``); the legacy kwargs deprecation-warn.
+        """
+        if isinstance(verify, SolveRequest):
+            if request is not None:
+                raise TypeError(
+                    "pass the SolveRequest positionally or as request=, "
+                    "not both"
+                )
+            request, verify = verify, _UNSET
+        legacy = {
+            k: v
+            for k, v in (
+                ("verify", verify),
+                ("budget", budget),
+                ("certify", certify),
+            )
+            if v is not _UNSET
+        }
+        request = merge_legacy(request, legacy, "Allocator.find_feasible")
+        verify = request.verify
+        budget = request.budget
+        certify = request.certify
         enc, _, _, _, enc_secs = self._encode(None)
         certificate = None
         if certify:

@@ -1,0 +1,234 @@
+"""The unified solve API: one request object, one report, one exit-code map.
+
+Historically every solve entry point grew its own kwarg set --
+``Allocator.minimize(objective, time_limit=, reuse_learned=, budget=,
+checkpoint=, certify=)``, ``SolveSupervisor(..., heuristics=, verify=)``,
+``solve_portfolio(..., cell_timeout=, retries=)`` -- and the CLI
+re-invented all of them as flags.  :class:`SolveRequest` is the single
+carrier for all solve options; every public entry point accepts one
+(``request=``), the legacy kwargs keep working through a thin shim that
+emits :class:`DeprecationWarning`, and the CLI builds a request from
+argv so library and command line cannot drift apart.
+
+:class:`SolveReport` is the matching result-side view: a uniform
+status/cost/exit-code summary over :class:`~repro.core.allocator.
+AllocationResult` and :class:`~repro.robust.supervisor.SupervisedResult`.
+
+:class:`ExitCode` normalizes the CLI process exit codes (previously
+scattered literals)::
+
+    0  OK                   answer produced (optimal / bound / feasible)
+    1  ERROR                usage or internal error
+    2  INFEASIBLE           certified infeasibility (solve/check/diagnose)
+    3  CERTIFICATE_FAILED   --certify was asked and a certificate failed
+    4  BUDGET_EXHAUSTED     budget/limits expired before anything usable
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from enum import IntEnum
+
+__all__ = [
+    "ExitCode",
+    "SolveRequest",
+    "SolveReport",
+    "merge_legacy",
+    "solve",
+]
+
+
+class ExitCode(IntEnum):
+    """Normalized CLI exit codes (see module docstring)."""
+
+    OK = 0
+    ERROR = 1
+    INFEASIBLE = 2
+    CERTIFICATE_FAILED = 3
+    BUDGET_EXHAUSTED = 4
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """Everything one allocation solve may be asked to do.
+
+    The request is immutable (``frozen``); derive variants with
+    :meth:`merged` or :func:`dataclasses.replace`.  All fields have
+    defaults, so ``SolveRequest(objective=MinimizeSumTRT())`` is a
+    complete request.
+    """
+
+    #: Cost function (:mod:`repro.core.objectives`); None = feasibility.
+    objective: object | None = None
+    #: :class:`repro.core.config.EncoderConfig`; None = defaults.
+    config: object | None = None
+    #: Anytime wall-clock limit, checked between probes.
+    time_limit: float | None = None
+    #: Keep learnt clauses between probes (the paper's section-7 reuse).
+    reuse_learned: bool = True
+    #: Re-check the final allocation with the independent analysis.
+    verify: bool = True
+    #: :class:`repro.robust.Budget` bounding the whole search.
+    budget: object | None = None
+    #: :class:`repro.robust.SearchCheckpoint` (or path) to persist/resume.
+    checkpoint: object | None = None
+    #: Certify every probe (DRUP proof check / witness audit).
+    certify: bool = False
+    #: ``auto`` / ``incremental`` / ``rebuild`` / ``speculative``.
+    strategy: str = "auto"
+    #: Worker processes for the speculative parallel search (<=1 = off).
+    processes: int = 1
+    #: Concurrent speculative probes (groups); 0 = derive from processes.
+    speculate: int = 0
+    #: CDCL configurations racing each probe (clause-sharing portfolio).
+    race: int = 1
+    #: Exchange short learnt clauses between racers of one probe.
+    share_clauses: bool = True
+    #: Maximum length of an exchanged learnt clause.
+    share_max_len: int = 8
+    #: Watchdog timeout per worker cell (portfolio baselines).
+    cell_timeout: float | None = None
+    #: Respawn attempts for a crashed probe worker / sweep cell.
+    retries: int = 1
+    #: Heuristic fallback chain for supervised solves.
+    heuristics: tuple = ("greedy", "annealing")
+
+    def merged(self, **updates) -> "SolveRequest":
+        """A copy with ``updates`` applied."""
+        return replace(self, **updates)
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this request asks for the parallel solve engine."""
+        if self.strategy == "speculative":
+            return True
+        return self.strategy == "auto" and (
+            self.processes > 1 or self.race > 1
+        )
+
+    def effective_groups(self) -> int:
+        """Number of concurrent speculative probes (groups)."""
+        if self.speculate > 0:
+            return self.speculate
+        return max(1, self.processes // max(1, self.race))
+
+    def effective_racers(self) -> int:
+        """Racers per probe group."""
+        return max(1, self.race)
+
+
+_REQUEST_FIELDS = {f.name for f in fields(SolveRequest)}
+
+
+def merge_legacy(
+    request: SolveRequest | None,
+    legacy: dict,
+    caller: str,
+    stacklevel: int = 3,
+) -> SolveRequest:
+    """Fold legacy kwargs into a request, warning once per call site.
+
+    The shim behind every public entry point: ``legacy`` holds only the
+    kwargs the caller actually passed (callers filter out unset
+    sentinels), so a plain ``minimize(objective)`` stays silent while
+    ``minimize(objective, budget=...)`` deprecation-warns and keeps
+    working.
+    """
+    request = request if request is not None else SolveRequest()
+    if not legacy:
+        return request
+    unknown = sorted(set(legacy) - _REQUEST_FIELDS)
+    if unknown:
+        raise TypeError(f"{caller}: unknown solve option(s) {unknown}")
+    warnings.warn(
+        f"{caller}: pass a SolveRequest instead of the legacy kwargs "
+        f"{sorted(legacy)} (they keep working for now)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return request.merged(**legacy)
+
+
+@dataclass
+class SolveReport:
+    """Uniform result-side view over the solve entry points."""
+
+    #: ``optimal`` / ``upper_bound`` / ``feasible`` / ``heuristic`` /
+    #: ``infeasible`` / ``unknown``.
+    status: str
+    feasible: bool = False
+    cost: int | None = None
+    proven: bool = False
+    allocation: object | None = None
+    certificate: object | None = None
+    #: The underlying AllocationResult / SupervisedResult.
+    result: object | None = None
+    #: Stage log of a supervised solve (empty otherwise).
+    stages: list = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> ExitCode:
+        """The normalized CLI exit code for this outcome."""
+        if self.certificate is not None and not self.certificate.all_verified:
+            return ExitCode.CERTIFICATE_FAILED
+        if self.status == "infeasible":
+            return ExitCode.INFEASIBLE
+        if self.status == "unknown":
+            return ExitCode.BUDGET_EXHAUSTED
+        return ExitCode.OK
+
+    @classmethod
+    def from_allocation(cls, res, request=None) -> "SolveReport":
+        """Summarize an :class:`~repro.core.allocator.AllocationResult`."""
+        status = res.status
+        if status == "optimal" and getattr(request, "objective", 1) is None:
+            status = "feasible"
+        return cls(
+            status=status,
+            feasible=res.feasible,
+            cost=res.cost,
+            proven=res.proven,
+            allocation=res.allocation,
+            certificate=res.certificate,
+            result=res,
+        )
+
+    @classmethod
+    def from_supervised(cls, sup) -> "SolveReport":
+        """Summarize a :class:`~repro.robust.supervisor.SupervisedResult`."""
+        inner = sup.result
+        return cls(
+            status=sup.status,
+            feasible=sup.allocation is not None,
+            cost=sup.cost,
+            proven=sup.proven,
+            allocation=sup.allocation,
+            certificate=getattr(inner, "certificate", None),
+            result=sup,
+            stages=list(sup.stages),
+        )
+
+
+def solve(tasks, arch, request: SolveRequest) -> SolveReport:
+    """One-call solve honoring every :class:`SolveRequest` option.
+
+    Routes to the supervised escalation chain when a budget is given
+    (graceful degradation), otherwise straight to the
+    :class:`~repro.core.allocator.Allocator` (which itself dispatches to
+    the speculative parallel engine when the request asks for it).
+    """
+    from repro.core.allocator import Allocator
+
+    if request.objective is None:
+        res = Allocator(tasks, arch, request.config).find_feasible(
+            request=request
+        )
+        return SolveReport.from_allocation(res, request)
+    if request.budget is not None:
+        from repro.robust.supervisor import SolveSupervisor
+
+        sup = SolveSupervisor(tasks, arch, request=request).solve()
+        return SolveReport.from_supervised(sup)
+    res = Allocator(tasks, arch, request.config).minimize(request=request)
+    return SolveReport.from_allocation(res, request)

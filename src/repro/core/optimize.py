@@ -68,6 +68,19 @@ class ProbeLog:
     #: strategy only; defaults keep old checkpoints loadable).
     vars_added: int = 0
     clauses_added: int = 0
+    #: True when the probe was dispatched speculatively by the parallel
+    #: engine (:mod:`repro.parallel_solve`); sequential probes keep the
+    #: defaults, so old checkpoints stay loadable.
+    speculative: bool = False
+    #: Speculative probes only: True when the answer tightened the shared
+    #: [L, R] interval (a *hit*), False when it arrived too late to add
+    #: information (a *miss*); None for sequential probes.
+    hit: bool | None = None
+    #: True when the engine cancelled this in-flight probe because a
+    #: concurrent answer made it obsolete (``sat`` then means nothing).
+    cancelled: bool = False
+    #: Worker group that served the probe (-1 = in-process).
+    group: int = -1
 
 
 @dataclass
@@ -91,6 +104,24 @@ class OptimizationOutcome:
     @property
     def num_probes(self) -> int:
         return len(self.probes)
+
+    @property
+    def speculative_hits(self) -> int:
+        """Speculative probes whose answer tightened the interval."""
+        return sum(1 for p in self.probes if p.speculative and p.hit)
+
+    @property
+    def speculative_misses(self) -> int:
+        """Speculative probes that answered but added no information."""
+        return sum(
+            1 for p in self.probes
+            if p.speculative and p.hit is False and not p.cancelled
+        )
+
+    @property
+    def cancelled_probes(self) -> int:
+        """In-flight probes cancelled as obsolete by the parallel engine."""
+        return sum(1 for p in self.probes if p.cancelled)
 
     @property
     def status(self) -> str:

@@ -24,13 +24,14 @@ from dataclasses import dataclass, field
 
 from repro.baselines.common import evaluate_cost
 from repro.core.allocator import AllocationResult, Allocator
-from repro.core.config import EncoderConfig
+from repro.core.api import SolveRequest, merge_legacy
 from repro.core.objectives import Objective, objective_spec
 from repro.model.architecture import Architecture
 from repro.model.task import TaskSet
 from repro.parallel import run_sweep
-from repro.robust.budget import Budget
 from repro.robust.supervisor import SolveSupervisor
+
+_UNSET = object()
 
 __all__ = [
     "PortfolioEntry",
@@ -112,15 +113,22 @@ def _baseline_cell(param):
 def solve_portfolio(
     tasks: TaskSet,
     arch: Architecture,
-    objective: Objective,
-    config: EncoderConfig | None = None,
-    time_limit: float | None = None,
-    processes: int | None = None,
-    budget: Budget | None = None,
-    cell_timeout: float | None = None,
-    retries: int = 0,
+    objective: Objective | SolveRequest | None = None,
+    config=_UNSET,
+    time_limit=_UNSET,
+    processes=_UNSET,
+    budget=_UNSET,
+    cell_timeout=_UNSET,
+    retries=_UNSET,
+    request: SolveRequest | None = None,
 ) -> PortfolioResult:
     """Race heuristics against the exact SAT route.
+
+    Accepts a :class:`~repro.core.api.SolveRequest` (positionally or as
+    ``request=``); the legacy kwargs deprecation-warn.  ``processes``
+    sizes the baseline sweep *and*, via the request, the speculative
+    exact engine -- a request with ``processes > 1`` (or ``race > 1``)
+    runs the exact route on the parallel solve engine.
 
     Heuristic contenders run in (watchdog-supervised) worker processes;
     the SAT optimization runs in this process, under the supervisor's
@@ -131,25 +139,51 @@ def solve_portfolio(
     """
     from repro.io import system_to_dict
 
+    if isinstance(objective, SolveRequest):
+        if request is not None:
+            raise TypeError(
+                "pass the SolveRequest positionally or as request=, not both"
+            )
+        request, objective = objective, None
+    legacy = {
+        k: v
+        for k, v in (
+            ("config", config),
+            ("time_limit", time_limit),
+            ("budget", budget),
+            ("cell_timeout", cell_timeout),
+            ("retries", retries),
+        )
+        if v is not _UNSET
+    }
+    if processes is not _UNSET and processes is not None:
+        legacy["processes"] = processes
+    request = merge_legacy(request, legacy, "solve_portfolio")
+    if objective is not None:
+        request = request.merged(objective=objective)
+    objective = request.objective
+    sweep_processes = request.processes if request.processes > 1 else None
+
     result = PortfolioResult()
     spec = objective_spec(objective)
     blob = system_to_dict(tasks, arch)
     cells = [(m, blob, spec) for m in ("greedy", "annealing", "genetic")]
     sweep = run_sweep(
-        _baseline_cell, cells, processes=processes,
-        cell_timeout=cell_timeout, retries=retries,
+        _baseline_cell, cells, processes=sweep_processes,
+        cell_timeout=request.cell_timeout, retries=request.retries,
     )
 
     t0 = time.perf_counter()
     exact_error: str | None = None
-    if budget is None:
-        exact = Allocator(tasks, arch, config).minimize(
-            objective, time_limit=time_limit
+    if request.budget is None:
+        exact = Allocator(tasks, arch, request.config).minimize(
+            request=request
         )
     else:
         supervised = SolveSupervisor(
-            tasks, arch, objective, config=config, budget=budget,
-            heuristics=(),  # the portfolio already races heuristics
+            tasks, arch,
+            # The portfolio already races its own heuristics.
+            request=request.merged(heuristics=()),
         ).solve()
         exact = supervised.result
         if exact is None:

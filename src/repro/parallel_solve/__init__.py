@@ -1,0 +1,33 @@
+"""Parallel solve engine: speculative probes + clause-sharing races.
+
+See ``docs/PARALLEL.md``.  The public entry point is
+:func:`speculative_minimize`; most callers reach it indirectly through
+:meth:`repro.core.Allocator.minimize` with a
+:class:`repro.core.SolveRequest` whose ``processes``/``speculate``/
+``race`` fields make :attr:`SolveRequest.parallel` true.
+"""
+
+from repro.parallel_solve.engine import speculative_minimize
+from repro.parallel_solve.plan import (
+    ProbeSpec,
+    SearchInconsistency,
+    SpeculativeSearch,
+)
+from repro.parallel_solve.race import (
+    RaceConfig,
+    apply_race_config,
+    default_race_configs,
+)
+from repro.parallel_solve.worker import WorkerSpec, probe_worker_main
+
+__all__ = [
+    "speculative_minimize",
+    "SpeculativeSearch",
+    "ProbeSpec",
+    "SearchInconsistency",
+    "RaceConfig",
+    "default_race_configs",
+    "apply_race_config",
+    "WorkerSpec",
+    "probe_worker_main",
+]

@@ -1,0 +1,208 @@
+"""Pure state machine of the speculative parallel binary search.
+
+The sequential BIN_SEARCH (paper section 5.2) probes one midpoint of
+``[L, R]`` at a time.  The speculative search keeps K probes in flight
+at the K-quantiles of the open interval; every *answer* updates the
+interval by exactly the sequential rules
+
+- ``UNSAT [lo, hi]``  (with ``lo <= L``)  ->  ``L := hi + 1``,
+- ``SAT`` with witness cost ``c``          ->  ``R := min(R, c)``,
+
+so each update is individually sound regardless of arrival order, and
+the closed interval -- and with it the certified optimum -- is exactly
+the sequential one.  Probes whose interval the concurrent answers have
+already decided (``hi < L``: refuted; ``hi >= R``: witnessed) are
+*obsolete* and get cancelled.  Answers that tightened the interval are
+*hits*; answers that arrived too late are *misses* -- both are recorded
+for the probe log.
+
+With K = 1 the quantile rule degenerates to the sequential midpoint, so
+the speculative engine at one group IS the classical binary search.
+
+This module is deliberately process-free (plain data in, plain data
+out) so the search semantics are unit-testable without multiprocessing;
+:mod:`repro.parallel_solve.engine` owns the worker plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProbeSpec", "SpeculativeSearch", "SearchInconsistency"]
+
+
+class SearchInconsistency(RuntimeError):
+    """Two probe answers contradict each other (a solver-level bug):
+    e.g. an UNSAT verdict for an interval containing a witnessed cost."""
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """One dispatched probe: constrain ``lo <= cost <= hi`` and solve.
+
+    ``hi is None`` means unconstrained above (the feasibility probe,
+    the paper's initial ``SOLVE(phi)``).  ``lo`` is the proven lower
+    bound at dispatch time; a later, larger ``L`` keeps the probe sound
+    (its interval is a superset of the remaining candidates).
+    """
+
+    probe_id: int
+    lo: int
+    hi: int | None
+
+
+class SpeculativeSearch:
+    """Shared interval + probe bookkeeping for the parallel BIN_SEARCH."""
+
+    def __init__(self, lower: int, upper: int):
+        self.lower = lower
+        self.upper = upper
+        #: All costs < left are refuted.
+        self.left = lower
+        #: Best witnessed cost (None until the first SAT answer).
+        self.right: int | None = None
+        #: None until decided; True after any SAT, False after an
+        #: unconstrained UNSAT.
+        self.feasible: bool | None = None
+        self.hits = 0
+        self.misses = 0
+        self._next_id = 0
+        self.in_flight: dict[int, ProbeSpec] = {}
+
+    # -- interval --------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True when the search interval is closed."""
+        if self.feasible is False:
+            return True
+        return (
+            self.feasible is True
+            and self.right is not None
+            and self.left >= self.right
+        )
+
+    def resume(self, left: int, right: int | None,
+               feasible: bool | None) -> None:
+        """Seed interval state from a checkpoint."""
+        self.feasible = feasible
+        if left is not None:
+            self.left = left
+        self.right = right
+
+    # -- dispatch --------------------------------------------------------
+
+    def probe_points(self, k: int) -> list[ProbeSpec]:
+        """Up to ``k`` fresh probes at distinct, undecided cost values.
+
+        While feasibility is unknown, the first probe is the
+        unconstrained ``SOLVE(phi)`` (the only probe that can certify
+        infeasibility) and the rest speculate inside ``[L, upper]``.
+        Afterwards probes sit at the k-quantiles of ``[L, R - 1]`` --
+        for ``k = 1`` exactly the sequential midpoint ``(L + R) // 2``.
+        May return fewer than ``k`` specs when the interval has fewer
+        distinct undecided values.
+        """
+        if self.done or k <= 0:
+            return []
+        taken = {p.hi for p in self.in_flight.values()}
+        out: list[ProbeSpec] = []
+        if self.feasible is None:
+            if None not in taken:
+                out.append(self._dispatch(None))
+                taken.add(None)
+            right_v = self.upper + 1
+        else:
+            assert self.right is not None
+            right_v = self.right
+        span = right_v - self.left
+        n = k - len(out)
+        if span <= 0 or n <= 0:
+            return out
+        for j in range(1, n + 1):
+            hi = self.left + (span * j) // (n + 1)
+            if hi >= right_v or hi in taken:
+                continue
+            taken.add(hi)
+            out.append(self._dispatch(hi))
+        return out
+
+    def _dispatch(self, hi: int | None) -> ProbeSpec:
+        spec = ProbeSpec(self._next_id, self.left, hi)
+        self._next_id += 1
+        self.in_flight[spec.probe_id] = spec
+        return spec
+
+    # -- answers ---------------------------------------------------------
+
+    def on_result(
+        self, probe_id: int, sat: bool, cost: int | None
+    ) -> tuple[bool, list[int]]:
+        """Apply one probe answer.
+
+        Returns ``(hit, obsolete_ids)``: whether the answer tightened
+        the interval, and the in-flight probes that are now obsolete
+        (the caller cancels them).  Raises :class:`SearchInconsistency`
+        when the answer contradicts established facts.
+        """
+        spec = self.in_flight.pop(probe_id, None)
+        if spec is None:
+            raise KeyError(f"unknown probe id {probe_id}")
+        hit = False
+        if sat:
+            if cost is None:
+                raise SearchInconsistency("SAT answer without a cost")
+            if cost < self.left:
+                raise SearchInconsistency(
+                    f"witness cost {cost} below the refuted bound "
+                    f"{self.left}"
+                )
+            if self.feasible is None:
+                self.feasible = True
+                hit = True
+            if self.right is None or cost < self.right:
+                self.right = cost
+                hit = True
+        elif spec.hi is None:
+            # No solution with cost >= spec.lo; everything below the
+            # current left is already refuted, so: infeasible.
+            if self.feasible is True:
+                raise SearchInconsistency(
+                    "unconstrained probe answered UNSAT after a witness"
+                )
+            self.feasible = False
+            hit = True
+        else:
+            if self.right is not None and spec.hi >= self.right:
+                raise SearchInconsistency(
+                    f"UNSAT verdict for [{spec.lo}, {spec.hi}] although "
+                    f"cost {self.right} was witnessed"
+                )
+            if spec.hi + 1 > self.left:
+                self.left = spec.hi + 1
+                hit = True
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        obsolete = [
+            pid for pid, s in self.in_flight.items() if self._obsolete(s)
+        ]
+        return hit, obsolete
+
+    def on_cancelled(self, probe_id: int) -> None:
+        """Forget a probe the engine cancelled (neither hit nor miss)."""
+        self.in_flight.pop(probe_id, None)
+
+    def _obsolete(self, spec: ProbeSpec) -> bool:
+        if self.feasible is False:
+            return True
+        if spec.hi is None:
+            # The feasibility probe's only job is done once any SAT
+            # answer arrived.
+            return self.feasible is True
+        if spec.hi < self.left:
+            return True  # its whole interval is already refuted
+        if self.right is not None and spec.hi >= self.right:
+            return True  # a witness at or below hi already exists
+        return False

@@ -1,0 +1,87 @@
+"""Search-only CDCL diversification for clause-sharing solver races.
+
+Racers within one probe group must agree on the *logic* -- identical
+encodings, identical variable numbering, identical guard order -- or
+exchanged clauses would be meaningless.  Diversity therefore lives
+entirely in the *search* configuration, applied after the encoding is
+built: restart cadence (``luby_base``), initial phase, and a random
+perturbation of the VSIDS activities.  None of these affect soundness
+or the proof-logging discipline; they only make the racers explore the
+search space in different orders so the first-to-answer win is worth
+having.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sat.literals import VAL_FALSE, VAL_TRUE
+
+__all__ = ["RaceConfig", "default_race_configs", "apply_race_config"]
+
+
+@dataclass(frozen=True)
+class RaceConfig:
+    """One racer's search personality (picklable)."""
+
+    seed: int = 0
+    #: Luby restart unit; None keeps the engine default.
+    luby_base: int | None = None
+    #: Initial branching phase: ``saved`` (engine default), ``positive``,
+    #: ``negative`` or ``random`` (seeded).
+    phase: str = "saved"
+    #: Magnitude of the random VSIDS activity perturbation (0 = off).
+    jitter: float = 0.0
+
+
+#: The portfolio the engine cycles through; racer 0 is always the
+#: pristine configuration so a single-racer group behaves exactly like
+#: the sequential solver.
+_PORTFOLIO = (
+    RaceConfig(seed=0),
+    RaceConfig(seed=1, luby_base=64, phase="negative", jitter=0.5),
+    RaceConfig(seed=2, luby_base=256, phase="random", jitter=0.25),
+    RaceConfig(seed=3, luby_base=32, phase="positive", jitter=1.0),
+)
+
+
+def default_race_configs(n: int) -> list[RaceConfig]:
+    """``n`` distinct race configurations (cycled with fresh seeds)."""
+    out = []
+    for i in range(n):
+        base = _PORTFOLIO[i % len(_PORTFOLIO)]
+        out.append(RaceConfig(
+            seed=i,
+            luby_base=base.luby_base,
+            phase=base.phase,
+            jitter=base.jitter,
+        ))
+    return out
+
+
+def apply_race_config(sat, cfg: RaceConfig) -> None:
+    """Perturb a :class:`repro.sat.solver.Solver`'s search heuristics.
+
+    Must be called after the encoding is complete and before the first
+    probe; touches nothing that alters the clause database or the
+    variable numbering.
+    """
+    if cfg.luby_base is not None:
+        sat.luby_base = cfg.luby_base
+    rng = random.Random(cfg.seed)
+    if cfg.phase == "positive":
+        sat.saved_phase = [VAL_TRUE] * sat.nvars
+    elif cfg.phase == "negative":
+        sat.saved_phase = [VAL_FALSE] * sat.nvars
+    elif cfg.phase == "random":
+        sat.saved_phase = [
+            VAL_TRUE if rng.random() < 0.5 else VAL_FALSE
+            for _ in range(sat.nvars)
+        ]
+    if cfg.jitter > 0.0:
+        for var in range(sat.nvars):
+            sat.activity[var] += rng.random() * cfg.jitter * sat.var_inc
+        # Restore the heap invariant after the bulk perturbation.
+        for pos in range(len(sat.order_heap) - 1, -1, -1):
+            sat._heap_sift_down(pos)

@@ -143,8 +143,32 @@ class SearchCheckpoint:
         return out
 
 
+def _canonical(value: Any) -> Any:
+    """JSON-shape normalization for fingerprinting.
+
+    A checkpoint round-trips through JSON, which turns tuples into lists
+    -- so ``repr``-based hashing would reject its own parameters on
+    resume (``(0, 1)`` vs ``[0, 1]``).  Canonicalize containers before
+    hashing so a parameter list fingerprints identically before and
+    after serialization.
+    """
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {
+            str(k): _canonical(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    return value
+
+
 def _fingerprint(params: list) -> str:
-    return hashlib.sha1(repr(params).encode()).hexdigest()
+    canon = _canonical(list(params))
+    try:
+        blob = json.dumps(canon, sort_keys=True)
+    except (TypeError, ValueError):
+        blob = repr(canon)  # unserializable params: best-effort identity
+    return hashlib.sha1(blob.encode()).hexdigest()
 
 
 @dataclass

@@ -31,11 +31,17 @@ from __future__ import annotations
 import time
 import traceback
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.robust.budget import Budget
+
+if TYPE_CHECKING:  # annotation-only: see the lazy import in __init__
+    from repro.core.api import SolveRequest
 from repro.robust.checkpoint import SearchCheckpoint
 
 __all__ = ["StageReport", "SupervisedResult", "SolveSupervisor"]
+
+_UNSET = object()
 
 
 @dataclass
@@ -80,50 +86,95 @@ class SolveSupervisor:
         self,
         tasks,
         arch,
-        objective,
-        config=None,
-        budget: Budget | None = None,
-        checkpoint: SearchCheckpoint | str | None = None,
-        heuristics: tuple[str, ...] = ("greedy", "annealing"),
-        verify: bool = True,
-        certify: bool = False,
+        objective=_UNSET,
+        config=_UNSET,
+        budget=_UNSET,
+        checkpoint=_UNSET,
+        heuristics=_UNSET,
+        verify=_UNSET,
+        certify=_UNSET,
+        request: SolveRequest | None = None,
     ):
+        # Imported lazily: repro.sat pulls in repro.robust for Budget,
+        # so a module-level repro.core import here would close an import
+        # cycle (arith -> sat -> robust -> core -> arith).
+        from repro.core.api import SolveRequest, merge_legacy
+
+        if isinstance(objective, SolveRequest):
+            if request is not None:
+                raise TypeError(
+                    "pass the SolveRequest positionally or as request=, "
+                    "not both"
+                )
+            request, objective = objective, _UNSET
+        legacy = {
+            k: v
+            for k, v in (
+                ("config", config),
+                ("budget", budget),
+                ("checkpoint", checkpoint),
+                ("heuristics", heuristics),
+                ("verify", verify),
+                ("certify", certify),
+            )
+            if v is not _UNSET
+        }
+        request = merge_legacy(request, legacy, "SolveSupervisor")
+        if objective is not _UNSET and objective is not None:
+            request = request.merged(objective=objective)
+        self.request = request
         self.tasks = tasks
         self.arch = arch
-        self.objective = objective
-        self.config = config
-        self.budget = budget
-        self.checkpoint = checkpoint
-        self.heuristics = tuple(heuristics)
-        self.verify = verify
+        self.objective = request.objective
+        self.config = request.config
+        self.budget: Budget | None = request.budget
+        self.checkpoint: SearchCheckpoint | str | None = request.checkpoint
+        self.heuristics = tuple(request.heuristics)
+        self.verify = request.verify
         #: Ask the exact stages for per-probe certificates (proof-checked
         #: UNSAT answers, audited SAT witnesses); see :mod:`repro.certify`.
-        self.certify = certify
+        self.certify = request.certify
 
     # ------------------------------------------------------------------
 
     def solve(self) -> SupervisedResult:
         out = SupervisedResult(status="unknown")
-        exact = self._exact_stage(out, "incremental", reuse_learned=True)
-        if exact is not None:
-            return exact
-        if self.budget is None or not self.budget.expired():
-            # The incremental stage *failed* (rather than running out of
-            # budget): a fresh non-incremental encoding sidesteps bugs in
-            # guard bookkeeping or clause reuse.
-            exact = self._exact_stage(out, "rebuild", reuse_learned=False)
+        exact_chain = ["incremental", "rebuild"]
+        if self.request.parallel:
+            # Parallel requests lead with the speculative engine; the
+            # sequential stages remain behind it as the degradation path.
+            exact_chain.insert(0, "speculative")
+        for i, stage in enumerate(exact_chain):
+            if i > 0 and self.budget is not None and self.budget.expired():
+                out.stages.append(
+                    StageReport(
+                        stage, "skipped", detail="budget exhausted"
+                    )
+                )
+                continue
+            exact = self._exact_stage(out, stage)
             if exact is not None:
                 return exact
-        else:
-            out.stages.append(
-                StageReport("rebuild", "skipped", detail="budget exhausted")
-            )
         return self._heuristic_stages(out)
 
     # ------------------------------------------------------------------
 
+    def _stage_request(self, stage: str) -> SolveRequest:
+        """The per-stage :class:`SolveRequest` variant."""
+        req = self.request
+        if stage == "speculative":
+            return req
+        if stage == "incremental":
+            return req.merged(
+                strategy="incremental", processes=1, race=1, speculate=0
+            )
+        return req.merged(
+            strategy="rebuild", reuse_learned=False,
+            processes=1, race=1, speculate=0, checkpoint=None,
+        )
+
     def _exact_stage(
-        self, out: SupervisedResult, stage: str, reuse_learned: bool
+        self, out: SupervisedResult, stage: str
     ) -> SupervisedResult | None:
         """Run one exact stage.  Returns the finished result when the
         stage settled the problem (optimum, honest anytime bound, or a
@@ -133,12 +184,7 @@ class SolveSupervisor:
         t0 = time.perf_counter()
         try:
             res = Allocator(self.tasks, self.arch, self.config).minimize(
-                self.objective,
-                reuse_learned=reuse_learned,
-                verify=self.verify,
-                budget=self.budget,
-                checkpoint=self.checkpoint if reuse_learned else None,
-                certify=self.certify,
+                request=self._stage_request(stage)
             )
         except Exception:  # noqa: BLE001 - supervision boundary by design
             out.stages.append(

@@ -129,6 +129,10 @@ class SolverStats:
     deleted_clauses: int = 0
     max_trail: int = 0
     solve_calls: int = 0
+    #: Clauses accepted from a peer solver via :meth:`Solver.import_clause`
+    #: (clause-sharing races) and clauses a peer rejected.
+    imported_clauses: int = 0
+    rejected_imports: int = 0
 
     def snapshot(self) -> dict:
         """Return the counters as a plain dict (for reporting tables)."""
@@ -142,6 +146,8 @@ class SolverStats:
             "deleted_clauses": self.deleted_clauses,
             "max_trail": self.max_trail,
             "solve_calls": self.solve_calls,
+            "imported_clauses": self.imported_clauses,
+            "rejected_imports": self.rejected_imports,
         }
 
 
@@ -224,6 +230,10 @@ class Solver:
         #: Provenance label applied to constraints added while a
         #: :meth:`tagged` block is active.
         self._active_tag: str | None = None
+        #: Called with every freshly learnt clause (a list the engine may
+        #: permute later -- the hook must copy).  Clause-sharing races use
+        #: it to export short lemmas; None keeps the hot path free.
+        self.learn_hook = None
 
     # ------------------------------------------------------------------
     # Proof logging / provenance
@@ -421,6 +431,72 @@ class Solver:
         """Convenience: exactly-one over ``lits`` (clause + pairwise AMO)."""
         ok = self.add_clause(list(lits))
         return self.add_at_most_one(lits) and ok
+
+    def import_clause(self, lits: list[int]) -> bool:
+        """Import a clause learnt by a *peer* solver over the same
+        variable numbering (clause-sharing races).
+
+        The clause is accepted only when it is RUP with respect to THIS
+        solver's database: its negated literals are asserted on a
+        throwaway decision level and unit propagation must derive a
+        conflict.  An accepted clause is then proof-logged as a derived
+        addition, so the importing solver's DRUP log stays self-contained
+        and the independent checker accepts it; anything else (unknown
+        variables, satisfied/tautological clauses, lemmas that do not
+        unit-propagate to a conflict here) is rejected without side
+        effects.  Returns True when the clause was imported.
+        """
+        if not self.ok:
+            return False
+        self._cancel_until(0)
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            if lit >> 1 >= self.nvars:
+                self.stats.rejected_imports += 1
+                return False  # references a variable this solver lacks
+            v = self.value_lit(lit)
+            if v == VAL_TRUE or neg(lit) in seen:
+                self.stats.rejected_imports += 1
+                return False  # already satisfied / tautology: no value
+            if v == VAL_FALSE or lit in seen:
+                continue
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.stats.rejected_imports += 1
+            return False
+        # RUP check: assert every negation on a fresh level and propagate.
+        self._new_decision_level()
+        refutable = True
+        for lit in out:
+            v = self.value_lit(lit)
+            if v == VAL_TRUE:
+                refutable = False  # clause satisfied mid-assertion
+                break
+            if v == VAL_UNASSIGNED:
+                self._unchecked_enqueue(neg(lit), None)
+        confl = self._propagate() if refutable else None
+        self._cancel_until(0)
+        if confl is None:
+            self.stats.rejected_imports += 1
+            return False
+        if self.proof is not None:
+            self.proof.log_add(out)
+        self.stats.imported_clauses += 1
+        if len(out) == 1:
+            self._unchecked_enqueue(out[0], None)
+            if self._propagate() is not None:
+                if self.proof is not None:
+                    self.proof.log_add([])
+                self.ok = False
+            return True
+        c = Clause(out, learnt=True)
+        self.learnts.append(c)
+        self._attach_clause(c)
+        self.stats.learnt_clauses += 1
+        self.stats.learnt_literals += len(out)
+        return True
 
     # ------------------------------------------------------------------
     # Watched-literal machinery
@@ -979,6 +1055,8 @@ class Solver:
                 learnt, bt = self._analyze(confl)
                 if self.proof is not None:
                     self.proof.log_add(learnt)
+                if self.learn_hook is not None:
+                    self.learn_hook(learnt)
                 self._cancel_until(bt)
                 if len(learnt) == 1:
                     self._unchecked_enqueue(learnt[0], None)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis.allocation import Allocation, MsgRef
 from repro.cli import main
+from repro.core import ExitCode
 from repro.io import (
     allocation_from_dict,
     allocation_to_dict,
@@ -175,7 +176,9 @@ class TestCli:
         assert "feasible" in capsys.readouterr().out
 
     def test_solve_infeasible_exit_code(self, infeasible_file):
-        assert main(["solve", str(infeasible_file)]) == 1
+        assert main(["solve", str(infeasible_file)]) == int(
+            ExitCode.INFEASIBLE
+        )
 
     def test_solve_stats_prints_encode_stats_json(self, system_file,
                                                   capsys):
@@ -220,7 +223,9 @@ class TestCli:
         )
         bad = tmp_path / "bad_alloc.json"
         bad.write_text(json.dumps(allocation_to_dict(alloc)))
-        assert main(["check", str(system_file), str(bad)]) == 1
+        assert main(["check", str(system_file), str(bad)]) == int(
+            ExitCode.INFEASIBLE
+        )
         assert "NOT SCHEDULABLE" in capsys.readouterr().out
 
     def test_diagnose_feasible(self, system_file, capsys):
@@ -228,7 +233,9 @@ class TestCli:
         assert "feasible" in capsys.readouterr().out
 
     def test_diagnose_infeasible(self, infeasible_file, capsys):
-        assert main(["diagnose", str(infeasible_file)]) == 1
+        assert main(["diagnose", str(infeasible_file)]) == int(
+            ExitCode.INFEASIBLE
+        )
         out = capsys.readouterr().out
         assert "deadline" in out
 
@@ -263,7 +270,9 @@ class TestCli:
                                                       capsys):
         # The infeasibility itself is proof-checked; the verified
         # certificate must not mask the infeasible exit code.
-        assert main(["solve", str(infeasible_file), "--certify"]) == 1
+        assert main(["solve", str(infeasible_file), "--certify"]) == int(
+            ExitCode.INFEASIBLE
+        )
         out = capsys.readouterr().out
         assert "certified: all verified" in out
         assert "unsat proof-checked" in out
@@ -299,6 +308,45 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["solve", str(system_file), "--objective", "trt"])
 
+    def test_solve_parallel_matches_sequential(self, system_file,
+                                               tmp_path, capsys):
+        seq_file = tmp_path / "seq.json"
+        par_file = tmp_path / "par.json"
+        assert main(["solve", str(system_file), "--objective", "trt:ring",
+                     "-o", str(seq_file)]) == 0
+        assert main(["solve", str(system_file), "--objective", "trt:ring",
+                     "--processes", "2", "-o", str(par_file)]) == 0
+        seq = json.loads(seq_file.read_text())
+        par = json.loads(par_file.read_text())
+        assert par["cost"] == seq["cost"] == 160
+
+    def test_solve_parallel_infeasible_exit_code(self, infeasible_file):
+        assert main(["solve", str(infeasible_file),
+                     "--processes", "2"]) == int(ExitCode.INFEASIBLE)
+
+
+class TestExitCodes:
+    """Satellite (b): the one ExitCode enum, used everywhere."""
+
+    def test_values_are_the_documented_contract(self):
+        assert int(ExitCode.OK) == 0
+        assert int(ExitCode.ERROR) == 1
+        assert int(ExitCode.INFEASIBLE) == 2
+        assert int(ExitCode.CERTIFICATE_FAILED) == 3
+        assert int(ExitCode.BUDGET_EXHAUSTED) == 4
+
+    def test_is_int_enum(self):
+        # argparse/sys.exit interop requires plain-int behaviour.
+        assert ExitCode.OK == 0
+        assert isinstance(ExitCode.INFEASIBLE, int)
+
+    def test_budget_exhausted_exit_code(self, system_file, capsys):
+        # A conflict budget of zero expires before the solver can settle
+        # anything: no model, no proof -> exit code 4, not "infeasible".
+        rc = main(["solve", str(system_file), "--budget-conflicts", "0"])
+        assert rc == int(ExitCode.BUDGET_EXHAUSTED)
+        assert "UNKNOWN" in capsys.readouterr().err
+
 
 class TestCliAnalyze:
     def test_analyze_solved_allocation(self, system_file, tmp_path,
@@ -324,5 +372,7 @@ class TestCliAnalyze:
         )
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps(allocation_to_dict(alloc)))
-        assert main(["analyze", str(system_file), str(bad)]) == 1
+        assert main(["analyze", str(system_file), str(bad)]) == int(
+            ExitCode.INFEASIBLE
+        )
         assert "NOT SCHEDULABLE" in capsys.readouterr().out

@@ -254,13 +254,14 @@ class TestCliSupervision:
         assert data["proven"] is False
         assert data["status"] in ("upper_bound", "heuristic")
 
-    def test_infeasible_under_budget_exits_one(self, tmp_path, capsys):
+    def test_infeasible_under_budget_exit_code(self, tmp_path, capsys):
         from repro.cli import main
+        from repro.core import ExitCode
 
         sysf = self._write_system(tmp_path, infeasible_system)
         rc = main(["solve", sysf, "--objective", "trt:ring",
                    "--budget", "60"])
-        assert rc == 1
+        assert rc == int(ExitCode.INFEASIBLE)
 
     def test_checkpointed_cli_resume(self, tmp_path, capsys):
         from repro.cli import main
