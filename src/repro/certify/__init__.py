@@ -21,6 +21,12 @@ from repro.certify.certifier import (
     certify_unsat_probe,
 )
 from repro.certify.drup import ProofError, RupChecker, check_proof_lines
+from repro.certify.proofio import (
+    ProofArtifactError,
+    ProofSpool,
+    load_proof,
+    scan_artifact,
+)
 from repro.certify.result import CertifiedResult, ProbeCertificate
 
 __all__ = [
@@ -28,7 +34,11 @@ __all__ = [
     "CertifiedResult",
     "ProbeCertificate",
     "ProbeCertifier",
+    "ProofArtifactError",
     "ProofError",
+    "ProofSpool",
+    "load_proof",
+    "scan_artifact",
     "RupChecker",
     "audit_witness",
     "certify_sat_probe",

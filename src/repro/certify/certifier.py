@@ -59,9 +59,17 @@ def _audit_sat(tasks, arch, enc, objective, claimed_cost, index):
 
 
 class ProbeCertifier:
-    """Certify every probe of one incremental binary search."""
+    """Certify every probe of one incremental binary search.
 
-    def __init__(self, tasks, arch, enc, objective=None):
+    ``spool`` (a :class:`repro.certify.proofio.ProofSpool`) persists the
+    proof to disk as crash-safe length-prefixed records alongside the
+    in-memory check; artifact damage that the spool cannot repair marks
+    the whole certificate unverified (``proof_artifact_ok``) -- the
+    in-memory verdicts stay intact for diagnosis, but a run must never
+    report "certified" next to a corrupt artifact.
+    """
+
+    def __init__(self, tasks, arch, enc, objective=None, spool=None):
         self.tasks = tasks
         self.arch = arch
         self.enc = enc
@@ -69,7 +77,10 @@ class ProbeCertifier:
         self.proof = enc.solver.sat.start_proof()
         self.checker = RupChecker()
         self._fed = 0
+        self.spool = spool
         self.result = CertifiedResult()
+        if spool is not None:
+            self.result.proof_artifact = spool.path
 
     # -- bin_search hook ------------------------------------------------
 
@@ -123,16 +134,37 @@ class ProbeCertifier:
     def _feed(self) -> None:
         """Feed proof steps logged since the last check to the checker
         through the *text* interface -- the same path a file-based
-        offline check would take."""
+        offline check would take -- and mirror them to the on-disk
+        spool (verified appends; see :mod:`repro.certify.proofio`)."""
         steps = self.proof.steps
-        while self._fed < len(steps):
-            self.checker.add_line(format_step(steps[self._fed]))
-            self._fed += 1
+        if self._fed >= len(steps):
+            return
+        lines = [format_step(s) for s in steps[self._fed:]]
+        self._fed = len(steps)
+        for line in lines:
+            self.checker.add_line(line)
+        if self.spool is not None and self.result.proof_artifact_ok:
+            try:
+                self.spool.append(lines)
+            except OSError as exc:
+                # ProofArtifactError subclasses RuntimeError, OSError
+                # covers the raw-IO failures; both condemn the artifact.
+                self.result.proof_artifact_ok = False
+                self.result.proof_artifact_error = str(exc)
+            except Exception as exc:  # noqa: BLE001 - artifact boundary
+                self.result.proof_artifact_ok = False
+                self.result.proof_artifact_error = str(exc)
 
     # -- wrap-up --------------------------------------------------------
 
     def finalize(self) -> CertifiedResult:
+        # Flush trailing proof steps (logged after the last UNSAT check)
+        # so the on-disk artifact holds the *complete* proof.
+        self._feed()
         self.result.proof_lines = len(self.proof.steps)
+        if self.spool is not None:
+            self.result.proof_repairs = self.spool.repairs
+            self.spool.close()
         return self.result
 
 

@@ -56,6 +56,15 @@ class CertifiedResult:
     #: Wall time spent proof-checking / witness-auditing.
     check_seconds: float = 0.0
     audit_seconds: float = 0.0
+    #: Path of the on-disk proof spool, when one was requested.
+    proof_artifact: str | None = None
+    #: False when the spool could not durably record the proof (damage
+    #: beyond its one-shot repair): the certificate must not claim
+    #: "verified" next to a corrupt artifact.
+    proof_artifact_ok: bool = True
+    proof_artifact_error: str | None = None
+    #: Tail repairs the spool performed (torn/corrupt appends healed).
+    proof_repairs: int = 0
 
     def add(self, cert: ProbeCertificate) -> None:
         self.probes.append(cert)
@@ -83,7 +92,8 @@ class CertifiedResult:
         certificate (skipped probes answered nothing, so they carry no
         claim to verify); False for an empty run."""
         answered = [p for p in self.probes if p.kind != "skipped"]
-        return bool(answered) and all(p.ok for p in answered)
+        artifact_ok = self.proof_artifact is None or self.proof_artifact_ok
+        return bool(answered) and all(p.ok for p in answered) and artifact_ok
 
     @property
     def failures(self) -> list[ProbeCertificate]:
@@ -103,7 +113,7 @@ class CertifiedResult:
 
     def to_dict(self) -> dict:
         """JSON-ready block for ``--stats``."""
-        return {
+        out = {
             "probes": len(self.probes),
             "sat_probes": self.sat_probes,
             "unsat_probes": self.unsat_probes,
@@ -115,3 +125,10 @@ class CertifiedResult:
             "audit_seconds": round(self.audit_seconds, 6),
             "probe_verdicts": [p.to_dict() for p in self.probes],
         }
+        if self.proof_artifact is not None:
+            out["proof_artifact"] = self.proof_artifact
+            out["proof_artifact_ok"] = self.proof_artifact_ok
+            out["proof_repairs"] = self.proof_repairs
+            if self.proof_artifact_error:
+                out["proof_artifact_error"] = self.proof_artifact_error
+        return out

@@ -1,0 +1,451 @@
+"""Deterministic chaos engineering for the solve stack.
+
+This module generalizes :mod:`repro.robust.faults` (sweep-cell
+injection) into a stack-wide registry of **named fault sites**.  Code on
+a hardened path declares a site by calling :func:`chaos_point` (control
+faults) or :func:`chaos_data` (data faults) at the exact moment the real
+world could misbehave; a seeded :class:`ChaosSchedule` decides *if* and
+*how* that site misbehaves on its n-th execution.
+
+Design constraints, in order:
+
+1. **Deterministic.**  A schedule is a finite list of
+   :class:`ChaosFault` entries built from a seed or a named profile.
+   Site executions are counted in ``state_dir`` through the same
+   atomic single-byte-append counter files as :class:`repro.robust.
+   faults.FaultPlan`, so counting is correct across worker processes
+   *and* across a kill/resume sequence of the same run (a resumed
+   process continues the counts, so an already-fired one-shot fault
+   does not re-fire).
+2. **Free when off.**  ``chaos_point`` returns after one module-global
+   truthiness check when no schedule is installed; sites on hot paths
+   (the solver slice loop, IPC exchange) cost a function call and a
+   falsy check.  ``benchmarks/test_chaos_overhead.py`` guards this.
+3. **Observable.**  Every injected fault is appended to
+   ``state_dir/chaos-events.jsonl`` (one JSON object per line, written
+   with a single ``write`` call so concurrent workers interleave whole
+   lines) -- CI uploads this log as an artifact of the chaos smoke job.
+
+Fault kinds
+-----------
+
+- ``"crash"``         -- ``os._exit(CHAOS_EXIT_CODE)``: the process dies
+  on the spot, like a SIGKILL / OOM kill.
+- ``"hang"``          -- sleep ``hang_seconds`` (a wedged syscall; kept
+  short by default so watchdogs, not the harness, provide liveness).
+- ``"io-error"``      -- raise :class:`ChaosIOError` (an ``OSError``):
+  the failed write / failed spawn / wedged queue case.
+- ``"torn-write"``    -- data faults only: the first half of the bytes
+  reach the medium, the rest are lost (crash between two ``write``\\ s).
+- ``"corrupt-bytes"`` -- data faults only: one byte (or literal) is
+  flipped in transit (bit rot, a buggy NIC, a hostile filesystem).
+
+Sites
+-----
+
+======================  ====================================================
+``solver.slice``        worker probe loop, once per solve slice
+``worker.spawn``        parent, before starting a probe worker process
+``worker.ipc.put``      clause-sharing queue export
+``worker.ipc.get``      clause-sharing queue import
+``checkpoint.write``    checkpoint bytes on their way to disk (data)
+``checkpoint.fsync``    the fsync of a checkpoint temp file
+``proof.append``        proof-artifact record bytes on their way to disk
+``race.import``         an imported peer lemma, literal-level (data)
+``supervisor.stage``    entry of a supervised exact stage
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "SITES",
+    "KINDS",
+    "SITE_KINDS",
+    "PROFILES",
+    "CHAOS_EXIT_CODE",
+    "ChaosIOError",
+    "ChaosFault",
+    "ChaosSchedule",
+    "chaos_point",
+    "chaos_data",
+    "chaos_lits",
+    "install",
+    "uninstall",
+    "current",
+    "active",
+    "EVENT_LOG_NAME",
+]
+
+#: Exit code of a chaos-injected process crash (distinct from the sweep
+#: fault injector's 87 so logs attribute deaths to the right harness).
+CHAOS_EXIT_CODE = 86
+
+EVENT_LOG_NAME = "chaos-events.jsonl"
+
+SITES = (
+    "solver.slice",
+    "worker.spawn",
+    "worker.ipc.put",
+    "worker.ipc.get",
+    "checkpoint.write",
+    "checkpoint.fsync",
+    "proof.append",
+    "race.import",
+    "supervisor.stage",
+)
+
+KINDS = ("crash", "hang", "io-error", "torn-write", "corrupt-bytes")
+
+#: Which kinds make sense where.  Control sites (``chaos_point``) cannot
+#: tear or corrupt bytes; ``crash`` is limited to sites that execute in
+#: expendable worker processes -- crashing the coordinating parent is
+#: the SIGKILL scenario, covered by tests/test_kill_resume.py killing
+#: the whole process from outside rather than by an in-process site.
+SITE_KINDS = {
+    "solver.slice": ("crash", "hang", "io-error"),
+    "worker.spawn": ("io-error",),
+    "worker.ipc.put": ("crash", "hang", "io-error"),
+    "worker.ipc.get": ("crash", "hang", "io-error"),
+    "checkpoint.write": ("io-error", "torn-write", "corrupt-bytes"),
+    "checkpoint.fsync": ("io-error", "hang"),
+    "proof.append": ("io-error", "torn-write", "corrupt-bytes"),
+    "race.import": ("torn-write", "corrupt-bytes", "io-error"),
+    "supervisor.stage": ("io-error",),
+}
+
+
+class ChaosIOError(OSError):
+    """The injected ``io-error`` fault (an :class:`OSError` on purpose:
+    hardened code must survive it through its *ordinary* error
+    handling, not through knowledge of the harness)."""
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One scheduled fault: ``site`` misbehaves as ``kind`` on its
+    executions number ``trigger`` .. ``trigger + repeat - 1`` (1-based,
+    counted across all processes of the run)."""
+
+    site: str
+    trigger: int
+    kind: str
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown chaos site {self.site!r}")
+        allowed = SITE_KINDS[self.site]
+        if self.kind not in allowed:
+            raise ValueError(
+                f"kind {self.kind!r} not allowed at {self.site!r} "
+                f"(allowed: {', '.join(allowed)})"
+            )
+        if self.trigger < 1 or self.repeat < 1:
+            raise ValueError("trigger and repeat must be >= 1")
+
+
+#: Named profiles: curated schedules for the CLI and the CI smoke job.
+#: Each entry is ``(site, trigger, kind, repeat)``.
+PROFILES: dict[str, tuple[tuple[str, int, str, int], ...]] = {
+    "checkpoint-torture": (
+        ("checkpoint.fsync", 1, "io-error", 1),
+        ("checkpoint.write", 2, "torn-write", 1),
+        ("checkpoint.write", 4, "corrupt-bytes", 1),
+    ),
+    "worker-carnage": (
+        ("worker.spawn", 1, "io-error", 1),
+        ("solver.slice", 2, "crash", 1),
+        ("solver.slice", 5, "io-error", 1),
+    ),
+    "ipc-flake": (
+        ("worker.ipc.put", 1, "io-error", 2),
+        ("worker.ipc.get", 2, "io-error", 2),
+        ("race.import", 1, "corrupt-bytes", 2),
+    ),
+    "proof-tamper": (
+        ("proof.append", 1, "torn-write", 1),
+        ("proof.append", 3, "corrupt-bytes", 1),
+    ),
+    "full-stack": (
+        ("checkpoint.write", 1, "torn-write", 1),
+        ("checkpoint.fsync", 2, "io-error", 1),
+        ("solver.slice", 3, "crash", 1),
+        ("worker.ipc.put", 1, "io-error", 1),
+        ("proof.append", 2, "torn-write", 1),
+        ("supervisor.stage", 1, "io-error", 1),
+    ),
+}
+
+
+class ChaosSchedule:
+    """A deterministic, picklable set of scheduled faults.
+
+    Execution counts live in ``state_dir`` (one counter file per site),
+    so one schedule object -- or pickled copies of it in worker
+    processes -- observes a single global per-site execution sequence.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        faults: list[ChaosFault] | tuple[ChaosFault, ...],
+        hang_seconds: float = 0.25,
+        seed: int | None = None,
+        label: str | None = None,
+    ):
+        self.state_dir = state_dir
+        self.faults = tuple(faults)
+        self.hang_seconds = float(hang_seconds)
+        self.seed = seed
+        self.label = label
+        self._by_site: dict[str, tuple[ChaosFault, ...]] = {}
+        for f in self.faults:
+            self._by_site[f.site] = self._by_site.get(f.site, ()) + (f,)
+        os.makedirs(state_dir, exist_ok=True)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        state_dir: str,
+        sites: tuple[str, ...] | None = None,
+        max_faults: int = 5,
+        max_trigger: int = 6,
+        hang_seconds: float = 0.25,
+    ) -> "ChaosSchedule":
+        """A randomized-but-pinned schedule: same seed, same faults."""
+        rng = random.Random(seed)
+        pool = tuple(sites) if sites is not None else SITES
+        faults = []
+        for _ in range(rng.randint(1, max_faults)):
+            site = rng.choice(pool)
+            kind = rng.choice(SITE_KINDS[site])
+            faults.append(
+                ChaosFault(
+                    site,
+                    trigger=rng.randint(1, max_trigger),
+                    kind=kind,
+                    repeat=rng.randint(1, 2),
+                )
+            )
+        return cls(state_dir, faults, hang_seconds=hang_seconds,
+                   seed=seed, label=f"seed:{seed}")
+
+    @classmethod
+    def from_profile(
+        cls, name: str, state_dir: str, hang_seconds: float = 0.25
+    ) -> "ChaosSchedule":
+        try:
+            spec = PROFILES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown chaos profile {name!r} "
+                f"(available: {', '.join(sorted(PROFILES))})"
+            ) from None
+        faults = [ChaosFault(site, trig, kind, rep)
+                  for site, trig, kind, rep in spec]
+        return cls(state_dir, faults, hang_seconds=hang_seconds,
+                   label=f"profile:{name}")
+
+    # -- cross-process counting (FaultPlan's atomic-append pattern) -----
+
+    def _counter_path(self, site: str) -> str:
+        return os.path.join(
+            self.state_dir, f"site-{site.replace('.', '_')}.count"
+        )
+
+    def executions_of(self, site: str) -> int:
+        """How many times ``site`` has executed under this schedule."""
+        try:
+            return os.path.getsize(self._counter_path(site))
+        except OSError:
+            return 0
+
+    @property
+    def event_log_path(self) -> str:
+        return os.path.join(self.state_dir, EVENT_LOG_NAME)
+
+    def events(self) -> list[dict]:
+        """The injected-fault log (empty when nothing fired yet)."""
+        try:
+            with open(self.event_log_path) as fh:
+                return [json.loads(line) for line in fh if line.strip()]
+        except OSError:
+            return []
+
+    def _log_event(self, site: str, kind: str, count: int) -> None:
+        record = {
+            "site": site,
+            "kind": kind,
+            "execution": count,
+            "pid": os.getpid(),
+            "label": self.label,
+        }
+        try:
+            with open(self.event_log_path, "a") as fh:
+                fh.write(json.dumps(record) + "\n")
+        except OSError:
+            pass  # the event log must never take the run down
+
+    # -- the decision ---------------------------------------------------
+
+    def hit(self, site: str) -> str | None:
+        """Record one execution of ``site``; return the fault kind to
+        inject now, or None.  Sites with no scheduled fault skip the
+        counter-file round-trip entirely."""
+        entries = self._by_site.get(site)
+        if not entries:
+            return None
+        with open(self._counter_path(site), "ab") as fh:
+            fh.write(b".")
+            fh.flush()
+            count = fh.tell()  # executions including this one
+        for f in entries:
+            if f.trigger <= count < f.trigger + f.repeat:
+                self._log_event(site, f.kind, count)
+                return f.kind
+        return None
+
+    def describe(self) -> str:
+        parts = [f"{f.site}@{f.trigger}" +
+                 (f"x{f.repeat}" if f.repeat > 1 else "") + f":{f.kind}"
+                 for f in self.faults]
+        head = self.label or "chaos"
+        return f"{head} [{', '.join(parts)}]"
+
+
+# -- process-global installation ---------------------------------------
+
+#: Stack of installed schedules (a stack for re-entrancy: a supervised
+#: solve wraps `active()` around stages that wrap it again).  Only the
+#: top entry is consulted.
+_ACTIVE: list[ChaosSchedule] = []
+
+
+def install(schedule: ChaosSchedule) -> None:
+    """Install ``schedule`` for the rest of this process's life (worker
+    processes call this once on startup)."""
+    _ACTIVE.append(schedule)
+
+
+def uninstall(schedule: ChaosSchedule) -> None:
+    if schedule in _ACTIVE:
+        _ACTIVE.reverse()
+        _ACTIVE.remove(schedule)
+        _ACTIVE.reverse()
+
+
+def current() -> ChaosSchedule | None:
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def active(schedule: ChaosSchedule | None):
+    """Scope ``schedule`` over a block; ``None`` is a cheap no-op (so
+    call sites can pass ``request.chaos`` unconditionally)."""
+    if schedule is None:
+        yield
+        return
+    _ACTIVE.append(schedule)
+    try:
+        yield
+    finally:
+        if _ACTIVE and _ACTIVE[-1] is schedule:
+            _ACTIVE.pop()
+        else:  # pragma: no cover - unbalanced install/uninstall
+            uninstall(schedule)
+
+
+# -- the fault sites ----------------------------------------------------
+
+def chaos_point(site: str) -> None:
+    """A control fault site.  Free when no schedule is installed.
+
+    ``crash`` exits the process, ``hang`` sleeps, ``io-error`` raises
+    :class:`ChaosIOError`; data kinds are rejected at schedule build
+    time for control sites.
+    """
+    if not _ACTIVE:
+        return
+    sched = _ACTIVE[-1]
+    kind = sched.hit(site)
+    if kind is None:
+        return
+    if kind == "crash":
+        os._exit(CHAOS_EXIT_CODE)
+    if kind == "hang":
+        time.sleep(sched.hang_seconds)
+        return
+    raise ChaosIOError(f"chaos: injected {kind} at {site}")
+
+
+def chaos_data(site: str, data: bytes) -> tuple[bytes, str | None]:
+    """A data fault site: bytes on their way to a medium.
+
+    Returns ``(possibly_damaged_bytes, fault_kind_or_None)``.  A
+    ``torn-write`` keeps the first half; ``corrupt-bytes`` flips one
+    byte in the middle.  ``io-error`` raises; ``crash`` exits.  The
+    caller decides what "the damaged bytes reached the medium" means
+    for its format.
+    """
+    if not _ACTIVE:
+        return data, None
+    sched = _ACTIVE[-1]
+    kind = sched.hit(site)
+    if kind is None:
+        return data, None
+    if kind == "crash":
+        os._exit(CHAOS_EXIT_CODE)
+    if kind == "hang":
+        time.sleep(sched.hang_seconds)
+        return data, None
+    if kind == "io-error":
+        raise ChaosIOError(f"chaos: injected io-error at {site}")
+    if kind == "torn-write":
+        return data[: len(data) // 2], kind
+    # corrupt-bytes: flip one byte mid-payload (or the only byte).
+    if not data:
+        return data, kind
+    buf = bytearray(data)
+    buf[len(buf) // 2] ^= 0xFF
+    return bytes(buf), kind
+
+
+def chaos_lits(site: str, lits: tuple) -> tuple | None:
+    """A data fault site for a clause in transit (literal level).
+
+    Returns the (possibly damaged) literal tuple, or ``None`` when the
+    clause was lost in transit (``io-error``).  ``corrupt-bytes``
+    negates one literal, ``torn-write`` drops the tail literal --
+    either way the receiver's RUP verification, not luck, must decide
+    whether the damaged lemma is still sound.
+    """
+    if not _ACTIVE:
+        return lits
+    sched = _ACTIVE[-1]
+    kind = sched.hit(site)
+    if kind is None:
+        return lits
+    if kind == "crash":
+        os._exit(CHAOS_EXIT_CODE)
+    if kind == "hang":
+        time.sleep(sched.hang_seconds)
+        return lits
+    if kind == "io-error":
+        return None
+    if not lits:
+        return lits
+    if kind == "torn-write":
+        return lits[:-1]
+    mid = len(lits) // 2
+    return lits[:mid] + (-lits[mid],) + lits[mid + 1:]

@@ -141,6 +141,27 @@ def build_parser() -> argparse.ArgumentParser:
         "replayed by an independent checker, SAT probes are re-audited "
         "against the analysis; exit code 3 on any certificate failure",
     )
+    p_solve.add_argument(
+        "--proof-log", default=None, metavar="PATH",
+        help="with --certify, spool the DRUP proof to this crash-safe "
+        "length-prefixed artifact (torn tails are detected on reload)",
+    )
+    p_solve.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="N",
+        help="inject a deterministic randomized fault schedule "
+        "(testing/drills; see docs/ROBUSTNESS.md)",
+    )
+    p_solve.add_argument(
+        "--chaos-profile", default=None, metavar="NAME",
+        help="inject a named fault profile instead of a seeded one "
+        "(checkpoint-torture, worker-carnage, ipc-flake, proof-tamper, "
+        "full-stack)",
+    )
+    p_solve.add_argument(
+        "--chaos-dir", default=None, metavar="DIR",
+        help="state directory for chaos trigger counts and the event "
+        "log (default: a fresh temporary directory)",
+    )
     p_solve.add_argument("--pb", action="store_true",
                          help="pseudo-Boolean adder axioms (GOBLIN mode)")
     p_solve.add_argument(
@@ -286,6 +307,29 @@ def _report_certificate(res) -> int:
     return int(ExitCode.CERTIFICATE_FAILED)
 
 
+def _chaos_from_args(args):
+    """Build the :class:`~repro.chaos.ChaosSchedule` requested on argv."""
+    if args.chaos_seed is None and args.chaos_profile is None:
+        return None
+    import tempfile
+
+    from repro.chaos import PROFILES, ChaosSchedule
+
+    state_dir = args.chaos_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    if args.chaos_profile is not None:
+        if args.chaos_profile not in PROFILES:
+            raise SystemExit(
+                f"unknown chaos profile {args.chaos_profile!r} "
+                f"(choose from: {', '.join(sorted(PROFILES))})"
+            )
+        schedule = ChaosSchedule.from_profile(args.chaos_profile, state_dir)
+    else:
+        schedule = ChaosSchedule.from_seed(args.chaos_seed, state_dir)
+    print(f"chaos: {schedule.describe()}", file=sys.stderr)
+    print(f"chaos event log: {schedule.event_log_path}", file=sys.stderr)
+    return schedule
+
+
 def _request_from_args(args, cfg, objective, budget, checkpoint
                        ) -> SolveRequest:
     """Build the unified :class:`SolveRequest` from solve argv."""
@@ -302,6 +346,8 @@ def _request_from_args(args, cfg, objective, budget, checkpoint
         speculate=args.speculate,
         race=args.race,
         share_clauses=not args.no_share_clauses,
+        chaos=_chaos_from_args(args),
+        proof_log=args.proof_log,
     )
 
 

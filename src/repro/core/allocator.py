@@ -175,25 +175,30 @@ class Allocator:
         objective = request.objective
         if objective is None:
             raise TypeError("Allocator.minimize requires an objective")
-        ckpt = self._as_checkpoint(request.checkpoint)
-        if (
-            request.parallel
-            and request.effective_groups() * request.effective_racers() > 1
-        ):
-            from repro.parallel_solve import speculative_minimize
+        from repro.chaos import active
 
-            return speculative_minimize(
-                self, objective, request.merged(checkpoint=ckpt)
-            )
-        if request.strategy == "rebuild" or not request.reuse_learned:
-            return self._minimize_rebuild(
+        with active(request.chaos):
+            ckpt = self._as_checkpoint(request.checkpoint)
+            if (
+                request.parallel
+                and request.effective_groups() * request.effective_racers()
+                > 1
+            ):
+                from repro.parallel_solve import speculative_minimize
+
+                return speculative_minimize(
+                    self, objective, request.merged(checkpoint=ckpt)
+                )
+            if request.strategy == "rebuild" or not request.reuse_learned:
+                return self._minimize_rebuild(
+                    objective, request.time_limit, request.verify,
+                    request.budget, request.certify,
+                )
+            return self._minimize_incremental(
                 objective, request.time_limit, request.verify,
-                request.budget, request.certify,
+                request.budget, ckpt, request.certify,
+                proof_log=request.proof_log,
             )
-        return self._minimize_incremental(
-            objective, request.time_limit, request.verify,
-            request.budget, ckpt, request.certify,
-        )
 
     @staticmethod
     def _as_checkpoint(
@@ -217,6 +222,7 @@ class Allocator:
         budget: Budget | None = None,
         checkpoint: SearchCheckpoint | None = None,
         certify: bool = False,
+        proof_log: str | None = None,
     ) -> AllocationResult:
         enc, cost_var, lo, hi, enc_secs = self._encode(objective)
         assert cost_var is not None
@@ -224,7 +230,26 @@ class Allocator:
         if certify:
             from repro.certify import ProbeCertifier
 
-            certifier = ProbeCertifier(self.tasks, self.arch, enc, objective)
+            spool = None
+            spool_error: str | None = None
+            if proof_log is not None:
+                from repro.certify.proofio import ProofSpool
+
+                # A fresh run owns its artifact: a damaged leftover from
+                # a crashed predecessor is quarantined, never extended.
+                try:
+                    spool = ProofSpool(proof_log, fresh=True)
+                except OSError as exc:
+                    # An unwritable artifact condemns the certificate,
+                    # not the solve: the in-memory checker still runs.
+                    spool_error = f"cannot open proof artifact: {exc}"
+            certifier = ProbeCertifier(
+                self.tasks, self.arch, enc, objective, spool=spool
+            )
+            if spool_error is not None:
+                certifier.result.proof_artifact = proof_log
+                certifier.result.proof_artifact_ok = False
+                certifier.result.proof_artifact_error = spool_error
         best: list[Allocation | None] = [None]
 
         def snapshot() -> None:
@@ -435,6 +460,12 @@ class Allocator:
             if v is not _UNSET
         }
         request = merge_legacy(request, legacy, "Allocator.find_feasible")
+        from repro.chaos import active
+
+        with active(request.chaos):
+            return self._find_feasible(request)
+
+    def _find_feasible(self, request: SolveRequest) -> AllocationResult:
         verify = request.verify
         budget = request.budget
         certify = request.certify

@@ -26,6 +26,7 @@ scattered literals)::
 
 from __future__ import annotations
 
+import sys
 import warnings
 from dataclasses import dataclass, field, fields, replace
 from enum import IntEnum
@@ -93,6 +94,13 @@ class SolveRequest:
     retries: int = 1
     #: Heuristic fallback chain for supervised solves.
     heuristics: tuple = ("greedy", "annealing")
+    #: :class:`repro.chaos.ChaosSchedule` of deterministic fault
+    #: injection (picklable; worker processes install it too); None = off.
+    chaos: object | None = None
+    #: Persist the certifier's DRUP proof to this path as crash-safe
+    #: length-prefixed records (:mod:`repro.certify.proofio`); implies
+    #: nothing unless ``certify`` is set.  Sequential strategies only.
+    proof_log: str | None = None
 
     def merged(self, **updates) -> "SolveRequest":
         """A copy with ``updates`` applied."""
@@ -121,11 +129,35 @@ class SolveRequest:
 _REQUEST_FIELDS = {f.name for f in fields(SolveRequest)}
 
 
+def _caller_stacklevel() -> int:
+    """The ``warnings.warn`` stacklevel that lands the report on the
+    first frame *outside* the ``repro`` package.
+
+    A fixed number breaks as soon as an entry point grows an internal
+    hop (``solve_portfolio`` -> ``SolveSupervisor.__init__`` ->
+    ``merge_legacy``): the warning then blames library internals the
+    user cannot act on.  Walking the live stack keeps the report on the
+    user's own call site no matter how deep the shim sits.
+    """
+    level = 2  # stacklevel 2 == merge_legacy's direct caller
+    try:
+        frame = sys._getframe(2)  # 0=this fn, 1=merge_legacy, 2=caller
+    except ValueError:  # pragma: no cover - no caller frame at all
+        return level
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if module.partition(".")[0] != "repro":
+            break
+        frame = frame.f_back
+        level += 1
+    return level
+
+
 def merge_legacy(
     request: SolveRequest | None,
     legacy: dict,
     caller: str,
-    stacklevel: int = 3,
+    stacklevel: int | None = None,
 ) -> SolveRequest:
     """Fold legacy kwargs into a request, warning once per call site.
 
@@ -133,7 +165,9 @@ def merge_legacy(
     kwargs the caller actually passed (callers filter out unset
     sentinels), so a plain ``minimize(objective)`` stays silent while
     ``minimize(objective, budget=...)`` deprecation-warns and keeps
-    working.
+    working.  The warning's reported location is the first stack frame
+    outside ``repro`` -- the user's call site -- unless an explicit
+    ``stacklevel`` overrides the walk.
     """
     request = request if request is not None else SolveRequest()
     if not legacy:
@@ -145,7 +179,8 @@ def merge_legacy(
         f"{caller}: pass a SolveRequest instead of the legacy kwargs "
         f"{sorted(legacy)} (they keep working for now)",
         DeprecationWarning,
-        stacklevel=stacklevel,
+        stacklevel=stacklevel if stacklevel is not None
+        else _caller_stacklevel(),
     )
     return request.merged(**legacy)
 

@@ -47,7 +47,16 @@ from repro.arith.ast import And, IntVar
 from repro.robust.budget import Budget, BudgetExpired
 from repro.robust.checkpoint import SearchCheckpoint
 
-__all__ = ["ProbeLog", "OptimizationOutcome", "bin_search"]
+__all__ = [
+    "ProbeLog",
+    "OptimizationOutcome",
+    "bin_search",
+    "CHECKPOINT_FAILURE_LIMIT",
+]
+
+#: Consecutive failed checkpoint saves tolerated before a search stops
+#: trying to persist (a run on a full disk must still finish and answer).
+CHECKPOINT_FAILURE_LIMIT = 3
 
 
 @dataclass
@@ -100,6 +109,13 @@ class OptimizationOutcome:
     interrupt_reason: str | None = None
     #: True when the run continued from a checkpoint.
     resumed: bool = False
+    #: Checkpoint saves that failed with an OSError (full disk, injected
+    #: io-error, ...).  The search keeps running -- persistence degrades,
+    #: the answer does not -- and disables checkpointing after
+    #: :data:`CHECKPOINT_FAILURE_LIMIT` consecutive failures.
+    checkpoint_errors: int = 0
+    #: True when checkpointing was disabled after repeated save failures.
+    checkpoint_disabled: bool = False
 
     @property
     def num_probes(self) -> int:
@@ -178,6 +194,8 @@ def bin_search(
     if checkpoint is None and on_checkpoint is not None:
         checkpoint = SearchCheckpoint(lower=lower, upper=upper)
 
+    ckpt_failures = [0]  # consecutive failed saves
+
     def sync_checkpoint() -> None:
         if checkpoint is None:
             return
@@ -195,8 +213,21 @@ def bin_search(
         checkpoint.probes = [asdict(p) for p in out.probes]
         if on_checkpoint is not None:
             on_checkpoint(checkpoint)
-        if checkpoint.path is not None:
+        if checkpoint.path is None:
+            return
+        try:
             checkpoint.save()
+        except OSError:
+            # Persistence degrades, the search does not: count the
+            # failure, and after CHECKPOINT_FAILURE_LIMIT consecutive
+            # ones stop retrying (a full disk won't heal mid-run).
+            out.checkpoint_errors += 1
+            ckpt_failures[0] += 1
+            if ckpt_failures[0] >= CHECKPOINT_FAILURE_LIMIT:
+                checkpoint.path = None
+                out.checkpoint_disabled = True
+        else:
+            ckpt_failures[0] = 0
 
     def run_probe(lo: int | None, hi: int | None) -> tuple[bool, int | None]:
         guard = solver.new_guard()

@@ -176,8 +176,14 @@ def run_sweep(
     def finalize(index: int, res: SweepResult) -> None:
         results[index] = res
         if ckpt is not None:
-            ckpt.record(index, value=res.value, error=res.error,
-                        seconds=res.seconds, attempts=res.attempts)
+            try:
+                ckpt.record(index, value=res.value, error=res.error,
+                            seconds=res.seconds, attempts=res.attempts)
+            except OSError:
+                # Persistence is gone (full disk, revoked mount): the
+                # cell is already recorded in memory, so finish the
+                # sweep and deliver results; only resumability is lost.
+                ckpt.path = None
 
     use_workers = cell_timeout is not None or (
         processes > 1 and len(todo) > 1

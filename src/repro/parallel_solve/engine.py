@@ -32,7 +32,12 @@ import time
 from dataclasses import asdict, dataclass, field
 from multiprocessing.connection import wait as conn_wait
 
-from repro.core.optimize import OptimizationOutcome, ProbeLog
+from repro.chaos import chaos_point
+from repro.core.optimize import (
+    CHECKPOINT_FAILURE_LIMIT,
+    OptimizationOutcome,
+    ProbeLog,
+)
 from repro.parallel_solve.plan import ProbeSpec, SpeculativeSearch
 from repro.parallel_solve.race import default_race_configs
 from repro.parallel_solve.worker import WorkerSpec, probe_worker_main
@@ -41,6 +46,17 @@ __all__ = ["speculative_minimize"]
 
 #: Hard cap on worker respawns per run (multiplied by the fleet size).
 _RESPAWN_FACTOR = 2
+
+#: Crashes after which one worker slot is quarantined for good: a slot
+#: that keeps dying (bad core, poisoned inherited state, scheduled
+#: chaos) must stop eating the global respawn budget.  With every slot
+#: quarantined the engine reports "all probe workers failed" and the
+#: supervisor chain degrades to the sequential single-process stages.
+_CRASH_QUARANTINE = 3
+
+#: Attempts (with backoff) to start one worker process before giving up
+#: on that slot.
+_SPAWN_ATTEMPTS = 3
 
 
 @dataclass
@@ -115,6 +131,7 @@ def speculative_minimize(allocator, objective, request, faults=None):
             return allocator._minimize_incremental(
                 objective, request.time_limit, request.verify,
                 request.budget, ckpt, request.certify,
+                proof_log=request.proof_log,
             )
     enc, cost_var, lb, ub, enc_secs = allocator._encode(objective)
     assert cost_var is not None
@@ -166,6 +183,7 @@ def speculative_minimize(allocator, objective, request, faults=None):
                 share_max_len=request.share_max_len,
                 die_at=(faults or {}).get(wid),
                 race_config=race_cfgs[r],
+                chaos=request.chaos,
             )
             grp.workers.append(wid)
             workers[wid] = w
@@ -184,6 +202,9 @@ def speculative_minimize(allocator, objective, request, faults=None):
     conn_map: dict[object, _Worker] = {}
     respawns = 0
     respawn_cap = _RESPAWN_FACTOR * max(1, request.retries) * len(workers)
+    crash_counts: dict[int, int] = {w: 0 for w in workers}
+    quarantined: set[int] = set()
+    spawn_failures = 0
 
     if ckpt is not None and ckpt.started:
         if ckpt.lower != lb or ckpt.upper != ub:
@@ -199,6 +220,8 @@ def speculative_minimize(allocator, objective, request, faults=None):
             best_blob = dict(ckpt.payload)
             best_cost = search.right
 
+    ckpt_failures = [0]  # consecutive failed saves
+
     def sync_checkpoint() -> None:
         if ckpt is None:
             return
@@ -209,24 +232,56 @@ def speculative_minimize(allocator, objective, request, faults=None):
         ckpt.probes = [asdict(p) for p in out.probes]
         if best_blob:
             ckpt.payload = best_blob
-        if ckpt.path is not None:
+        if ckpt.path is None:
+            return
+        try:
             ckpt.save()
+        except OSError:
+            # Same policy as the sequential search: persistence
+            # degrades, the answer does not.
+            out.checkpoint_errors += 1
+            ckpt_failures[0] += 1
+            if ckpt_failures[0] >= CHECKPOINT_FAILURE_LIMIT:
+                ckpt.path = None
+                out.checkpoint_disabled = True
+        else:
+            ckpt_failures[0] = 0
 
-    def spawn(w: _Worker, history: list) -> None:
-        nonlocal conn_map
+    def spawn(w: _Worker, history: list) -> bool:
+        """Start one worker process; bounded retry with backoff on
+        spawn failure (fork/pipe EAGAIN, injected ``worker.spawn``
+        io-error).  False = the slot could not be started."""
+        nonlocal conn_map, spawn_failures
         w.spec.history = list(history)
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        proc = ctx.Process(
-            target=probe_worker_main,
-            args=(child_conn, w.spec, w.inbox, w.peers, enc_pack),
-            daemon=True,
-        )
-        proc.start()
-        # Close our copy of the child end NOW: later forks must not
-        # inherit it, or a worker crash would never surface as EOF.
-        child_conn.close()
-        w.proc, w.conn = proc, parent_conn
-        conn_map[parent_conn] = w
+        for attempt in range(_SPAWN_ATTEMPTS):
+            parent_conn = child_conn = None
+            try:
+                chaos_point("worker.spawn")
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=probe_worker_main,
+                    args=(child_conn, w.spec, w.inbox, w.peers, enc_pack),
+                    daemon=True,
+                )
+                proc.start()
+            except OSError:
+                spawn_failures += 1
+                for c in (parent_conn, child_conn):
+                    if c is not None:
+                        try:
+                            c.close()
+                        except OSError:
+                            pass
+                time.sleep(0.02 * (2 ** attempt))
+                continue
+            # Close our copy of the child end NOW: later forks must not
+            # inherit it, or a worker crash would never surface as EOF.
+            child_conn.close()
+            w.proc, w.conn = proc, parent_conn
+            conn_map[parent_conn] = w
+            return True
+        w.proc = w.conn = None
+        return False
 
     def safe_send(w: _Worker, msg) -> bool:
         if w.conn is None:
@@ -295,19 +350,26 @@ def speculative_minimize(allocator, objective, request, faults=None):
                 w.proc.join(timeout=1.0)
         grp = groups[w.gid]
         grp.pending.discard(w.wid)
-        if not permanent and respawns < respawn_cap:
+        crash_counts[w.wid] += 1
+        if (
+            not permanent
+            and respawns < respawn_cap
+            and crash_counts[w.wid] < _CRASH_QUARANTINE
+        ):
             respawns += 1
             w.spec.die_at = None  # an injected crash fires only once
-            spawn(w, grp.completed)
-            if grp.spec is not None and not grp.answered:
-                # Rejoin the race on the probe still in flight.
-                grp.pending.add(w.wid)
-                safe_send(w, (
-                    "probe", grp.spec.probe_id,
-                    grp.spec.lo, grp.spec.hi, None,
-                ))
-            return
-        # No respawn: the group shrinks; with no racer left it dies.
+            if spawn(w, grp.completed):
+                if grp.spec is not None and not grp.answered:
+                    # Rejoin the race on the probe still in flight.
+                    grp.pending.add(w.wid)
+                    safe_send(w, (
+                        "probe", grp.spec.probe_id,
+                        grp.spec.lo, grp.spec.hi, None,
+                    ))
+                return
+        # No respawn (cap reached, quarantined, or the respawn itself
+        # failed): the group shrinks; with no racer left it dies.
+        quarantined.add(w.wid)
         if all(workers[x].conn is None for x in grp.workers):
             grp.dead = True
             if grp.spec is not None and not grp.answered:
@@ -372,7 +434,11 @@ def speculative_minimize(allocator, objective, request, faults=None):
     t0 = time.perf_counter()
     try:
         for w in workers.values():
-            spawn(w, [])
+            if not spawn(w, []):
+                quarantined.add(w.wid)
+        for grp in groups.values():
+            if all(workers[x].conn is None for x in grp.workers):
+                grp.dead = True
         while not search.done:
             if (
                 request.time_limit is not None
@@ -492,6 +558,8 @@ def speculative_minimize(allocator, objective, request, faults=None):
         "racers": racers_n,
         "workers": len(workers),
         "respawns": respawns,
+        "spawn_failures": spawn_failures,
+        "quarantined_workers": sorted(quarantined),
         "speculative_hits": out.speculative_hits,
         "speculative_misses": out.speculative_misses,
         "cancelled_probes": out.cancelled_probes,

@@ -34,14 +34,21 @@ Protocol (parent -> worker)::
 from __future__ import annotations
 
 import os
+import queue as queue_mod
 import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.chaos import chaos_lits, chaos_point
 from repro.parallel_solve.race import RaceConfig, apply_race_config
 from repro.robust.budget import Budget, BudgetExpired
 
 __all__ = ["WorkerSpec", "probe_worker_main"]
+
+#: Bounded retry attempts for one clause-sharing queue operation; the
+#: backoff doubles from _IPC_BACKOFF seconds per attempt.
+_IPC_ATTEMPTS = 3
+_IPC_BACKOFF = 0.005
 
 
 @dataclass
@@ -69,6 +76,9 @@ class WorkerSpec:
     #: probe (1-based); None = healthy.
     die_at: int | None = None
     race_config: RaceConfig = field(default_factory=RaceConfig)
+    #: :class:`repro.chaos.ChaosSchedule` installed in the worker process
+    #: (cross-process execution counts live in its state_dir); None = off.
+    chaos: object | None = None
 
 
 class _Stop(Exception):
@@ -110,6 +120,10 @@ def probe_worker_main(conn, spec: WorkerSpec, inbox, peers, enc_pack):
     parent forked us with its encoding (copy-on-write), else None and
     the worker rebuilds everything from ``spec.system_blob``.
     """
+    if spec.chaos is not None:
+        from repro import chaos as chaos_mod
+
+        chaos_mod.install(spec.chaos)
     try:
         t0 = time.perf_counter()
         if enc_pack is not None:
@@ -184,25 +198,62 @@ def _drain_control(conn, probe_id) -> bool:
     return cancelled
 
 
+def _ipc_put(q, item) -> bool:
+    """One queue export with bounded retry-with-backoff.
+
+    A full bounded queue is *normal* (drop, sharing is best-effort); a
+    transient OSError (wedged pipe, injected ``worker.ipc.put``) gets
+    :data:`_IPC_ATTEMPTS` tries before the lemma is dropped -- clause
+    sharing must never take the worker down.
+    """
+    for attempt in range(_IPC_ATTEMPTS):
+        try:
+            chaos_point("worker.ipc.put")
+            q.put_nowait(item)
+            return True
+        except queue_mod.Full:
+            return False
+        except (OSError, ValueError):
+            time.sleep(_IPC_BACKOFF * (2 ** attempt))
+    return False
+
+
+def _ipc_get(q) -> tuple[bool, object]:
+    """One queue import with bounded retry-with-backoff; ``(False, None)``
+    when the queue is empty or persistently failing."""
+    for attempt in range(_IPC_ATTEMPTS):
+        try:
+            chaos_point("worker.ipc.get")
+            return True, q.get_nowait()
+        except queue_mod.Empty:
+            return False, None
+        except (OSError, ValueError):
+            time.sleep(_IPC_BACKOFF * (2 ** attempt))
+    return False, None
+
+
 def _exchange(sat, spec, inbox, peers, exported) -> tuple[int, int]:
     """Flush exports to the peers, import pending peer lemmas."""
     sent = 0
     if spec.share and exported:
         for clause in exported:
             for q in peers:
-                try:
-                    q.put_nowait(clause)
+                if _ipc_put(q, clause):
                     sent += 1
-                except Exception:
-                    pass  # bounded queue full: drop, sharing is best-effort
         del exported[:]
     got = 0
     if spec.share and inbox is not None:
         while True:
-            try:
-                clause = inbox.get_nowait()
-            except Exception:
+            ok, clause = _ipc_get(inbox)
+            if not ok:
                 break
+            # Named fault site: a lemma damaged in transit (flipped or
+            # dropped literal) must be *rejected by verification*, not
+            # trusted -- import_clause RUP-checks every import, so a
+            # damaged-but-underivable clause lands in rejected_imports.
+            clause = chaos_lits("race.import", tuple(clause))
+            if clause is None:
+                continue  # lost in transit
             if sat.import_clause(list(clause)):
                 got += 1
     return sent, got
@@ -220,6 +271,10 @@ def _serve_probe(conn, spec, enc, cost_var, lower, certifier,
     answer = False
     del exported[:]  # bounds may have triggered learning; don't export those
     while status is None:
+        # Named fault site, once per solve slice: a "crash" here dies
+        # mid-probe (respawn path), an "io-error" surfaces through the
+        # worker's error report, a "hang" exercises cancellation latency.
+        chaos_point("solver.slice")
         if _drain_control(conn, probe_id):
             conn.send(("cancelled", spec.worker_id, probe_id))
             return

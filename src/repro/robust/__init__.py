@@ -23,7 +23,12 @@ The sweep watchdog itself lives in :func:`repro.parallel.run_sweep`
 """
 
 from repro.robust.budget import Budget, BudgetExpired
-from repro.robust.checkpoint import SearchCheckpoint, SweepCheckpoint
+from repro.robust.checkpoint import (
+    CheckpointCorrupt,
+    CorruptArtifact,
+    SearchCheckpoint,
+    SweepCheckpoint,
+)
 from repro.robust.faults import (
     FAULT_EXIT_CODE,
     PROOF_CORRUPTIONS,
@@ -44,6 +49,8 @@ __all__ = [
     "BudgetExpired",
     "SearchCheckpoint",
     "SweepCheckpoint",
+    "CheckpointCorrupt",
+    "CorruptArtifact",
     "SolveSupervisor",
     "StageReport",
     "SupervisedResult",

@@ -14,8 +14,24 @@ inspected, archived, or resumed on another machine:
   :func:`repro.parallel.run_sweep` can skip completed cells after an
   interruption.
 
-Saves are atomic (write-to-temp + rename): a crash mid-save leaves the
-previous checkpoint intact.
+Crash safety is layered:
+
+- Saves are atomic and durable (write-to-temp + fsync + rename + dir
+  fsync): a crash mid-save leaves the previous checkpoint intact.
+- Every saved document carries an **integrity envelope** (``integrity``
+  key: schema version, monotonically increasing generation number, and
+  a SHA-256 over the canonical payload), so a load *verifies* the bytes
+  instead of trusting whatever parses.
+- Saves rotate **generations** (``ck.json`` newest, ``ck.json.g1``
+  one older, ... keep :data:`GENERATIONS` total): when the newest file
+  is damaged anyway -- torn by a dying filesystem, bit-flipped, written
+  by a buggy tool -- the load falls back to the newest generation that
+  verifies, and renames every damaged candidate to ``*.quarantined``
+  for post-mortem instead of deleting the evidence.
+- When *no* candidate verifies, the load raises the typed
+  :class:`CheckpointCorrupt` (a :class:`ValueError`, so existing
+  ``except (ValueError, OSError)`` resume guards keep working) carrying
+  a per-file damage report -- never a bare ``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -26,7 +42,53 @@ import os
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["SearchCheckpoint", "SweepCheckpoint", "atomic_write_json"]
+from repro.chaos import chaos_data, chaos_point
+
+__all__ = [
+    "SearchCheckpoint",
+    "SweepCheckpoint",
+    "atomic_write_json",
+    "CheckpointCorrupt",
+    "CorruptArtifact",
+    "GENERATIONS",
+    "save_generations",
+    "load_generations",
+]
+
+#: How many checkpoint generations a save keeps on disk.
+GENERATIONS = 3
+
+_INTEGRITY_KEY = "integrity"
+_ENVELOPE_SCHEMA = 1
+
+
+@dataclass
+class CorruptArtifact:
+    """One damaged checkpoint candidate: what was wrong, where it went."""
+
+    path: str
+    reason: str
+    quarantined_to: str | None = None
+
+
+class CheckpointCorrupt(ValueError):
+    """No generation of a checkpoint survived integrity verification.
+
+    Subclasses :class:`ValueError` so pre-existing resume guards
+    (``except (ValueError, OSError)``) treat it as the typed failure it
+    is; :attr:`reports` lists every candidate examined and why it was
+    rejected (each already quarantined for post-mortem).
+    """
+
+    def __init__(self, path: str, reports: list[CorruptArtifact]):
+        self.path = path
+        self.reports = list(reports)
+        detail = "; ".join(
+            f"{r.path}: {r.reason}" for r in self.reports
+        ) or "no readable candidate"
+        super().__init__(
+            f"checkpoint {path!r} is corrupt in every generation ({detail})"
+        )
 
 
 def atomic_write_json(path: str, payload: dict) -> None:
@@ -36,15 +98,36 @@ def atomic_write_json(path: str, payload: dict) -> None:
     leave the *renamed* file empty or truncated: rename-over-unflushed-
     data is the classic ext4 zero-length-file hazard), and the containing
     directory is fsynced after it so the rename itself survives a power
-    loss.
+    loss.  A failure at any step -- including an unserializable payload
+    -- removes the temp file again: no ``*.tmp`` litter, and the
+    previous checkpoint stays intact.
     """
+    # Serialize before touching the filesystem: an unserializable
+    # payload must not even create the temp file.
+    data = (json.dumps(payload, indent=2) + "\n").encode()
+    data, damage = chaos_data("checkpoint.write", data)
+    if damage is not None:
+        # Chaos decided these bytes get damaged in transit.  Model the
+        # worst case -- the damaged bytes land at the *final* path with
+        # no atomicity (as if a crash interrupted a naive writer) -- and
+        # report success, exactly like the real failure would.
+        with open(path, "wb") as fh:
+            fh.write(data)
+        return
     tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            chaos_point("checkpoint.fsync")
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     dirpath = os.path.dirname(os.path.abspath(path))
     try:
         dfd = os.open(dirpath, os.O_RDONLY)
@@ -56,6 +139,128 @@ def atomic_write_json(path: str, payload: dict) -> None:
         pass  # directory fsync unsupported on this filesystem
     finally:
         os.close(dfd)
+
+
+# ----------------------------------------------------------------------
+# Integrity envelope + generations
+
+
+def _canonical_blob(payload: dict) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def _seal(payload: dict, generation: int) -> dict:
+    """Attach the integrity envelope to a checkpoint document."""
+    body = dict(payload)
+    body.pop(_INTEGRITY_KEY, None)
+    body[_INTEGRITY_KEY] = {
+        "schema": _ENVELOPE_SCHEMA,
+        "generation": generation,
+        "sha256": hashlib.sha256(_canonical_blob(body)).hexdigest(),
+    }
+    return body
+
+
+class _Damaged(Exception):
+    """Internal: one candidate file failed verification (reason in args)."""
+
+
+def _open_verified(path: str) -> tuple[dict, int]:
+    """Load + verify one candidate file.
+
+    Returns ``(payload_without_envelope, generation)``; legacy files
+    (written before the envelope existed) load as generation 0.
+    Raises :class:`_Damaged` with a human reason on any defect.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise _Damaged(f"unreadable: {exc}") from exc
+    try:
+        data = json.loads(raw.decode("utf-8", errors="strict"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _Damaged(f"not valid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise _Damaged("not a JSON object")
+    envelope = data.pop(_INTEGRITY_KEY, None)
+    if envelope is None:
+        return data, 0  # legacy, pre-envelope checkpoint
+    if not isinstance(envelope, dict):
+        raise _Damaged("integrity envelope is not an object")
+    schema = envelope.get("schema")
+    if not isinstance(schema, int) or schema > _ENVELOPE_SCHEMA:
+        raise _Damaged(f"unsupported envelope schema {schema!r}")
+    expect = envelope.get("sha256")
+    actual = hashlib.sha256(_canonical_blob(data)).hexdigest()
+    if actual != expect:
+        raise _Damaged("sha256 mismatch (payload bytes damaged)")
+    generation = envelope.get("generation")
+    if not isinstance(generation, int) or generation < 0:
+        raise _Damaged(f"bad generation {generation!r}")
+    return data, generation
+
+
+def _generation_paths(path: str) -> list[str]:
+    return [path] + [f"{path}.g{i}" for i in range(1, GENERATIONS)]
+
+
+def _quarantine(path: str) -> str | None:
+    """Move a damaged artifact aside (never delete the evidence)."""
+    target = f"{path}.quarantined"
+    try:
+        os.replace(path, target)
+        return target
+    except OSError:
+        return None
+
+
+def save_generations(path: str, payload: dict, generation: int) -> None:
+    """Seal ``payload`` and write it to ``path``, rotating the previous
+    files into the ``.g1``/``.g2``/... generation slots first.  The
+    first save of a run writes only ``path`` itself."""
+    candidates = _generation_paths(path)
+    for i in range(len(candidates) - 1, 0, -1):
+        if os.path.exists(candidates[i - 1]):
+            try:
+                os.replace(candidates[i - 1], candidates[i])
+            except OSError:
+                pass  # rotation is best-effort; the new save still lands
+    atomic_write_json(path, _seal(payload, generation))
+
+
+def load_generations(path: str) -> tuple[dict, int, list[CorruptArtifact]]:
+    """Load the newest generation of ``path`` that verifies.
+
+    Returns ``(payload, generation, damage_reports)``.  Damaged
+    candidates are quarantined (renamed ``*.quarantined``).  Raises
+    :class:`FileNotFoundError` when no candidate exists at all, and
+    :class:`CheckpointCorrupt` when candidates exist but none verifies.
+    """
+    best: dict | None = None
+    best_gen = -1
+    reports: list[CorruptArtifact] = []
+    found_any = False
+    for cand in _generation_paths(path):
+        if not os.path.exists(cand):
+            continue
+        found_any = True
+        try:
+            payload, gen = _open_verified(cand)
+        except _Damaged as exc:
+            reports.append(
+                CorruptArtifact(cand, str(exc), _quarantine(cand))
+            )
+            continue
+        if gen > best_gen or best is None:
+            best, best_gen = payload, gen
+    if not found_any:
+        raise FileNotFoundError(path)
+    if best is None:
+        raise CheckpointCorrupt(path, reports)
+    return best, best_gen, reports
 
 
 @dataclass
@@ -76,6 +281,12 @@ class SearchCheckpoint:
     probes: list[dict] = field(default_factory=list)
     payload: dict | None = None
     path: str | None = None
+    #: Monotonic save counter (the integrity envelope's generation
+    #: number); restored on load so a resumed run keeps counting up.
+    generation: int = 0
+    #: Damage reports from the load that produced this object (newest
+    #: generation corrupt -> fell back), for callers that surface them.
+    load_reports: list = field(default_factory=list)
 
     VERSION = 1
 
@@ -133,13 +344,16 @@ class SearchCheckpoint:
         if path is None:
             raise ValueError("no checkpoint path given")
         self.path = path
-        atomic_write_json(path, self.to_dict())
+        self.generation += 1
+        save_generations(path, self.to_dict(), self.generation)
 
     @classmethod
     def load(cls, path: str) -> "SearchCheckpoint":
-        with open(path) as fh:
-            out = cls.from_dict(json.load(fh))
+        payload, generation, reports = load_generations(path)
+        out = cls.from_dict(payload)
         out.path = path
+        out.generation = generation
+        out.load_reports = reports
         return out
 
 
@@ -184,6 +398,8 @@ class SweepCheckpoint:
     fingerprint: str = ""
     cells: dict[str, dict] = field(default_factory=dict)
     path: str | None = None
+    generation: int = 0
+    load_reports: list = field(default_factory=list)
 
     VERSION = 1
 
@@ -241,13 +457,16 @@ class SweepCheckpoint:
         if path is None:
             raise ValueError("no checkpoint path given")
         self.path = path
-        atomic_write_json(path, self.to_dict())
+        self.generation += 1
+        save_generations(path, self.to_dict(), self.generation)
 
     @classmethod
     def load(cls, path: str) -> "SweepCheckpoint":
-        with open(path) as fh:
-            out = cls.from_dict(json.load(fh))
+        payload, generation, reports = load_generations(path)
+        out = cls.from_dict(payload)
         out.path = path
+        out.generation = generation
+        out.load_reports = reports
         return out
 
     @classmethod
@@ -258,6 +477,8 @@ class SweepCheckpoint:
             try:
                 out = cls.load(path)
             except (ValueError, OSError, json.JSONDecodeError):
+                # CheckpointCorrupt lands here too: the damaged files
+                # are already quarantined, start fresh at the same path.
                 return cls.for_params(params, path=path)
             if out.matches(params):
                 return out

@@ -138,6 +138,12 @@ class SolveSupervisor:
     # ------------------------------------------------------------------
 
     def solve(self) -> SupervisedResult:
+        from repro.chaos import active
+
+        with active(self.request.chaos):
+            return self._solve()
+
+    def _solve(self) -> SupervisedResult:
         out = SupervisedResult(status="unknown")
         exact_chain = ["incremental", "rebuild"]
         if self.request.parallel:
@@ -179,10 +185,14 @@ class SolveSupervisor:
         """Run one exact stage.  Returns the finished result when the
         stage settled the problem (optimum, honest anytime bound, or a
         certificate of infeasibility); None to escalate."""
+        from repro.chaos import chaos_point
         from repro.core.allocator import Allocator
 
         t0 = time.perf_counter()
         try:
+            # Named fault site: an injected io-error here exercises the
+            # "stage fails before solving anything" escalation path.
+            chaos_point("supervisor.stage")
             res = Allocator(self.tasks, self.arch, self.config).minimize(
                 request=self._stage_request(stage)
             )
