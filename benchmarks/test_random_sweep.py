@@ -40,6 +40,27 @@ def _solve_cell(param):
     }
 
 
+def test_fabric_sweep_restores_cells(tmp_path, record_json):
+    """The fabric-backed sweep survives a second run untouched: every
+    cell is restored from the append-only store (identical values,
+    including timings -- a re-solve could not reproduce those bits)."""
+    cells = [(u, s) for u in (0.6, 1.6) for s in (0, 1)]
+    fabric_dir = str(tmp_path / "fabric")
+
+    first = run_sweep(_solve_cell, cells, processes=2,
+                      fabric_dir=fabric_dir)
+    assert all(r.ok for r in first), [r.error for r in first if not r.ok]
+
+    again = run_sweep(_solve_cell, cells, processes=2,
+                      fabric_dir=fabric_dir)
+    assert [r.param for r in again] == [r.param for r in first]
+    assert [r.value for r in again] == [r.value for r in first]
+    record_json("fabric_sweep", {
+        "cells": len(cells),
+        "restored_identical": True,
+    })
+
+
 def test_utilization_sweep(benchmark, profile, record_table, record_json):
     utils = (0.6, 1.2, 1.8) if profile.name == "ci" else (
         0.8, 1.2, 1.6, 2.0, 2.4, 2.8)

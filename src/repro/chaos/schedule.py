@@ -53,6 +53,10 @@ Sites
 ``proof.append``        proof-artifact record bytes on their way to disk
 ``race.import``         an imported peer lemma, literal-level (data)
 ``supervisor.stage``    entry of a supervised exact stage
+``fabric.store.append`` result-store record bytes on their way to disk (data)
+``fabric.store.fsync``  the fsync after a result-store append
+``fabric.lease.renew``  a fabric worker's lease heartbeat renewal
+``fabric.worker.claim`` a fabric worker claiming a job lease
 ======================  ====================================================
 """
 
@@ -100,6 +104,10 @@ SITES = (
     "proof.append",
     "race.import",
     "supervisor.stage",
+    "fabric.store.append",
+    "fabric.store.fsync",
+    "fabric.lease.renew",
+    "fabric.worker.claim",
 )
 
 KINDS = ("crash", "hang", "io-error", "torn-write", "corrupt-bytes")
@@ -119,6 +127,10 @@ SITE_KINDS = {
     "proof.append": ("io-error", "torn-write", "corrupt-bytes"),
     "race.import": ("torn-write", "corrupt-bytes", "io-error"),
     "supervisor.stage": ("io-error",),
+    "fabric.store.append": ("io-error", "torn-write", "corrupt-bytes"),
+    "fabric.store.fsync": ("io-error", "hang"),
+    "fabric.lease.renew": ("crash", "hang", "io-error"),
+    "fabric.worker.claim": ("crash", "hang", "io-error"),
 }
 
 
@@ -173,6 +185,12 @@ PROFILES: dict[str, tuple[tuple[str, int, str, int], ...]] = {
     "proof-tamper": (
         ("proof.append", 1, "torn-write", 1),
         ("proof.append", 3, "corrupt-bytes", 1),
+    ),
+    "fabric": (
+        ("fabric.store.append", 2, "torn-write", 1),
+        ("fabric.store.fsync", 3, "io-error", 1),
+        ("fabric.lease.renew", 2, "io-error", 1),
+        ("fabric.worker.claim", 3, "crash", 1),
     ),
     "full-stack": (
         ("checkpoint.write", 1, "torn-write", 1),

@@ -15,7 +15,12 @@ Commands
 - ``diagnose <system.json>`` -- explain an infeasible system by a
   minimal conflicting set of requirements,
 - ``export <system.json> --format opb|dimacs`` -- dump the bit-blasted
-  constraint system for external solvers.
+  constraint system for external solvers,
+- ``sweep --utils 0.6,1.2 --seeds 0-3 --fabric-dir DIR --workers 4`` --
+  run a random-workload sweep; with ``--fabric-dir`` the cells become
+  content-addressed jobs in the crash-surviving experiment fabric
+  (dedupe across runs/machines, lease-based work stealing; see
+  ``docs/FABRIC.md``).
 
 Objectives: ``trt:<medium>``, ``sum_trt``, ``can:<medium>``,
 ``sum_resp``, ``max_util``.
@@ -155,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-profile", default=None, metavar="NAME",
         help="inject a named fault profile instead of a seeded one "
         "(checkpoint-torture, worker-carnage, ipc-flake, proof-tamper, "
-        "full-stack)",
+        "full-stack, fabric)",
     )
     p_solve.add_argument(
         "--chaos-dir", default=None, metavar="DIR",
@@ -207,6 +212,71 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("allocation")
     p_an.add_argument("--simulate", action="store_true",
                       help="also simulate and cross-check the bounds")
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="random-workload sweep, optionally through the "
+        "crash-surviving experiment fabric",
+    )
+    p_sw.add_argument(
+        "--utils", default="0.6,1.2,1.8", metavar="U1,U2,...",
+        help="total-utilization grid (comma separated)",
+    )
+    p_sw.add_argument(
+        "--seeds", default="0-1", metavar="A-B|S1,S2,...",
+        help="workload seeds: an inclusive range (0-3) or a comma list",
+    )
+    p_sw.add_argument("--ecus", type=int, default=3,
+                      help="ring ECUs per generated architecture")
+    p_sw.add_argument("--tasks", type=int, default=6,
+                      help="tasks per generated workload")
+    p_sw.add_argument("--objective", default="sum_resp",
+                      help="cell objective (same specs as solve)")
+    p_sw.add_argument("--time-limit", type=float, default=30.0,
+                      help="per-cell solve time limit (seconds)")
+    p_sw.add_argument(
+        "--fabric-dir", default=None, metavar="DIR",
+        help="run through the experiment fabric rooted here: "
+        "content-addressed jobs, append-only dedupe store, lease-based "
+        "work stealing (docs/FABRIC.md); omit for a plain process pool",
+    )
+    p_sw.add_argument("--workers", type=int, default=2, metavar="N",
+                      help="worker processes (0 = inline, fabric only)")
+    p_sw.add_argument(
+        "--steal", action=argparse.BooleanOptionalAction, default=True,
+        help="let idle workers claim any pending job, not just their "
+        "own slice (fabric only)",
+    )
+    p_sw.add_argument("--lease-ttl", type=float, default=3.0,
+                      metavar="SECONDS",
+                      help="job lease time-to-live between heartbeats "
+                      "(fabric only)")
+    p_sw.add_argument("--retries", type=int, default=2, metavar="N",
+                      help="attempts per cell beyond the first before "
+                      "poison quarantine (fabric) / failure (pool)")
+    p_sw.add_argument("--cell-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-cell watchdog; in fabric mode the lease "
+                      "stops renewing past this, so a peer steals")
+    p_sw.add_argument("--run-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="overall wall bound; the fabric returns an "
+                      "honest partial report at expiry")
+    p_sw.add_argument("--compact", action="store_true",
+                      help="compact the fabric store after the sweep")
+    p_sw.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="legacy JSON sweep checkpoint: plain mode "
+                      "uses it; fabric mode imports it into the store")
+    p_sw.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                      help="inject a deterministic randomized fault "
+                      "schedule into the fabric workers")
+    p_sw.add_argument("--chaos-profile", default=None, metavar="NAME",
+                      help="inject a named fault profile (e.g. fabric)")
+    p_sw.add_argument("--chaos-dir", default=None, metavar="DIR",
+                      help="state directory for chaos trigger counts "
+                      "and the event log")
+    p_sw.add_argument("-o", "--output", default=None,
+                      help="write the summary JSON here")
     return parser
 
 
@@ -527,6 +597,135 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _parse_grid(text: str, what: str) -> list[float]:
+    try:
+        return [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise SystemExit(f"bad --{what} grid {text!r}: expected "
+                         "comma-separated numbers")
+
+
+def _parse_seeds(text: str) -> list[int]:
+    try:
+        if "-" in text and "," not in text:
+            lo, _, hi = text.partition("-")
+            return list(range(int(lo), int(hi) + 1))
+        return [int(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise SystemExit(f"bad --seeds {text!r}: expected A-B or S1,S2,...")
+
+
+# Fabric/pool workers import the cell by qualified name, so it must be a
+# module-level function taking the whole parameter tuple.
+def _sweep_cell(param):
+    import time
+
+    util, seed, ecus, ntasks, objective_spec, time_limit = param
+    from repro.workloads import random_taskset, ring_architecture
+
+    arch = ring_architecture(ecus)
+    tasks = random_taskset(arch, ntasks, total_util=util, seed=seed)
+    t0 = time.perf_counter()
+    res = Allocator(tasks, arch).minimize(request=SolveRequest(
+        objective=_objective_from_spec(objective_spec),
+        time_limit=time_limit,
+    ))
+    return {
+        "feasible": res.feasible,
+        "cost": res.cost,
+        "proven": res.proven,
+        "seconds": round(time.perf_counter() - t0, 4),
+        "conflicts": res.solver_stats["conflicts"],
+    }
+
+
+def _cmd_sweep(args) -> int:
+    utils = _parse_grid(args.utils, "utils")
+    seeds = _parse_seeds(args.seeds)
+    _objective_from_spec(args.objective)  # fail fast on a bad spec
+    cells = [
+        [u, s, args.ecus, args.tasks, args.objective, args.time_limit]
+        for u in utils for s in seeds
+    ]
+    if ((args.chaos_seed is not None or args.chaos_profile is not None)
+            and not args.fabric_dir):
+        raise SystemExit("sweep chaos injection needs --fabric-dir "
+                         "(the plain pool has no fault sites)")
+    chaos = _chaos_from_args(args)
+    stats = None
+    if args.fabric_dir:
+        from repro.fabric import ResultStore, fabric_sweep
+        from repro.fabric.coordinator import import_sweep_checkpoint
+
+        if args.checkpoint:
+            n = import_sweep_checkpoint(args.fabric_dir, args.checkpoint,
+                                        cells)
+            print(f"imported {n} cell(s) from legacy checkpoint "
+                  f"{args.checkpoint}", file=sys.stderr)
+        outcome = fabric_sweep(
+            _sweep_cell, cells,
+            fabric_dir=args.fabric_dir,
+            workers=args.workers,
+            steal=args.steal,
+            lease_ttl=args.lease_ttl,
+            max_attempts=args.retries + 1,
+            job_timeout=args.cell_timeout,
+            run_timeout=args.run_timeout,
+            chaos=chaos,
+        )
+        results, stats = outcome.results, dict(outcome.stats)
+        stats["degraded"] = outcome.degraded
+        if args.compact:
+            store = ResultStore(args.fabric_dir)
+            stats["compaction"] = store.compact()
+    else:
+        from repro.parallel import run_sweep
+
+        results = run_sweep(
+            _sweep_cell, cells,
+            processes=args.workers,
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+            chaos=chaos,
+        )
+    done = [r for r in results if r.ok]
+    failed = [r for r in results if not r.ok]
+    for util in utils:
+        vals = [r.value for r in done if r.param[0] == util]
+        feas = sum(1 for v in vals if v["feasible"])
+        secs = sum(v["seconds"] for v in vals) / len(vals) if vals else 0.0
+        print(f"U = {util:.2f}: {feas}/{len(vals)} feasible, "
+              f"avg {secs:.1f}s per cell")
+    if failed:
+        print(f"{len(failed)} cell(s) failed:", file=sys.stderr)
+        for r in failed:
+            first = (r.error or "").strip().splitlines()
+            print(f"  - util={r.param[0]} seed={r.param[1]}: "
+                  f"{first[-1] if first else 'unknown error'}",
+                  file=sys.stderr)
+    if stats is not None:
+        print(f"fabric: {stats['completed']} completed, "
+              f"{stats['errors']} errors, {stats['poisoned']} poisoned, "
+              f"{stats['restored']} restored from prior runs",
+              file=sys.stderr)
+    if args.output:
+        payload = {
+            "cells": [
+                {"util": r.param[0], "seed": r.param[1],
+                 "value": r.value if r.ok else None,
+                 "error": None if r.ok else r.error}
+                for r in results
+            ],
+            "fabric": stats,
+        }
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"summary written to {args.output}", file=sys.stderr)
+    return int(ExitCode.OK) if not failed else int(ExitCode.ERROR)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -537,6 +736,7 @@ def main(argv: list[str] | None = None) -> int:
         "diagnose": _cmd_diagnose,
         "export": _cmd_export,
         "analyze": _cmd_analyze,
+        "sweep": _cmd_sweep,
     }[args.command]
     return handler(args)
 

@@ -106,6 +106,49 @@ class SolveRequest:
         """A copy with ``updates`` applied."""
         return replace(self, **updates)
 
+    def fingerprint(self) -> str:
+        """Content address of the *answer-relevant* solve options.
+
+        The experiment fabric keys sweep cells on this (see
+        :func:`repro.fabric.jobs.job_key`), so only fields that can
+        change the reported answer participate: the objective (type and
+        parameters), the encoder configuration, the limits that decide
+        how far the search may run, and ``certify``.  Execution
+        topology (``processes``/``speculate``/``race``) is excluded on
+        purpose -- the parallel engine's contract is a bit-identical
+        certified optimum -- as are persistence and fault-injection
+        knobs (``checkpoint``, ``proof_log``, ``chaos``), which never
+        change the answer, only how it survives.
+        """
+        import hashlib
+
+        from repro.robust.checkpoint import canonical_blob
+
+        def public_vars(obj) -> dict:
+            return {k: v for k, v in vars(obj).items()
+                    if not k.startswith("_")}
+
+        objective = None
+        if self.objective is not None:
+            objective = {"kind": type(self.objective).__name__,
+                         **public_vars(self.objective)}
+        config = None
+        if self.config is not None:
+            config = {"kind": type(self.config).__name__,
+                      **public_vars(self.config)}
+        budget = None
+        if self.budget is not None:
+            budget = {k: v for k, v in public_vars(self.budget).items()
+                      if isinstance(v, (int, float, str, bool, type(None)))}
+        blob = canonical_blob({
+            "objective": objective,
+            "config": config,
+            "time_limit": self.time_limit,
+            "budget": budget,
+            "certify": self.certify,
+        })
+        return hashlib.sha256(b"REPRO-REQ v1\x00" + blob).hexdigest()[:16]
+
     @property
     def parallel(self) -> bool:
         """Whether this request asks for the parallel solve engine."""

@@ -1,0 +1,57 @@
+"""The sharded experiment fabric: crash-surviving sweeps at scale.
+
+``repro.parallel.run_sweep`` runs one process pool on one box; this
+package lifts the checkpoint-generation discipline of PR 5 one level
+into a **fault-tolerant experiment fabric** for the 10k-100k-cell
+parametric sweeps the roadmap asks for (the workload class of
+parametric schedulability studies, cf. arXiv 1302.1306):
+
+- :mod:`repro.fabric.jobs` -- every sweep cell is a **content-addressed
+  job**: SHA-256 over the canonicalized parameter, the solve-config
+  fingerprint, and a code fingerprint, so "the same experiment" is
+  recognized across runs, processes, and machines;
+- :mod:`repro.fabric.store` -- results land in an **append-only store**
+  of length-prefixed, CRC32-framed JSON segments (the proof-spool
+  discipline) with torn-tail repair on open, dedupe-on-key, and a
+  compaction pass that quarantines corrupt segments;
+- :mod:`repro.fabric.lease` + :mod:`repro.fabric.coordinator` --
+  **lease-based work stealing**: workers claim jobs under expiring
+  leases, renew them via heartbeat, a reaper re-queues expired leases
+  so a SIGKILLed worker's cell is re-run by a peer, and bounded
+  retry/backoff plus a poison-job quarantine guarantee the run degrades
+  to an honest partial report instead of hanging.
+
+Entry points: :func:`repro.fabric.fabric_sweep` (or
+``repro.parallel.run_sweep(..., fabric_dir=...)``, or the CLI's
+``repro sweep --fabric-dir``).  Chaos sites ``fabric.store.append``,
+``fabric.store.fsync``, ``fabric.lease.renew`` and
+``fabric.worker.claim`` make the whole protocol torture-testable
+(``tests/test_fabric_torture.py``); see ``docs/FABRIC.md``.
+"""
+
+from repro.fabric.coordinator import EVENTS_NAME, FabricOutcome, fabric_sweep
+from repro.fabric.jobs import Job, code_fingerprint, job_key, make_jobs
+from repro.fabric.lease import LeaseBoard
+from repro.fabric.store import (
+    MAGIC,
+    FabricStoreError,
+    ResultStore,
+    SegmentWriter,
+    scan_segment,
+)
+
+__all__ = [
+    "fabric_sweep",
+    "FabricOutcome",
+    "EVENTS_NAME",
+    "Job",
+    "job_key",
+    "make_jobs",
+    "code_fingerprint",
+    "LeaseBoard",
+    "ResultStore",
+    "SegmentWriter",
+    "FabricStoreError",
+    "scan_segment",
+    "MAGIC",
+]

@@ -1,0 +1,96 @@
+"""Content-addressed sweep jobs.
+
+A sweep cell becomes a **job** whose identity is a SHA-256 over three
+ingredients, so "the same experiment" is recognized across runs,
+processes, and machines:
+
+- the cell parameter, normalized by
+  :func:`repro.robust.checkpoint.canonical_value` (the PR 4 fix: tuples
+  and lists hash identically, dict keys are sorted) -- a parameter that
+  round-tripped through JSON keys the same job as the live object;
+- an optional **config fingerprint** (e.g.
+  :meth:`repro.core.api.SolveRequest.fingerprint`), so the same workload
+  under a different objective or encoder configuration is a different
+  job;
+- a **code fingerprint** over the installed ``repro`` package sources,
+  so results computed by different code never alias (a stale store
+  entry from an older checkout simply misses and the cell re-runs).
+
+Keys are hex digests: filesystem-safe, so the lease board can use them
+directly as file names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.robust.checkpoint import canonical_blob
+
+__all__ = ["Job", "job_key", "code_fingerprint", "make_jobs"]
+
+_KEY_DOMAIN = b"REPRO-JOB v1\x00"
+
+_code_fp_cache: str | None = None
+
+
+def code_fingerprint() -> str:
+    """A short hash over every ``.py`` source file of the installed
+    ``repro`` package (sorted relative paths + file bytes).  Computed
+    once per process; ~100 small files, a few milliseconds."""
+    global _code_fp_cache
+    if _code_fp_cache is not None:
+        return _code_fp_cache
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    h = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, name)
+            h.update(os.path.relpath(full, root).encode() + b"\x00")
+            try:
+                with open(full, "rb") as fh:
+                    h.update(fh.read())
+            except OSError:
+                h.update(b"<unreadable>")
+            h.update(b"\x00")
+    _code_fp_cache = h.hexdigest()[:16]
+    return _code_fp_cache
+
+
+def job_key(param: Any, config: Any = None, code: str | None = None) -> str:
+    """The content address of one sweep cell (a SHA-256 hex digest)."""
+    h = hashlib.sha256()
+    h.update(_KEY_DOMAIN)
+    h.update((code if code is not None else code_fingerprint()).encode())
+    h.update(b"\x00")
+    h.update(canonical_blob({"param": param, "config": config}))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One sweep cell: its position in the parameter list, its content
+    address, and the parameter itself."""
+
+    index: int
+    key: str
+    param: Any
+
+
+def make_jobs(
+    params: Sequence[Any], config: Any = None, code: str | None = None
+) -> list[Job]:
+    """Key every parameter.  Duplicate parameters share a key on
+    purpose: the store dedupes them into one execution."""
+    code = code if code is not None else code_fingerprint()
+    return [
+        Job(index=i, key=job_key(p, config=config, code=code), param=p)
+        for i, p in enumerate(params)
+    ]

@@ -1,0 +1,334 @@
+"""The append-only, deduplicating result store.
+
+One fabric directory holds a ``segments/`` subdirectory of independent
+**segment files**, one per writer, so concurrent workers never share a
+file descriptor or interleave partial writes.  A segment is:
+
+- header: ``REPRO-FABRIC v1\\n``;
+- records: ``<u32 length> <u32 crc32> payload`` (little endian), the
+  payload being the UTF-8 canonical JSON of one result record --
+  exactly the length-prefixed discipline of the PR 5 proof spool
+  (:mod:`repro.certify.proofio`), because it makes truncation
+  *detectable*: a torn tail is evidence of damage, never a plausible
+  shorter history.
+
+Crash safety:
+
+- **verified appends**: every append is read back; a torn or corrupt
+  landing (injected via the ``fabric.store.append`` chaos site, or a
+  real dying disk) is repaired once -- truncate to the last intact
+  record boundary, rewrite -- and a second consecutive failure raises
+  the typed :class:`FabricStoreError` so the caller degrades honestly
+  instead of trusting the artifact;
+- **torn-tail repair on open**: re-opening a segment (a worker resuming
+  after SIGKILL) truncates trailing damage and keeps appending at the
+  last intact boundary;
+- **dedupe on key**: :meth:`ResultStore.scan` merges all segments into
+  one ``key -> record`` map; when several records carry the same job
+  key (two workers raced the same cell; a re-run after a lost lease)
+  the winner is deterministic -- first record in segment-name order --
+  so repeated scans of the same bytes agree bit for bit;
+- **compaction that quarantines**: :meth:`ResultStore.compact` rewrites
+  the deduped records into one fresh segment and renames unreadable
+  segments to ``*.quarantined`` (evidence, not garbage collection)
+  instead of dying on them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.chaos import chaos_data, chaos_point
+
+__all__ = [
+    "MAGIC",
+    "FabricStoreError",
+    "SegmentScan",
+    "SegmentWriter",
+    "ResultStore",
+    "scan_segment",
+]
+
+MAGIC = b"REPRO-FABRIC v1\n"
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+
+class FabricStoreError(RuntimeError):
+    """A store segment failed its structural integrity check and could
+    not be repaired."""
+
+
+@dataclass
+class SegmentScan:
+    """What a structural scan of one segment found."""
+
+    path: str
+    records: list = field(default_factory=list)
+    valid_end: int = 0
+    size: int = 0
+    damaged: bool = False
+    reason: str | None = None
+
+
+def _pack(record: dict) -> bytes:
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode()
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan_frames(buf: bytes, base: int) -> tuple[list[dict], int, str | None]:
+    """Parse records out of ``buf`` (starting at file offset ``base``).
+    Returns ``(records, end_of_valid_offset, damage_reason)``."""
+    records: list[dict] = []
+    pos = 0
+    while pos < len(buf):
+        if pos + _FRAME.size > len(buf):
+            return records, base + pos, "torn record header at tail"
+        length, crc = _FRAME.unpack_from(buf, pos)
+        start = pos + _FRAME.size
+        payload = buf[start:start + length]
+        if len(payload) < length:
+            return records, base + pos, "torn record payload at tail"
+        if zlib.crc32(payload) != crc:
+            return records, base + pos, "record CRC mismatch"
+        try:
+            obj = json.loads(payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, base + pos, "record payload is not JSON"
+        if not isinstance(obj, dict):
+            return records, base + pos, "record is not a JSON object"
+        records.append(obj)
+        pos = start + length
+    return records, base + pos, None
+
+
+def scan_segment(path: str) -> SegmentScan:
+    """Structurally scan one segment without raising (damage is data)."""
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as exc:
+        return SegmentScan(path=path, damaged=True,
+                           reason=f"unreadable: {exc}")
+    if not blob.startswith(MAGIC):
+        return SegmentScan(path=path, size=len(blob), damaged=True,
+                           reason="missing or damaged segment header")
+    records, end, reason = _scan_frames(blob[len(MAGIC):], len(MAGIC))
+    return SegmentScan(
+        path=path, records=records, valid_end=end, size=len(blob),
+        damaged=reason is not None, reason=reason,
+    )
+
+
+class SegmentWriter:
+    """Append-only writer for one segment, with verified appends.
+
+    Re-opening an existing segment repairs a torn tail (truncate to the
+    last intact record boundary) and appends after it; a segment whose
+    *header* is damaged is quarantined and restarted fresh -- its
+    records were never readable, so nothing is lost that was ever
+    durable.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.records = 0
+        self.repairs = 0
+        self.quarantined_from: str | None = None
+        if os.path.exists(path):
+            scan = scan_segment(path)
+            if scan.reason == "missing or damaged segment header":
+                self.quarantined_from = _quarantine(path)
+                self._start_fresh()
+                return
+            self._fh = open(path, "r+b")
+            if scan.damaged:
+                self._fh.truncate(scan.valid_end)
+                self.repairs += 1
+            self.records = len(scan.records)
+            self._end = scan.valid_end
+        else:
+            self._start_fresh()
+
+    def _start_fresh(self) -> None:
+        self._fh = open(self.path, "w+b")
+        self._fh.write(MAGIC)
+        self._fh.flush()
+        self._end = len(MAGIC)
+
+    def append(self, record: dict) -> None:
+        """Durably append one record; verified by read-back.
+
+        Damage observed on read-back is repaired once (truncate +
+        rewrite); a second consecutive failure raises
+        :class:`FabricStoreError`.  An fsync failure alone does *not*
+        fail the append -- the record is readable, only its
+        power-loss durability is reduced (and a lost record merely
+        re-runs its job).
+        """
+        for _attempt in (0, 1):
+            blob = _pack(record)
+            try:
+                data, _damage = chaos_data("fabric.store.append", blob)
+                self._fh.seek(self._end)
+                self._fh.write(data)
+                self._fh.flush()
+            except OSError:
+                continue  # transient write failure: one retry
+            try:
+                chaos_point("fabric.store.fsync")
+                os.fsync(self._fh.fileno())
+            except OSError:
+                pass  # durability reduced, readability intact
+            self._fh.truncate(self._end + len(data))
+            self._fh.seek(self._end)
+            tail = self._fh.read()
+            got, end, reason = _scan_frames(tail, self._end)
+            if reason is None and len(got) == 1:
+                self.records += 1
+                self._end = end
+                return
+            # Torn or corrupt landing: truncate the damage, retry once.
+            self.repairs += 1
+            self._fh.truncate(end)
+            self._end = end
+        raise FabricStoreError(
+            f"{self.path}: append failed verification twice"
+        )
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _quarantine(path: str) -> str | None:
+    """Move a damaged segment aside (rename, never delete evidence)."""
+    target = f"{path}.quarantined"
+    try:
+        os.replace(path, target)
+        return target
+    except OSError:
+        return None
+
+
+@dataclass
+class StoreScan:
+    """A whole-store scan: the deduped record map plus damage evidence."""
+
+    records: dict[str, dict] = field(default_factory=dict)
+    duplicates: int = 0
+    damaged_segments: list[SegmentScan] = field(default_factory=list)
+    repaired_tails: int = 0
+
+
+class ResultStore:
+    """A directory of segments, read as one deduplicated key/value map."""
+
+    SEGMENT_SUFFIX = ".seg"
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.segment_dir = os.path.join(self.root, "segments")
+        os.makedirs(self.segment_dir, exist_ok=True)
+
+    def segment_path(self, name: str) -> str:
+        return os.path.join(self.segment_dir, name + self.SEGMENT_SUFFIX)
+
+    def writer(self, name: str) -> SegmentWriter:
+        """An append-only writer on segment ``name`` (repairing any torn
+        tail a crashed predecessor left behind)."""
+        return SegmentWriter(self.segment_path(name))
+
+    def _segments(self) -> list[str]:
+        try:
+            names = os.listdir(self.segment_dir)
+        except OSError:
+            return []
+        return sorted(
+            os.path.join(self.segment_dir, n)
+            for n in names if n.endswith(self.SEGMENT_SUFFIX)
+        )
+
+    def scan(self) -> StoreScan:
+        """Merge every segment into one ``key -> record`` map.
+
+        Records missing a ``key`` field are counted as damage of their
+        segment; the dedupe winner is the first record in sorted
+        segment-name order, so the merged view is a pure function of
+        the bytes on disk.
+        """
+        out = StoreScan()
+        for path in self._segments():
+            scan = scan_segment(path)
+            if scan.damaged:
+                out.damaged_segments.append(scan)
+                if scan.reason not in (None,
+                                       "missing or damaged segment header"):
+                    out.repaired_tails += 1
+            for rec in scan.records:
+                key = rec.get("key")
+                if not isinstance(key, str):
+                    out.damaged_segments.append(SegmentScan(
+                        path=path, damaged=True,
+                        reason="record without a key",
+                    ))
+                    continue
+                if key in out.records:
+                    out.duplicates += 1
+                else:
+                    out.records[key] = rec
+        return out
+
+    def compact(self) -> dict:
+        """Rewrite the deduped records into one fresh segment.
+
+        Unreadable segments are quarantined (``*.quarantined``), never
+        deleted; readable segments are removed only after the merged
+        replacement is durably on disk.  Returns a summary dict.
+        """
+        merged = self.scan()
+        old = self._segments()
+        n = 0
+        while True:
+            compact_path = self.segment_path(f"compact-{n:04d}")
+            if not os.path.exists(compact_path):
+                break
+            n += 1
+        writer = SegmentWriter(compact_path)
+        try:
+            for key in sorted(merged.records):
+                writer.append(merged.records[key])
+        finally:
+            writer.close()
+        quarantined = []
+        for scan in merged.damaged_segments:
+            if scan.reason == "missing or damaged segment header":
+                moved = _quarantine(scan.path)
+                if moved:
+                    quarantined.append(moved)
+        for path in old:
+            if path == compact_path or not os.path.exists(path):
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                pass  # a leftover segment only costs scan time
+        return {
+            "segment": compact_path,
+            "records": len(merged.records),
+            "duplicates_removed": merged.duplicates,
+            "quarantined": quarantined,
+        }

@@ -38,6 +38,16 @@ processes because an in-process cell cannot be killed.
 
 Caveat for resumed sweeps: recorded values round-trip through JSON, so
 tuples come back as lists and non-JSON-serializable values are re-run.
+A restored cell that fails JSON-shape validation (a hand-edited or
+tool-mangled checkpoint) is re-queued, not raised on.
+
+**Fabric mode** (``fabric_dir=...``) supersedes the JSON checkpoint
+with the sharded experiment fabric of :mod:`repro.fabric`: cells become
+content-addressed jobs, results land in an append-only deduplicating
+store shared across runs and machines, and lease-based work-stealing
+workers survive SIGKILL (a peer re-runs the lost cell).  A legacy JSON
+``checkpoint`` passed alongside ``fabric_dir`` is imported into the
+store once, then ignored.  See ``docs/FABRIC.md``.
 """
 
 from __future__ import annotations
@@ -148,6 +158,11 @@ def run_sweep(
     retry_errors: bool = False,
     checkpoint: SweepCheckpoint | str | None = None,
     poll_interval: float = 0.2,
+    fabric_dir: str | None = None,
+    lease_ttl: float = 3.0,
+    steal: bool = True,
+    run_timeout: float | None = None,
+    chaos: object | None = None,
 ) -> list[SweepResult]:
     """Apply ``fn`` to every parameter, optionally across processes.
 
@@ -156,17 +171,49 @@ def run_sweep(
     instead of killing the sweep -- one diverging experiment must not
     lose the others.  See the module docstring for the watchdog knobs
     (``cell_timeout``, ``retries``, ``retry_errors``) and checkpointing.
+
+    With ``fabric_dir`` the sweep runs through the experiment fabric
+    (:func:`repro.fabric.fabric_sweep`): ``processes`` becomes the
+    worker count, ``retries`` bounds claims per job (``retries + 1``
+    attempts, then poison quarantine), ``cell_timeout`` bounds the
+    lease-renewal window of one cell, and a ``checkpoint`` is imported
+    into the store once for migration.  ``lease_ttl``, ``steal``,
+    ``run_timeout`` and ``chaos`` only apply to fabric mode.
     """
     params = list(params)
     if processes is None:
         processes = default_processes()
+
+    if fabric_dir is not None:
+        from repro.fabric.coordinator import (
+            fabric_sweep,
+            import_sweep_checkpoint,
+        )
+
+        if checkpoint is not None:
+            import_sweep_checkpoint(fabric_dir, checkpoint, params)
+        outcome = fabric_sweep(
+            fn, params,
+            fabric_dir=fabric_dir,
+            workers=processes,
+            steal=steal,
+            lease_ttl=lease_ttl,
+            max_attempts=retries + 1,
+            retry_errors=retry_errors,
+            backoff=retry_backoff,
+            job_timeout=cell_timeout,
+            run_timeout=run_timeout,
+            chaos=chaos,
+        )
+        return outcome.results
+
     ckpt = _resolve_checkpoint(checkpoint, params)
 
     results: list[SweepResult | None] = [None] * len(params)
     todo: list[int] = []
     for i, p in enumerate(params):
         cell = ckpt.get(i) if ckpt is not None else None
-        if cell is not None:
+        if cell is not None and SweepCheckpoint.valid_cell(cell):
             results[i] = _from_checkpoint(p, cell)
         else:
             todo.append(i)

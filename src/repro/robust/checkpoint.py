@@ -53,6 +53,8 @@ __all__ = [
     "GENERATIONS",
     "save_generations",
     "load_generations",
+    "canonical_value",
+    "canonical_blob",
 ]
 
 #: How many checkpoint generations a save keeps on disk.
@@ -357,32 +359,43 @@ class SearchCheckpoint:
         return out
 
 
-def _canonical(value: Any) -> Any:
+def canonical_value(value: Any) -> Any:
     """JSON-shape normalization for fingerprinting.
 
     A checkpoint round-trips through JSON, which turns tuples into lists
     -- so ``repr``-based hashing would reject its own parameters on
     resume (``(0, 1)`` vs ``[0, 1]``).  Canonicalize containers before
     hashing so a parameter list fingerprints identically before and
-    after serialization.
+    after serialization.  The experiment fabric (:mod:`repro.fabric`)
+    keys its content-addressed jobs on the same normalization, so a
+    sweep cell hashes identically whether its parameters came from live
+    Python objects or from a JSON round trip.
     """
     if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
+        return [canonical_value(v) for v in value]
     if isinstance(value, dict):
         return {
-            str(k): _canonical(v)
+            str(k): canonical_value(v)
             for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
         }
     return value
 
 
-def _fingerprint(params: list) -> str:
-    canon = _canonical(list(params))
+def canonical_blob(value: Any) -> bytes:
+    """Deterministic bytes of ``value`` for content addressing (sorted
+    keys, no whitespace, tuples==lists); falls back to ``repr`` for
+    values JSON cannot carry (best-effort identity)."""
+    canon = canonical_value(value)
     try:
-        blob = json.dumps(canon, sort_keys=True)
+        return json.dumps(
+            canon, sort_keys=True, separators=(",", ":")
+        ).encode()
     except (TypeError, ValueError):
-        blob = repr(canon)  # unserializable params: best-effort identity
-    return hashlib.sha1(blob.encode()).hexdigest()
+        return repr(canon).encode()
+
+
+def _fingerprint(params: list) -> str:
+    return hashlib.sha1(canonical_blob(list(params))).hexdigest()
 
 
 @dataclass
@@ -430,6 +443,30 @@ class SweepCheckpoint:
 
     def get(self, index: int) -> dict | None:
         return self.cells.get(str(index))
+
+    @staticmethod
+    def valid_cell(cell) -> bool:
+        """JSON-shape validation of one restored cell record.
+
+        The integrity envelope catches damaged *bytes*, but a checkpoint
+        edited by hand, written by an older tool, or mangled by a buggy
+        serializer can be byte-intact yet structurally wrong.  Callers
+        (``run_sweep``, the fabric's legacy import) re-queue invalid
+        cells instead of raising -- one bad record must not lose the
+        resume.
+        """
+        if not isinstance(cell, dict):
+            return False
+        error = cell.get("error")
+        if error is not None and not isinstance(error, str):
+            return False
+        if error is None and "value" not in cell:
+            return False
+        if not isinstance(cell.get("seconds", 0.0), (int, float)):
+            return False
+        if not isinstance(cell.get("attempts", 1), int):
+            return False
+        return True
 
     def to_dict(self) -> dict:
         return {
