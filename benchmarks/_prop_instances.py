@@ -1,0 +1,58 @@
+"""Deterministic instance builders for the propagation microbench.
+
+Shared between ``benchmarks/test_propagation.py`` and the one-off
+pre-refactor baseline capture so that before/after numbers in
+``BENCH_propagation.json`` are measured on identical formulas.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sat.literals import mklit, neg
+
+
+def build_php(solver, pigeons: int = 8, holes: int = 7):
+    """Pigeonhole PHP(p, h): UNSAT, pure clause propagation workload."""
+    x = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        solver.add_clause([mklit(x[p][h]) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause(
+                    [neg(mklit(x[p1][h])), neg(mklit(x[p2][h]))]
+                )
+
+
+def build_random3(solver, nvars: int = 140, ratio: float = 4.2,
+                  seed: int = 7):
+    """Random 3-CNF at clause ratio ``ratio`` (hard region)."""
+    rng = random.Random(seed)
+    vs = solver.new_vars(nvars)
+    for _ in range(int(nvars * ratio)):
+        picked = rng.sample(vs, 3)
+        solver.add_clause(
+            [mklit(v, rng.random() < 0.5) for v in picked]
+        )
+
+
+def build_php_pb(solver, pigeons: int = 8, holes: int = 7):
+    """PHP(p, h) with PB cardinality constraints instead of clauses:
+    UNSAT, exercises the counter-based PB propagator under load."""
+    x = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        # Pigeon p sits somewhere: sum_h x[p][h] >= 1.
+        solver.add_pb([mklit(x[p][h]) for h in range(holes)],
+                      [1] * holes, 1)
+    for h in range(holes):
+        # Hole h holds at most one: sum_p neg(x[p][h]) >= p-1.
+        solver.add_pb([neg(mklit(x[p][h])) for p in range(pigeons)],
+                      [1] * pigeons, pigeons - 1)
+
+
+INSTANCES = {
+    "php_8_7": build_php,
+    "random3_140": build_random3,
+    "php_pb_8_7": build_php_pb,
+}

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.analysis.feasibility import check_allocation
@@ -170,9 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--pb", action="store_true",
                          help="pseudo-Boolean adder axioms (GOBLIN mode)")
     p_solve.add_argument(
+        "--backend", choices=("auto", "pure", "fast"), default=None,
+        help="SAT propagation core: pure Python reference, compiled C "
+        "core, or auto (fast when buildable; see docs/SOLVER.md)",
+    )
+    p_solve.add_argument(
         "--stats", action="store_true",
         help="print the EncodeStats JSON (hash-consing, simplification, "
-        "triplet, bit-blast counters and per-stage times)",
+        "triplet, bit-blast counters and per-stage times) plus the "
+        "SAT-engine counters (propagations, props_per_sec, backend)",
     )
     p_solve.add_argument(
         "--no-simplify", action="store_true",
@@ -232,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="tasks per generated workload")
     p_sw.add_argument("--objective", default="sum_resp",
                       help="cell objective (same specs as solve)")
+    p_sw.add_argument(
+        "--backend", choices=("auto", "pure", "fast"), default=None,
+        help="SAT propagation core for every cell (workers inherit it "
+        "through the environment)",
+    )
     p_sw.add_argument("--time-limit", type=float, default=30.0,
                       help="per-cell solve time limit (seconds)")
     p_sw.add_argument(
@@ -349,12 +361,16 @@ _STATUS_NOTE = {
 
 
 def _print_stats(res) -> None:
-    """Print an AllocationResult's EncodeStats JSON (when present),
-    with the certification verdicts merged in as a ``certify`` block."""
+    """Print an AllocationResult's EncodeStats JSON (when present), with
+    the SAT-engine counters as a ``solver`` block and the certification
+    verdicts merged in as a ``certify`` block."""
     stats = getattr(res, "encode_stats", None)
+    solver_stats = getattr(res, "solver_stats", None)
     cert = getattr(res, "certificate", None)
-    if stats or cert is not None:
+    if stats or solver_stats or cert is not None:
         payload = dict(stats or {})
+        if solver_stats:
+            payload["solver"] = dict(solver_stats)
         if cert is not None:
             payload["certify"] = cert.to_dict()
         print(json.dumps(payload, indent=2))
@@ -729,6 +745,13 @@ def _cmd_sweep(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None) is not None:
+        from repro.sat.core import BACKEND_ENV, set_default_backend
+
+        # Process default for in-process solves; environment for worker
+        # processes (parallel races, fabric cells) spawned later.
+        set_default_backend(args.backend)
+        os.environ[BACKEND_ENV] = args.backend
     handler = {
         "info": _cmd_info,
         "solve": _cmd_solve,

@@ -70,18 +70,20 @@ def apply_race_config(sat, cfg: RaceConfig) -> None:
     if cfg.luby_base is not None:
         sat.luby_base = cfg.luby_base
     rng = random.Random(cfg.seed)
+    # set_phases writes in place: the phase array is a typed buffer
+    # shared with the propagation backends and must not be rebound.
     if cfg.phase == "positive":
-        sat.saved_phase = [VAL_TRUE] * sat.nvars
+        sat.set_phases(VAL_TRUE)
     elif cfg.phase == "negative":
-        sat.saved_phase = [VAL_FALSE] * sat.nvars
+        sat.set_phases(VAL_FALSE)
     elif cfg.phase == "random":
-        sat.saved_phase = [
+        sat.set_phases(
             VAL_TRUE if rng.random() < 0.5 else VAL_FALSE
             for _ in range(sat.nvars)
-        ]
+        )
     if cfg.jitter > 0.0:
         for var in range(sat.nvars):
             sat.activity[var] += rng.random() * cfg.jitter * sat.var_inc
         # Restore the heap invariant after the bulk perturbation.
-        for pos in range(len(sat.order_heap) - 1, -1, -1):
+        for pos in range(sat.heap_n - 1, -1, -1):
             sat._heap_sift_down(pos)

@@ -1,0 +1,244 @@
+/* Compiled propagation core for the CDCL/PB engine.
+ *
+ * This file is a statement-by-statement translation of
+ * repro/sat/core/pure.py and MUST mirror its iteration order exactly:
+ * the differential suite (tests/test_sat_backends.py) asserts that
+ * trails, conflicts, learnt clauses and DRUP proof logs are
+ * bit-identical across backends.  Any change here must be made in
+ * pure.py first and then transliterated.
+ *
+ * The arrays are the solver's own array('b'/'i'/'q') buffers, passed as
+ * raw addresses via ctypes (see fast.py); nothing is copied.  All
+ * allocation (arena growth, trail slots) happens on the Python side --
+ * these functions only read and write inside existing bounds.
+ */
+
+#include <stdint.h>
+
+#define UNASSIGNED 2
+
+int sat_propagate(
+    int8_t *assigns, int32_t *level, int32_t *trail_pos, int32_t *reason,
+    int32_t *trail, int32_t *arena, int32_t *cla_off, int8_t *cla_flags,
+    int32_t *watch_head, int32_t *watch_next,
+    int32_t *pb_lits, int64_t *pb_coefs, int32_t *pb_owner,
+    int32_t *pb_off, int32_t *pb_len, int64_t *pb_slack,
+    int64_t *pb_maxcoef, int32_t *pbw_head, int32_t *pbw_next,
+    int64_t *io /* [qhead, trail_n, cur_level, nprops-out] */)
+{
+    int64_t qhead = io[0];
+    int64_t trail_n = io[1];
+    int32_t cur_level = (int32_t)io[2];
+    int64_t nprops = 0;
+    int32_t confl = -1;
+
+    while (qhead < trail_n) {
+        int32_t p = trail[qhead++];
+        nprops++;
+        int32_t np = p ^ 1;
+        /* --- clause watchers of p ---------------------------------- */
+        int32_t node = watch_head[p];
+        int32_t prev = -1;
+        while (node != -1) {
+            int32_t nxt = watch_next[node];
+            int32_t cid = node >> 1;
+            if (cla_flags[cid] & 2) { /* dead: lazy unlink, O(1) */
+                if (prev == -1) watch_head[p] = nxt;
+                else watch_next[prev] = nxt;
+                node = nxt;
+                continue;
+            }
+            int32_t off = cla_off[cid];
+            /* Make sure the false literal is in slot 1. */
+            int32_t l0 = arena[off + 1];
+            if (l0 == np) {
+                l0 = arena[off + 2];
+                arena[off + 1] = l0;
+                arena[off + 2] = np;
+            }
+            int8_t fv = assigns[l0 >> 1];
+            if (fv != UNASSIGNED && (fv ^ (l0 & 1)) == 1) {
+                prev = node; /* satisfied: keep watching */
+                node = nxt;
+                continue;
+            }
+            /* Search a replacement literal to watch. */
+            int32_t end = off + 1 + arena[off];
+            int found = 0;
+            for (int32_t k = off + 3; k < end; k++) {
+                int32_t lk = arena[k];
+                int8_t vk = assigns[lk >> 1];
+                if (vk == UNASSIGNED || (vk ^ (lk & 1)) == 1) {
+                    arena[off + 2] = lk;
+                    arena[k] = np;
+                    /* Move this watcher node to neg(lk)'s list. */
+                    if (prev == -1) watch_head[p] = nxt;
+                    else watch_next[prev] = nxt;
+                    int32_t wl = lk ^ 1;
+                    watch_next[node] = watch_head[wl];
+                    watch_head[wl] = node;
+                    found = 1;
+                    break;
+                }
+            }
+            if (found) { node = nxt; continue; }
+            /* Clause is unit or conflicting; node keeps watching np. */
+            prev = node;
+            if (fv != UNASSIGNED) { /* slot-0 literal FALSE: conflict */
+                qhead = trail_n;    /* consume the queue (matches the  */
+                confl = cid;        /* pre-arena engine conflict path) */
+                break;
+            }
+            /* Enqueue l0 with this clause as reason (inlined). */
+            int32_t var = l0 >> 1;
+            assigns[var] = (int8_t)(1 ^ (l0 & 1));
+            level[var] = cur_level;
+            trail_pos[var] = (int32_t)trail_n;
+            reason[var] = cid;
+            trail[trail_n++] = l0;
+            for (int32_t pn = pbw_head[l0]; pn != -1; pn = pbw_next[pn])
+                pb_slack[pb_owner[pn]] -= pb_coefs[pn];
+            node = nxt;
+        }
+        if (confl != -1) break;
+        /* --- PB constraints watching p ----------------------------- */
+        /* Slack was already charged when each literal was enqueued;
+         * here we only detect conflicts and implied literals. */
+        for (int32_t pn = pbw_head[p]; pn != -1; pn = pbw_next[pn]) {
+            int32_t i = pb_owner[pn];
+            int64_t slack = pb_slack[i];
+            if (slack < 0) {
+                confl = -(i + 2);
+                break;
+            }
+            if (slack < pb_maxcoef[i]) {
+                int32_t t0 = pb_off[i];
+                int32_t t1 = t0 + pb_len[i];
+                for (int32_t t = t0; t < t1; t++) {
+                    if (pb_coefs[t] > slack) {
+                        int32_t lit = pb_lits[t];
+                        int32_t var = lit >> 1;
+                        if (assigns[var] == UNASSIGNED) {
+                            /* Enqueue lit, reason = this constraint. */
+                            assigns[var] = (int8_t)(1 ^ (lit & 1));
+                            level[var] = cur_level;
+                            trail_pos[var] = (int32_t)trail_n;
+                            reason[var] = -(i + 2);
+                            trail[trail_n++] = lit;
+                            for (int32_t qn = pbw_head[lit]; qn != -1;
+                                 qn = pbw_next[qn])
+                                pb_slack[pb_owner[qn]] -= pb_coefs[qn];
+                        }
+                        /* A false literal with coef > slack would have
+                         * made the slack negative already. */
+                    }
+                }
+            }
+        }
+        if (confl != -1) break;
+    }
+
+    io[0] = qhead;
+    io[1] = trail_n;
+    io[3] = nprops;
+    return confl;
+}
+
+/* --- VSIDS heap: exact transliteration of the solver's Python heap --- */
+
+static void heap_sift_up(int32_t *heap, int32_t *pos, double *act, int64_t i)
+{
+    int32_t v = heap[i];
+    double a = act[v];
+    while (i > 0) {
+        int64_t parent = (i - 1) >> 1;
+        int32_t pv = heap[parent];
+        if (act[pv] >= a) break;
+        heap[i] = pv;
+        pos[pv] = (int32_t)i;
+        i = parent;
+    }
+    heap[i] = v;
+    pos[v] = (int32_t)i;
+}
+
+static void heap_sift_down(int32_t *heap, int32_t *pos, double *act,
+                           int64_t n, int64_t i)
+{
+    int32_t v = heap[i];
+    double a = act[v];
+    for (;;) {
+        int64_t left = 2 * i + 1;
+        if (left >= n) break;
+        int64_t right = left + 1;
+        int64_t child =
+            (right < n && act[heap[right]] > act[heap[left]]) ? right : left;
+        int32_t cv = heap[child];
+        if (act[cv] <= a) break;
+        heap[i] = cv;
+        pos[cv] = (int32_t)i;
+        i = child;
+    }
+    heap[i] = v;
+    pos[v] = (int32_t)i;
+}
+
+void sat_unwind(
+    int8_t *assigns, int32_t *reason, int32_t *trail, int8_t *saved_phase,
+    int32_t *pb_owner, int64_t *pb_coefs, int64_t *pb_slack,
+    int32_t *pbw_head, int32_t *pbw_next,
+    int32_t *order_heap, int32_t *heap_pos, double *activity,
+    int64_t trail_n, int64_t bound, int64_t *io /* [heap_n] */)
+{
+    for (int64_t pos = trail_n - 1; pos >= bound; pos--) {
+        int32_t lit = trail[pos];
+        int32_t var = lit >> 1;
+        saved_phase[var] = assigns[var];
+        assigns[var] = UNASSIGNED;
+        reason[var] = -1;
+        /* `lit` ceases to be asserted: constraint terms equal to
+         * neg(lit) stop being false. */
+        for (int32_t pn = pbw_head[lit]; pn != -1; pn = pbw_next[pn])
+            pb_slack[pb_owner[pn]] += pb_coefs[pn];
+    }
+    /* Re-insert freed variables, same descending order as the first
+     * pass so heap tie-breaking matches the reference backend.  The
+     * heap capacity is always nvars (solver reserves one slot per
+     * variable), so plain stores suffice. */
+    int64_t heap_n = io[0];
+    for (int64_t pos = trail_n - 1; pos >= bound; pos--) {
+        int32_t var = trail[pos] >> 1;
+        if (heap_pos[var] < 0) {
+            int64_t i = heap_n++;
+            order_heap[i] = var;
+            heap_pos[var] = (int32_t)i;
+            heap_sift_up(order_heap, heap_pos, activity, i);
+        }
+    }
+    io[0] = heap_n;
+}
+
+int sat_pick_branch(
+    int8_t *assigns, int32_t *order_heap, int32_t *heap_pos,
+    double *activity, int64_t *io /* [heap_n] */)
+{
+    int64_t n = io[0];
+    int32_t var = -1;
+    while (n > 0) {
+        int32_t top = order_heap[0];
+        heap_pos[top] = -1;
+        n--;
+        if (n > 0) {
+            int32_t last = order_heap[n];
+            order_heap[0] = last;
+            heap_pos[last] = 0;
+            heap_sift_down(order_heap, heap_pos, activity, n, 0);
+        }
+        if (assigns[top] == UNASSIGNED) {
+            var = top;
+            break;
+        }
+    }
+    io[0] = n;
+    return var;
+}

@@ -1,0 +1,175 @@
+"""Compiled propagation core: ``_core.c`` built on demand via ctypes.
+
+The C file is a statement-by-statement translation of
+:mod:`repro.sat.core.pure` (see the banner there), compiled once per
+source hash with the host C compiler into a shared library cached under
+the system temp directory.  It operates directly on the solver's
+``array`` buffers through raw addresses — zero copies, zero conversion.
+
+Addresses are re-fetched on every call because ``array`` reallocates its
+buffer when it grows (clause learning appends to the arena between
+propagations); ``buffer_info()`` is a few tens of nanoseconds, far below
+the cost of the propagation it precedes.
+
+Everything degrades gracefully: no compiler, a failed compile, or an
+unexpected ABI all surface as ``(None, reason)`` from
+:func:`load_fast_backend` and the registry falls back to the pure
+backend (see :mod:`repro.sat.core`).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from array import array
+from pathlib import Path
+
+__all__ = ["FastBackend", "load_fast_backend"]
+
+_N_PROP_ARRAYS = 19  # pointer args of sat_propagate before the io block
+
+
+def _expected_layout_ok() -> bool:
+    """The C core assumes b=1, i=4, q=8 byte items (true on every
+    mainstream platform; checked once so exotic ABIs fall back)."""
+    return (
+        array("b").itemsize == 1
+        and array("i").itemsize == 4
+        and array("q").itemsize == 8
+    )
+
+
+def _find_compiler() -> str | None:
+    env = os.environ.get("CC")
+    if env and shutil.which(env):
+        return env
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def _build_library(src: Path, cc: str) -> tuple[str | None, str | None]:
+    """Compile ``src`` into a content-addressed cached .so; return
+    (path, None) or (None, reason)."""
+    code = src.read_bytes()
+    tag = hashlib.sha256(code).hexdigest()[:16]
+    cache = Path(tempfile.gettempdir()) / f"repro-sat-core-{os.getuid()}"
+    out = cache / f"core-{tag}.so"
+    if out.exists():
+        return str(out), None
+    try:
+        cache.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
+        os.close(fd)
+        proc = subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", tmp, str(src)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            os.unlink(tmp)
+            detail = (proc.stderr or proc.stdout or "").strip()
+            return None, f"compile failed: {detail[:300]}"
+        os.replace(tmp, out)  # atomic: concurrent builders both win
+        return str(out), None
+    except Exception as exc:
+        return None, f"compile error: {exc}"
+
+
+class FastBackend:
+    """Propagation core running the compiled ``_core.c`` loops."""
+
+    name = "fast"
+    compiled = True
+
+    def __init__(self, lib: ctypes.CDLL, library_path: str):
+        self._propagate = lib.sat_propagate
+        self._unwind = lib.sat_unwind
+        self._pick = lib.sat_pick_branch
+        longlong_p = ctypes.POINTER(ctypes.c_longlong)
+        self._propagate.restype = ctypes.c_int
+        self._propagate.argtypes = (
+            [ctypes.c_void_p] * _N_PROP_ARRAYS + [longlong_p]
+        )
+        self._unwind.restype = None
+        self._unwind.argtypes = [ctypes.c_void_p] * 12 + [
+            ctypes.c_longlong,
+            ctypes.c_longlong,
+            longlong_p,
+        ]
+        self._pick.restype = ctypes.c_int
+        self._pick.argtypes = [ctypes.c_void_p] * 4 + [longlong_p]
+        self.library_path = library_path
+        self.fallback_reason = None
+
+    def propagate(self, s) -> int:
+        io = (ctypes.c_longlong * 4)(s.qhead, s.trail_n, len(s.trail_lim), 0)
+        bi = lambda a: a.buffer_info()[0]  # noqa: E731 - hot, tiny
+        confl = self._propagate(
+            bi(s.assigns), bi(s.level), bi(s.trail_pos), bi(s.reason),
+            bi(s.trail), bi(s.arena), bi(s.cla_off), bi(s.cla_flags),
+            bi(s.watch_head), bi(s.watch_next),
+            bi(s.pb_lits), bi(s.pb_coefs), bi(s.pb_owner),
+            bi(s.pb_off), bi(s.pb_len), bi(s.pb_slack), bi(s.pb_maxcoef),
+            bi(s.pb_watch_head), bi(s.pb_watch_next),
+            io,
+        )
+        s.qhead = io[0]
+        s.trail_n = io[1]
+        st = s.stats
+        st.propagations += io[3]
+        if io[1] > st.max_trail:
+            st.max_trail = io[1]
+        return confl
+
+    def unwind(self, s, bound: int) -> None:
+        io = (ctypes.c_longlong * 1)(s.heap_n)
+        bi = lambda a: a.buffer_info()[0]  # noqa: E731
+        self._unwind(
+            bi(s.assigns), bi(s.reason), bi(s.trail), bi(s.saved_phase),
+            bi(s.pb_owner), bi(s.pb_coefs), bi(s.pb_slack),
+            bi(s.pb_watch_head), bi(s.pb_watch_next),
+            bi(s.order_heap), bi(s.heap_pos), bi(s.activity),
+            s.trail_n, bound, io,
+        )
+        s.heap_n = io[0]
+
+    def pick_branch(self, s) -> int:
+        io = (ctypes.c_longlong * 1)(s.heap_n)
+        bi = lambda a: a.buffer_info()[0]  # noqa: E731
+        var = self._pick(
+            bi(s.assigns), bi(s.order_heap), bi(s.heap_pos),
+            bi(s.activity), io,
+        )
+        s.heap_n = io[0]
+        return var
+
+
+def load_fast_backend() -> tuple[FastBackend | None, str | None]:
+    """Build (or reuse) the compiled core. Returns (backend, None) on
+    success, (None, human-readable reason) otherwise."""
+    if not _expected_layout_ok():
+        return None, "array item sizes differ from the expected b=1/i=4/q=8"
+    src = Path(__file__).with_name("_core.c")
+    if not src.is_file():
+        return None, "_core.c not found next to fast.py"
+    cc = _find_compiler()
+    if cc is None:
+        return None, "no C compiler (cc/gcc/clang) on PATH"
+    path, reason = _build_library(src, cc)
+    if path is None:
+        return None, reason
+    try:
+        lib = ctypes.CDLL(path)
+        lib.sat_propagate
+        lib.sat_unwind
+    except (OSError, AttributeError) as exc:
+        return None, f"failed to load compiled core: {exc}"
+    return FastBackend(lib, path), None

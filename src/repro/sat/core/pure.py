@@ -1,0 +1,255 @@
+"""Reference propagation core: plain-Python loops over the flat arenas.
+
+This module is the semantic specification of the propagation algorithm.
+The compiled backend (:mod:`repro.sat.core.fast`, ``_core.c``) is a
+statement-by-statement translation of these two functions and MUST
+mirror their iteration order exactly — trails, conflicts and learnt
+clauses are asserted bit-identical across backends by
+``tests/test_sat_backends.py``.
+
+Data layout (all owned by :class:`repro.sat.solver.Solver`):
+
+- ``arena``       int32: packed clauses ``[size, lit0, lit1, ...]``;
+  ``lit0``/``lit1`` are the watched literals (normalized in place).
+- ``cla_off/cla_flags``: per-clause-id header offset and flag bits
+  (bit 0 learnt, bit 1 dead — dead clauses are unlinked lazily).
+- ``watch_head/watch_next``: singly-linked watcher lists; node ``2*cid``
+  and ``2*cid+1`` are clause ``cid``'s two watchers, ``watch_head`` is
+  indexed by the *asserted* literal that falsifies the watched one.
+- ``pb_lits/pb_coefs/pb_owner`` + ``pb_off/pb_len/pb_slack/pb_maxcoef``:
+  PB term slab and per-constraint counters (counter-based propagation).
+- ``pb_watch_head/pb_watch_next``: linked term lists indexed by the
+  asserted literal that *falsifies* a term, so the enqueue-time slack
+  update is a direct walk.
+- ``assigns/level/trail_pos/reason/trail``: per-variable search state;
+  ``reason`` is an int ref (-1 none, >=0 clause id, <=-2 PB constraint
+  ``-(ref)-2``).
+
+Truth values are inlined constants here (``2`` unassigned, ``1`` true,
+``0`` false) — they match :mod:`repro.sat.literals`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PureBackend", "propagate", "unwind", "pick_branch"]
+
+
+def propagate(s) -> int:
+    """Propagate all enqueued facts on solver ``s``.
+
+    Returns a conflict ref (-1 none, >=0 clause id, <=-2 PB index
+    ``-(ref)-2``) and updates ``s.qhead`` / ``s.trail_n`` /
+    ``s.stats.propagations`` in place.
+    """
+    assigns = s.assigns
+    level = s.level
+    trail_pos = s.trail_pos
+    reason = s.reason
+    trail = s.trail
+    arena = s.arena
+    cla_off = s.cla_off
+    cla_flags = s.cla_flags
+    watch_head = s.watch_head
+    watch_next = s.watch_next
+    pb_lits = s.pb_lits
+    pb_coefs = s.pb_coefs
+    pb_owner = s.pb_owner
+    pb_off = s.pb_off
+    pb_len = s.pb_len
+    pb_slack = s.pb_slack
+    pb_maxcoef = s.pb_maxcoef
+    pbw_head = s.pb_watch_head
+    pbw_next = s.pb_watch_next
+
+    qhead = s.qhead
+    trail_n = s.trail_n
+    cur_level = len(s.trail_lim)
+    nprops = 0
+    confl = -1
+
+    while qhead < trail_n:
+        p = trail[qhead]
+        qhead += 1
+        nprops += 1
+        np_ = p ^ 1
+        # --- clause watchers of p ------------------------------------
+        node = watch_head[p]
+        prev = -1
+        while node != -1:
+            nxt = watch_next[node]
+            cid = node >> 1
+            if cla_flags[cid] & 2:  # dead: lazy unlink, O(1)
+                if prev == -1:
+                    watch_head[p] = nxt
+                else:
+                    watch_next[prev] = nxt
+                node = nxt
+                continue
+            off = cla_off[cid]
+            # Make sure the false literal is in slot 1.
+            l0 = arena[off + 1]
+            if l0 == np_:
+                l0 = arena[off + 2]
+                arena[off + 1] = l0
+                arena[off + 2] = np_
+            fv = assigns[l0 >> 1]
+            if fv != 2 and fv ^ (l0 & 1) == 1:
+                prev = node  # satisfied: keep watching
+                node = nxt
+                continue
+            # Search a replacement literal to watch.
+            size = arena[off]
+            end = off + 1 + size
+            found = False
+            for k in range(off + 3, end):
+                lk = arena[k]
+                vk = assigns[lk >> 1]
+                if vk == 2 or vk ^ (lk & 1) == 1:
+                    arena[off + 2] = lk
+                    arena[k] = np_
+                    # Move this watcher node to neg(lk)'s list.
+                    if prev == -1:
+                        watch_head[p] = nxt
+                    else:
+                        watch_next[prev] = nxt
+                    wl = lk ^ 1
+                    watch_next[node] = watch_head[wl]
+                    watch_head[wl] = node
+                    found = True
+                    break
+            if found:
+                node = nxt
+                continue
+            # Clause is unit or conflicting; node keeps watching np_.
+            prev = node
+            if fv != 2:  # slot-0 literal is FALSE -> conflict
+                qhead = trail_n  # consume the queue (matches the
+                confl = cid      # pre-arena engine's conflict path)
+                break
+            # Enqueue l0 with this clause as reason (inlined).
+            var = l0 >> 1
+            assigns[var] = 1 ^ (l0 & 1)
+            level[var] = cur_level
+            trail_pos[var] = trail_n
+            reason[var] = cid
+            trail[trail_n] = l0
+            trail_n += 1
+            pn = pbw_head[l0]
+            while pn != -1:
+                pb_slack[pb_owner[pn]] -= pb_coefs[pn]
+                pn = pbw_next[pn]
+            node = nxt
+        if confl != -1:
+            break
+        # --- PB constraints watching p -------------------------------
+        # Slack was already charged when each literal was enqueued; here
+        # we only detect conflicts and implied literals.
+        pn = pbw_head[p]
+        while pn != -1:
+            i = pb_owner[pn]
+            slack = pb_slack[i]
+            if slack < 0:
+                confl = -(i + 2)
+                break
+            if slack < pb_maxcoef[i]:
+                t0 = pb_off[i]
+                t1 = t0 + pb_len[i]
+                for t in range(t0, t1):
+                    if pb_coefs[t] > slack:
+                        lit = pb_lits[t]
+                        var = lit >> 1
+                        if assigns[var] == 2:
+                            # Enqueue lit, reason = this PB constraint.
+                            assigns[var] = 1 ^ (lit & 1)
+                            level[var] = cur_level
+                            trail_pos[var] = trail_n
+                            reason[var] = -(i + 2)
+                            trail[trail_n] = lit
+                            trail_n += 1
+                            qn = pbw_head[lit]
+                            while qn != -1:
+                                pb_slack[pb_owner[qn]] -= pb_coefs[qn]
+                                qn = pbw_next[qn]
+                        # A false literal with coef > slack would have
+                        # made the slack negative already.
+            pn = pbw_next[pn]
+        if confl != -1:
+            break
+
+    s.qhead = qhead
+    s.trail_n = trail_n
+    st = s.stats
+    st.propagations += nprops
+    if trail_n > st.max_trail:
+        st.max_trail = trail_n
+    return confl
+
+
+def unwind(s, bound: int) -> None:
+    """Undo trail entries ``bound..trail_n-1`` (top first): save phases,
+    clear assignments/reasons, restore PB slacks, then re-insert the
+    freed variables into the VSIDS heap (in the same descending trail
+    order, so heap tie-breaking is identical across backends).
+
+    The trail/limit truncation stays in the solver.
+    """
+    assigns = s.assigns
+    reason = s.reason
+    trail = s.trail
+    saved_phase = s.saved_phase
+    pb_owner = s.pb_owner
+    pb_coefs = s.pb_coefs
+    pb_slack = s.pb_slack
+    pbw_head = s.pb_watch_head
+    pbw_next = s.pb_watch_next
+    for pos in range(s.trail_n - 1, bound - 1, -1):
+        lit = trail[pos]
+        var = lit >> 1
+        saved_phase[var] = assigns[var]
+        assigns[var] = 2
+        reason[var] = -1
+        # `lit` ceases to be asserted: constraint terms equal to
+        # neg(lit) stop being false.
+        pn = pbw_head[lit]
+        while pn != -1:
+            pb_slack[pb_owner[pn]] += pb_coefs[pn]
+            pn = pbw_next[pn]
+    heap_pos = s.heap_pos
+    heap_insert = s._heap_insert
+    for pos in range(s.trail_n - 1, bound - 1, -1):
+        var = trail[pos] >> 1
+        if heap_pos[var] < 0:
+            heap_insert(var)
+
+
+def pick_branch(s) -> int:
+    """Pop heap entries until an unassigned variable surfaces; -1 when
+    every variable is assigned."""
+    assigns = s.assigns
+    while s.heap_n:
+        v = s._heap_pop()
+        if assigns[v] == 2:
+            return v
+    return -1
+
+
+class PureBackend:
+    """Always-available reference backend."""
+
+    name = "pure"
+    compiled = False
+    library_path = None
+
+    def __init__(self) -> None:
+        #: Set when this backend serves an explicit ``fast`` request
+        #: because the compiled core is unavailable.
+        self.fallback_reason: str | None = None
+
+    def propagate(self, solver) -> int:
+        return propagate(solver)
+
+    def unwind(self, solver, bound: int) -> None:
+        unwind(solver, bound)
+
+    def pick_branch(self, solver) -> int:
+        return pick_branch(solver)

@@ -15,22 +15,39 @@ The engine follows the Chaff/MiniSat lineage the paper cites [11, 12]:
 - cooperative budgets: ``solve(budget=...)`` charges a
   :class:`repro.robust.budget.Budget` on every conflict and decision and
   raises :class:`repro.robust.budget.BudgetExpired` when it runs out,
-  after backtracking to level 0 so the solver stays usable.  A hung probe
-  becomes an interruptible UNKNOWN instead of a wedged process.
+  after backtracking to level 0 so the solver stays usable.
 
-Performance notes (see the hpc-parallel guides referenced in DESIGN.md):
-the hot loop (:meth:`Solver._propagate`) works exclusively on flat Python
-ints held in plain lists -- no tuples, no namedtuples, no attribute
-chasing beyond one level -- and never allocates while scanning a watch
-list. Profiling on the paper's workloads shows >80% of time inside
-``_propagate``; that is the intended shape.
+Performance architecture (PR 7; see ``docs/SOLVER.md``): all solver
+state lives in flat, buffer-protocol arrays --
+
+- a packed int32 *clause arena* (``[size, lit0, lit1, ...]`` records
+  addressed by clause id through ``cla_off``), with per-clause flags,
+  activities and provenance tags in parallel arrays,
+- index-linked watcher lists (``watch_head``/``watch_next``; attach is
+  O(1) push-front, detach is an O(1) dead-flag with lazy unlinking --
+  no ``list.remove`` scans anywhere),
+- a PB term slab (``pb_lits``/``pb_coefs``/``pb_owner``) with linked
+  per-literal term lists driving O(1)-per-term slack updates,
+- typed arrays for assignments, levels, trail, reasons, phases and
+  VSIDS activities.
+
+The propagation/unwind inner loops run behind a swappable backend
+(:mod:`repro.sat.core`): a pure-Python reference and a C core compiled
+on demand that works on the *same* arrays through raw pointers.  Both
+execute the identical algorithm in the identical order, so trails,
+learnt clauses and DRUP proof logs are bit-identical across backends.
+Select with ``REPRO_SAT_BACKEND`` / CLI ``--backend`` /
+``Solver(backend=...)``.
 """
 
 from __future__ import annotations
 
+import time
+from array import array
 from dataclasses import dataclass
 
 from repro.robust.budget import Budget, BudgetExpired
+from repro.sat.core import get_backend
 from repro.sat.literals import (
     VAL_FALSE,
     VAL_TRUE,
@@ -39,60 +56,118 @@ from repro.sat.literals import (
     neg,
 )
 
-__all__ = ["Solver", "SolverStats", "Clause", "PBConstraintRef"]
+try:  # optional: bulk array ops only, never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the base image
+    _np = None
+
+__all__ = ["Solver", "SolverStats", "Clause", "PBConstraintRef",
+           "ClauseView", "PBView"]
+
+#: ``reason`` array sentinel: no reason (decision / assumption / unit).
+REASON_NONE = -1
 
 
-class Clause:
-    """A disjunction of literals, possibly learnt.
+def _pb_ref(i: int) -> int:
+    """Encode PB constraint index ``i`` as a (negative) reason ref."""
+    return -(i + 2)
 
-    ``lits[0]`` and ``lits[1]`` are the watched literals (invariant kept
-    by :meth:`Solver._propagate`).
+
+def _pb_index(ref: int) -> int:
+    """Decode a PB reason ref back to the constraint index."""
+    return -ref - 2
+
+
+class ClauseView:
+    """Lightweight read view of one packed clause.
+
+    Kept API-compatible with the pre-arena ``Clause`` objects
+    (``lits``/``learnt``/``activity``/``tag``) for the export paths and
+    tests that iterate :attr:`Solver.clauses`; the engine itself only
+    ever touches the arena.
     """
 
-    __slots__ = ("lits", "learnt", "activity", "lbd", "tag")
+    __slots__ = ("_s", "cid")
 
-    def __init__(self, lits: list[int], learnt: bool = False):
-        self.lits = lits
-        self.learnt = learnt
-        self.activity = 0.0
-        self.lbd = 0
-        #: Provenance label of the model constraint this clause encodes
-        #: (set by :meth:`Solver.tagged`); None for untagged clauses.
-        self.tag: str | None = None
+    def __init__(self, solver: "Solver", cid: int):
+        self._s = solver
+        self.cid = cid
+
+    @property
+    def lits(self) -> list[int]:
+        s = self._s
+        off = s.cla_off[self.cid]
+        return list(s.arena[off + 1: off + 1 + s.arena[off]])
+
+    @property
+    def learnt(self) -> bool:
+        return bool(self._s.cla_flags[self.cid] & 1)
+
+    @property
+    def activity(self) -> float:
+        return self._s.cla_act[self.cid]
+
+    @property
+    def tag(self) -> str | None:
+        return self._s.cla_tag.get(self.cid)
 
     def __len__(self) -> int:
-        return len(self.lits)
+        return self._s.arena[self._s.cla_off[self.cid]]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "L" if self.learnt else "P"
         return f"Clause<{kind}:{self.lits}>"
 
 
-class PBConstraintRef:
-    """Engine-level pseudo-Boolean constraint ``sum coefs[i]*lits[i] >= bound``.
+#: Legacy alias: external code only ever *read* Clause instances.
+Clause = ClauseView
 
-    Coefficients are positive; normalization (sign folding, saturation,
-    trimming) happens in :mod:`repro.pb.constraint` before constraints
-    reach the engine.  Propagation is counter-based: ``slack`` is the
-    amount by which the maximum achievable left-hand side (over non-false
-    literals) exceeds the bound.  ``slack < 0`` is a conflict; an
-    unassigned literal with ``coef > slack`` is forced true.
-    """
 
-    __slots__ = ("lits", "coefs", "bound", "slack", "max_coef", "tag")
+class PBView:
+    """Read view of one PB constraint ``sum coefs[i]*lits[i] >= bound``
+    (post level-0 folding and coefficient saturation)."""
 
-    def __init__(self, lits: list[int], coefs: list[int], bound: int):
-        self.lits = lits
-        self.coefs = coefs
-        self.bound = bound
-        self.slack = sum(coefs) - bound
-        self.max_coef = max(coefs) if coefs else 0
-        #: Provenance label (see :meth:`Solver.tagged`); None if untagged.
-        self.tag: str | None = None
+    __slots__ = ("_s", "idx")
+
+    def __init__(self, solver: "Solver", idx: int):
+        self._s = solver
+        self.idx = idx
+
+    @property
+    def lits(self) -> list[int]:
+        s = self._s
+        off = s.pb_off[self.idx]
+        return list(s.pb_lits[off: off + s.pb_len[self.idx]])
+
+    @property
+    def coefs(self) -> list[int]:
+        s = self._s
+        off = s.pb_off[self.idx]
+        return list(s.pb_coefs[off: off + s.pb_len[self.idx]])
+
+    @property
+    def bound(self) -> int:
+        return self._s.pb_bound[self.idx]
+
+    @property
+    def slack(self) -> int:
+        return self._s.pb_slack[self.idx]
+
+    @property
+    def max_coef(self) -> int:
+        return self._s.pb_maxcoef[self.idx]
+
+    @property
+    def tag(self) -> str | None:
+        return self._s.pb_tag.get(self.idx)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         terms = " + ".join(f"{c}*x{l}" for c, l in zip(self.coefs, self.lits))
         return f"PB<{terms} >= {self.bound}>"
+
+
+#: Legacy alias (the engine-level PB handle used to be a concrete class).
+PBConstraintRef = PBView
 
 
 class _TagScope:
@@ -133,6 +208,17 @@ class SolverStats:
     #: (clause-sharing races) and clauses a peer rejected.
     imported_clauses: int = 0
     rejected_imports: int = 0
+    #: Cumulative wall time inside :meth:`Solver.solve` and the active
+    #: propagation backend name -- the raw-throughput counters behind
+    #: ``props_per_sec`` in the ``--stats`` block.
+    solve_seconds: float = 0.0
+    backend: str = ""
+
+    def props_per_sec(self) -> float:
+        """Propagation throughput over the cumulative solve time."""
+        if self.solve_seconds <= 0.0:
+            return 0.0
+        return self.propagations / self.solve_seconds
 
     def snapshot(self) -> dict:
         """Return the counters as a plain dict (for reporting tables)."""
@@ -148,6 +234,9 @@ class SolverStats:
             "solve_calls": self.solve_calls,
             "imported_clauses": self.imported_clauses,
             "rejected_imports": self.rejected_imports,
+            "solve_seconds": round(self.solve_seconds, 6),
+            "props_per_sec": round(self.props_per_sec(), 1),
+            "backend": self.backend,
         }
 
 
@@ -182,38 +271,67 @@ class Solver:
     learnt clauses persist across calls, which implements the
     learned-knowledge reuse between binary-search probes described in
     section 7 of the paper.
+
+    ``backend`` selects the propagation core (``auto``/``pure``/``fast``,
+    default: the process default -- see :mod:`repro.sat.core`).
     """
 
     VAR_DECAY = 1.0 / 0.95
     CLA_DECAY = 1.0 / 0.999
     RESCALE_LIMIT = 1e100
 
-    def __init__(self, luby_base: int = 128):
+    def __init__(self, luby_base: int = 128, backend: str | None = None):
+        self.core = get_backend(backend)
         self.nvars = 0
-        # Per-variable state (flat arrays; indexed by var).
-        self.assigns: list[int] = []
-        self.level: list[int] = []
-        self.trail_pos: list[int] = []   # trail index of the assignment
-        self.reason: list[object] = []
-        self.activity: list[float] = []
-        self.saved_phase: list[int] = []
-        self._seen: list[int] = []
-        # Watches indexed by literal.
-        self.watches: list[list] = []     # clause watches
-        self.pbwatches: list[list] = []   # PB watches: constraint refs
-        # Trail.
-        self.trail: list[int] = []
+        # Per-variable state (typed arrays; indexed by var).
+        self.assigns = array("b")      # VAL_* per variable
+        self.level = array("i")
+        self.trail_pos = array("i")    # trail index of the assignment
+        self.reason = array("i")       # ref: -1 none, >=0 cid, <=-2 PB
+        self.activity = array("d")
+        self.saved_phase = array("b")
+        self._seen = array("b")
+        # Trail: preallocated (one slot per variable), explicit length.
+        self.trail = array("i")
+        self.trail_n = 0
         self.trail_lim: list[int] = []
         self.qhead = 0
-        # Constraint databases.
-        self.clauses: list[Clause] = []
-        self.learnts: list[Clause] = []
-        self.pbs: list[PBConstraintRef] = []
+        # Clause arena: packed [size, lit0, lit1, ...] records addressed
+        # by clause id (cid) through cla_off; flags bit0=learnt bit1=dead.
+        self.arena = array("i")
+        self.cla_off = array("i")
+        self.cla_flags = array("b")
+        self.cla_act = array("d")
+        self.cla_tag: dict[int, str] = {}
+        self._problem_cids: list[int] = []
+        self._learnt_cids: list[int] = []
+        self._dead_lits = 0            # reclaimable arena words
+        # Watcher lists: nodes 2*cid / 2*cid+1 singly linked per literal.
+        self.watch_head = array("i")
+        self.watch_next = array("i")
+        # PB constraints: term slab + per-constraint counters; terms are
+        # linked per falsifying literal for O(1) slack updates.
+        self.pb_lits = array("i")
+        self.pb_coefs = array("q")
+        self.pb_owner = array("i")
+        self.pb_off = array("i")
+        self.pb_len = array("i")
+        self.pb_bound = array("q")
+        self.pb_slack = array("q")
+        self.pb_maxcoef = array("q")
+        self.pb_watch_head = array("i")
+        self.pb_watch_next = array("i")
+        self.pb_tag: dict[int, str] = {}
+        self._n_pbs = 0
         # Heuristics.
         self.var_inc = 1.0
         self.cla_inc = 1.0
-        self.order_heap: list[int] = []   # binary heap of vars by activity
-        self.heap_pos: list[int] = []     # var -> heap index or -1
+        # Indexed binary max-heap of vars by activity; capacity is always
+        # nvars (one slot reserved per new_var) so the compiled backend
+        # can insert without growing the buffer.  heap_n is the live size.
+        self.order_heap = array("i")
+        self.heap_pos = array("i")        # var -> heap index or -1
+        self.heap_n = 0
         self.luby_base = luby_base
         self.ok = True                    # False once UNSAT at level 0
         self._model: list[bool] = []      # snapshot of the last SAT answer
@@ -222,6 +340,7 @@ class Solver:
         #: (the assumption core; empty when the problem is UNSAT outright).
         self.conflict_core: list[int] = []
         self.stats = SolverStats()
+        self.stats.backend = self.core.name
         self.max_learnts = 4000.0
         self.learnt_growth = 1.15
         #: DRUP-style proof log (see :mod:`repro.sat.proof`); None (the
@@ -234,6 +353,29 @@ class Solver:
         #: permute later -- the hook must copy).  Clause-sharing races use
         #: it to export short lemmas; None keeps the hot path free.
         self.learn_hook = None
+
+    # ------------------------------------------------------------------
+    # Compat views over the arenas (export paths, introspection, tests)
+    # ------------------------------------------------------------------
+
+    @property
+    def clauses(self) -> list[ClauseView]:
+        """Views of the live problem clauses (insertion order)."""
+        return [ClauseView(self, cid) for cid in self._problem_cids]
+
+    @property
+    def learnts(self) -> list[ClauseView]:
+        """Views of the live learnt clauses (insertion order)."""
+        return [ClauseView(self, cid) for cid in self._learnt_cids]
+
+    @property
+    def pbs(self) -> list[PBView]:
+        """Views of the PB constraints (insertion order)."""
+        return [PBView(self, i) for i in range(self._n_pbs)]
+
+    def _clause_lits(self, cid: int) -> list[int]:
+        off = self.cla_off[cid]
+        return list(self.arena[off + 1: off + 1 + self.arena[off]])
 
     # ------------------------------------------------------------------
     # Proof logging / provenance
@@ -254,14 +396,20 @@ class Solver:
 
         log = ProofLog()
         self._cancel_until(0)
-        for c in self.clauses:
-            log.log_input(c.lits)
-        for c in self.learnts:
-            log.log_input(c.lits)
-        for con in self.pbs:
-            log.log_pb(con.lits, con.coefs, con.bound)
-        for lit in self.trail:
-            log.log_input([lit])
+        for cid in self._problem_cids:
+            log.log_input(self._clause_lits(cid))
+        for cid in self._learnt_cids:
+            log.log_input(self._clause_lits(cid))
+        for i in range(self._n_pbs):
+            off = self.pb_off[i]
+            end = off + self.pb_len[i]
+            log.log_pb(
+                list(self.pb_lits[off:end]),
+                list(self.pb_coefs[off:end]),
+                self.pb_bound[i],
+            )
+        for pos in range(self.trail_n):
+            log.log_input([self.trail[pos]])
         if not self.ok:
             log.log_input([])
         self.proof = log
@@ -269,21 +417,19 @@ class Solver:
 
     def tagged(self, label: str | None):
         """Context manager: constraints added inside the block carry
-        ``label`` as their provenance tag (:attr:`Clause.tag` /
-        :attr:`PBConstraintRef.tag`), mapping engine-level constraints
-        back to named model obligations for infeasibility diagnosis."""
+        ``label`` as their provenance tag (:attr:`ClauseView.tag` /
+        :attr:`PBView.tag`), mapping engine-level constraints back to
+        named model obligations for infeasibility diagnosis."""
         return _TagScope(self, label)
 
     def tag_counts(self) -> dict[str, int]:
         """Number of stored clauses and PB constraints per provenance
         tag (untagged constraints are not counted)."""
         out: dict[str, int] = {}
-        for c in self.clauses:
-            if c.tag is not None:
-                out[c.tag] = out.get(c.tag, 0) + 1
-        for con in self.pbs:
-            if con.tag is not None:
-                out[con.tag] = out.get(con.tag, 0) + 1
+        for tag in self.cla_tag.values():
+            out[tag] = out.get(tag, 0) + 1
+        for tag in self.pb_tag.values():
+            out[tag] = out.get(tag, 0) + 1
         return out
 
     # ------------------------------------------------------------------
@@ -297,21 +443,40 @@ class Solver:
         self.assigns.append(VAL_UNASSIGNED)
         self.level.append(-1)
         self.trail_pos.append(-1)
-        self.reason.append(None)
+        self.reason.append(REASON_NONE)
         self.activity.append(0.0)
         self.saved_phase.append(0)
         self._seen.append(0)
-        self.watches.append([])
-        self.watches.append([])
-        self.pbwatches.append([])
-        self.pbwatches.append([])
+        self.trail.append(0)           # reserve the trail slot
+        self.watch_head.append(-1)
+        self.watch_head.append(-1)
+        self.pb_watch_head.append(-1)
+        self.pb_watch_head.append(-1)
         self.heap_pos.append(-1)
+        self.order_heap.append(-1)     # reserve the capacity slot
         self._heap_insert(v)
         return v
 
     def new_vars(self, n: int) -> list[int]:
         """Allocate ``n`` fresh variables."""
         return [self.new_var() for _ in range(n)]
+
+    def set_phases(self, phases) -> None:
+        """Overwrite the saved branching phases in place.
+
+        ``phases`` is either a single VAL_TRUE/VAL_FALSE applied to every
+        variable or an iterable of per-variable values.  In-place by
+        design: the phase array is a typed buffer shared with the
+        propagation backends, so callers must not rebind the attribute
+        (see :func:`repro.parallel_solve.race.apply_race_config`).
+        """
+        sp = self.saved_phase
+        if isinstance(phases, int):
+            for v in range(self.nvars):
+                sp[v] = phases
+        else:
+            for v, val in enumerate(phases):
+                sp[v] = val
 
     def value_lit(self, lit: int) -> int:
         """Current value of a literal (VAL_TRUE/VAL_FALSE/VAL_UNASSIGNED)."""
@@ -348,16 +513,16 @@ class Solver:
             self.ok = False
             return False
         if len(out) == 1:
-            self._unchecked_enqueue(out[0], None)
-            conf = self._propagate()
-            if conf is not None:
+            self._unchecked_enqueue(out[0], REASON_NONE)
+            if self._propagate() != -1:
                 self.ok = False
                 return False
             return True
-        c = Clause(out)
-        c.tag = self._active_tag
-        self.clauses.append(c)
-        self._attach_clause(c)
+        cid = self._new_clause(out, learnt=False)
+        if self._active_tag is not None:
+            self.cla_tag[cid] = self._active_tag
+        self._problem_cids.append(cid)
+        self._attach_clause(cid)
         return True
 
     def add_pb(self, lits: list[int], coefs: list[int], bound: int) -> bool:
@@ -396,25 +561,19 @@ class Solver:
         if sum(fcoefs) < bound:
             self.ok = False
             return False
-        con = PBConstraintRef(flits, fcoefs, bound)
-        con.tag = self._active_tag
-        self.pbs.append(con)
-        for lit, coef in zip(flits, fcoefs):
-            # Constraint must react when `lit` becomes FALSE, i.e. when
-            # neg(lit) is asserted; index the watch list by the asserted
-            # literal for a direct hit, and carry the coefficient so the
-            # enqueue-time slack update is O(1).
-            self.pbwatches[neg(lit)].append((con, coef))
+        i = self._new_pb(flits, fcoefs, bound)
+        if self._active_tag is not None:
+            self.pb_tag[i] = self._active_tag
         # Initial propagation: literals forced immediately.
-        if con.slack < 0:
+        slack = self.pb_slack[i]
+        if slack < 0:
             self.ok = False
             return False
-        if con.slack < con.max_coef:
+        if slack < self.pb_maxcoef[i]:
             for lit, coef in zip(flits, fcoefs):
-                if coef > con.slack and self.value_lit(lit) == VAL_UNASSIGNED:
-                    self._unchecked_enqueue(lit, con)
-            conf = self._propagate()
-            if conf is not None:
+                if coef > slack and self.value_lit(lit) == VAL_UNASSIGNED:
+                    self._unchecked_enqueue(lit, _pb_ref(i))
+            if self._propagate() != -1:
                 self.ok = False
                 return False
         return True
@@ -475,42 +634,116 @@ class Solver:
                 refutable = False  # clause satisfied mid-assertion
                 break
             if v == VAL_UNASSIGNED:
-                self._unchecked_enqueue(neg(lit), None)
-        confl = self._propagate() if refutable else None
+                self._unchecked_enqueue(neg(lit), REASON_NONE)
+        confl = self._propagate() if refutable else -1
         self._cancel_until(0)
-        if confl is None:
+        if confl == -1:
             self.stats.rejected_imports += 1
             return False
         if self.proof is not None:
             self.proof.log_add(out)
         self.stats.imported_clauses += 1
         if len(out) == 1:
-            self._unchecked_enqueue(out[0], None)
-            if self._propagate() is not None:
+            self._unchecked_enqueue(out[0], REASON_NONE)
+            if self._propagate() != -1:
                 if self.proof is not None:
                     self.proof.log_add([])
                 self.ok = False
             return True
-        c = Clause(out, learnt=True)
-        self.learnts.append(c)
-        self._attach_clause(c)
+        cid = self._new_clause(out, learnt=True)
+        self._learnt_cids.append(cid)
+        self._attach_clause(cid)
         self.stats.learnt_clauses += 1
         self.stats.learnt_literals += len(out)
         return True
 
     # ------------------------------------------------------------------
-    # Watched-literal machinery
+    # Arena / watcher machinery
     # ------------------------------------------------------------------
 
-    def _attach_clause(self, c: Clause) -> None:
-        lits = c.lits
-        self.watches[neg(lits[0])].append(c)
-        self.watches[neg(lits[1])].append(c)
+    def _new_clause(self, lits: list[int], learnt: bool) -> int:
+        """Append a packed clause record and allocate its watcher nodes."""
+        cid = len(self.cla_off)
+        self.cla_off.append(len(self.arena))
+        self.arena.append(len(lits))
+        self.arena.extend(lits)
+        self.cla_flags.append(1 if learnt else 0)
+        self.cla_act.append(0.0)
+        self.watch_next.extend((-1, -1))
+        return cid
 
-    def _detach_clause(self, c: Clause) -> None:
-        lits = c.lits
-        self.watches[neg(lits[0])].remove(c)
-        self.watches[neg(lits[1])].remove(c)
+    def _attach_clause(self, cid: int) -> None:
+        """O(1): push the clause's two watcher nodes onto the lists of
+        the literals that falsify its watched slots."""
+        off = self.cla_off[cid]
+        arena = self.arena
+        wh = self.watch_head
+        wn = self.watch_next
+        n0 = cid << 1
+        w0 = arena[off + 1] ^ 1
+        w1 = arena[off + 2] ^ 1
+        wn[n0] = wh[w0]
+        wh[w0] = n0
+        wn[n0 | 1] = wh[w1]
+        wh[w1] = n0 | 1
+    def _detach_clause(self, cid: int) -> None:
+        """O(1) detach: flag the clause dead; its watcher nodes are
+        swap-unlinked lazily the next time propagation walks past them.
+        No watch list is ever scanned to remove a clause (the pre-arena
+        engine paid an O(n) ``list.remove`` per watch list here)."""
+        self.cla_flags[cid] |= 2
+        self._dead_lits += self.arena[self.cla_off[cid]] + 1
+
+    def _new_pb(self, lits: list[int], coefs: list[int], bound: int) -> int:
+        """Append a PB record to the term slab and link its terms."""
+        i = self._n_pbs
+        self._n_pbs = i + 1
+        self.pb_off.append(len(self.pb_lits))
+        self.pb_len.append(len(lits))
+        self.pb_bound.append(bound)
+        self.pb_slack.append(sum(coefs) - bound)
+        self.pb_maxcoef.append(max(coefs) if coefs else 0)
+        pwh = self.pb_watch_head
+        pwn = self.pb_watch_next
+        for lit, coef in zip(lits, coefs):
+            t = len(self.pb_lits)
+            self.pb_lits.append(lit)
+            self.pb_coefs.append(coef)
+            self.pb_owner.append(i)
+            # The constraint must react when `lit` becomes FALSE, i.e.
+            # when neg(lit) is asserted; link the term under the asserted
+            # literal for a direct hit on enqueue.
+            w = lit ^ 1
+            pwn.append(pwh[w])
+            pwh[w] = t
+        return i
+
+    def _compact_arena(self) -> None:
+        """Reclaim the slabs of dead clauses.
+
+        Clause ids (and therefore watcher nodes, reasons and activity
+        slots) are stable -- only the literal storage moves.  Any dead
+        clause still referenced as a reason on the trail keeps its slab
+        (defensive; the locked-clause check in :meth:`_reduce_db` should
+        already prevent that).
+        """
+        keep = set(self._problem_cids)
+        keep.update(self._learnt_cids)
+        for pos in range(self.trail_n):
+            r = self.reason[self.trail[pos] >> 1]
+            if r >= 0:
+                keep.add(r)
+        old = self.arena
+        new = array("i")
+        off_ = self.cla_off
+        for cid in sorted(keep):
+            off = off_[cid]
+            size = old[off]
+            off_[cid] = len(new)
+            new.append(size)
+            new.extend(old[off + 1: off + 1 + size])
+        self.arena = new
+        self._dead_lits = 0
 
     # ------------------------------------------------------------------
     # Assignment / trail
@@ -519,190 +752,90 @@ class Solver:
     def _decision_level(self) -> int:
         return len(self.trail_lim)
 
-    def _unchecked_enqueue(self, lit: int, reason: object) -> None:
+    def _unchecked_enqueue(self, lit: int, reason_ref: int = REASON_NONE
+                           ) -> None:
         var = lit >> 1
         self.assigns[var] = VAL_TRUE ^ (lit & 1)
         self.level[var] = len(self.trail_lim)
-        self.trail_pos[var] = len(self.trail)
-        self.reason[var] = reason
-        self.trail.append(lit)
-        # PB slack bookkeeping happens at assignment time (and is undone in
-        # _cancel_until) so that it stays consistent regardless of how far
-        # the propagation queue got before a conflict.
-        for con, coef in self.pbwatches[lit]:
-            con.slack -= coef
-        if len(self.trail) > self.stats.max_trail:
-            self.stats.max_trail = len(self.trail)
+        self.trail_pos[var] = self.trail_n
+        self.reason[var] = reason_ref
+        self.trail[self.trail_n] = lit
+        self.trail_n += 1
+        # PB slack bookkeeping happens at assignment time (and is undone
+        # in _cancel_until) so that it stays consistent regardless of how
+        # far the propagation queue got before a conflict.
+        pn = self.pb_watch_head[lit]
+        pwn = self.pb_watch_next
+        owner = self.pb_owner
+        coefs = self.pb_coefs
+        slack = self.pb_slack
+        while pn != -1:
+            slack[owner[pn]] -= coefs[pn]
+            pn = pwn[pn]
+        if self.trail_n > self.stats.max_trail:
+            self.stats.max_trail = self.trail_n
 
     def _new_decision_level(self) -> None:
-        self.trail_lim.append(len(self.trail))
+        self.trail_lim.append(self.trail_n)
 
     def _cancel_until(self, lvl: int) -> None:
         """Backtrack to decision level ``lvl``."""
         if len(self.trail_lim) <= lvl:
             return
         bound = self.trail_lim[lvl]
-        trail = self.trail
-        assigns = self.assigns
-        pbwatches = self.pbwatches
-        saved_phase = self.saved_phase
-        reason = self.reason
-        heap_pos = self.heap_pos
-        heap_insert = self._heap_insert
-        for pos in range(len(trail) - 1, bound - 1, -1):
-            lit = trail[pos]
-            var = lit >> 1
-            saved_phase[var] = assigns[var]
-            assigns[var] = VAL_UNASSIGNED
-            reason[var] = None
-            if heap_pos[var] < 0:
-                heap_insert(var)
-            # Undo PB slack bookkeeping: `lit` was asserted, so the
-            # constraint literals equal to neg(lit) cease to be false.
-            for con, coef in pbwatches[lit]:
-                con.slack += coef
-        del trail[bound:]
+        # Assignment/PB-slack undo and VSIDS heap re-insertion both run
+        # in the backend; only the trail bookkeeping stays here.
+        self.core.unwind(self, bound)
+        self.trail_n = bound
         del self.trail_lim[lvl:]
-        self.qhead = len(trail)
+        self.qhead = bound
 
     # ------------------------------------------------------------------
-    # Propagation
+    # Propagation (delegated to the active backend)
     # ------------------------------------------------------------------
 
-    def _propagate(self):
-        """Propagate all enqueued facts. Returns a conflicting constraint
-        (Clause or PBConstraintRef) or None.
+    def _propagate(self) -> int:
+        """Propagate all enqueued facts via the active backend.
 
-        Hot loop: everything is hoisted into locals and the enqueue is
-        inlined (see the profiling note in the module docstring).
+        Returns a conflict ref: -1 none, >=0 a clause id, <=-2 a PB
+        constraint (``_pb_index`` decodes it).
         """
-        trail = self.trail
-        assigns = self.assigns
-        watches = self.watches
-        pbwatches = self.pbwatches
-        level = self.level
-        reason = self.reason
-        trail_pos = self.trail_pos
-        nprops = 0
-        qhead = self.qhead
-        cur_level = len(self.trail_lim)
-        while qhead < len(trail):
-            p = trail[qhead]
-            qhead += 1
-            nprops += 1
-            # --- clause watches -----------------------------------------
-            wl = watches[p]
-            i = 0
-            j = 0
-            n = len(wl)
-            np = p ^ 1
-            while i < n:
-                c = wl[i]
-                i += 1
-                lits = c.lits
-                # Make sure the false literal is lits[1].
-                if lits[0] == np:
-                    lits[0] = lits[1]
-                    lits[1] = np
-                first = lits[0]
-                fv = assigns[first >> 1]
-                if fv != VAL_UNASSIGNED and fv ^ (first & 1) == VAL_TRUE:
-                    wl[j] = c
-                    j += 1
-                    continue
-                # Search a new literal to watch.
-                found = False
-                for k in range(2, len(lits)):
-                    lk = lits[k]
-                    vk = assigns[lk >> 1]
-                    if vk == VAL_UNASSIGNED or vk ^ (lk & 1) == VAL_TRUE:
-                        lits[1] = lk
-                        lits[k] = np
-                        watches[lk ^ 1].append(c)
-                        found = True
-                        break
-                if found:
-                    continue
-                # Clause is unit or conflicting.
-                wl[j] = c
-                j += 1
-                if fv != VAL_UNASSIGNED:  # first is FALSE -> conflict
-                    # Keep remaining watches in place.
-                    while i < n:
-                        wl[j] = wl[i]
-                        j += 1
-                        i += 1
-                    del wl[j:]
-                    self.qhead = len(trail)
-                    self.stats.propagations += nprops
-                    return c
-                # Inlined _unchecked_enqueue(first, c).
-                var = first >> 1
-                assigns[var] = VAL_TRUE ^ (first & 1)
-                level[var] = cur_level
-                trail_pos[var] = len(trail)
-                reason[var] = c
-                trail.append(first)
-                for con, coef in pbwatches[first]:
-                    con.slack -= coef
-            del wl[j:]
-            # --- PB watches ---------------------------------------------
-            # Slack was already updated when the literal was enqueued; here
-            # we only detect conflicts and implied literals.
-            pwl = pbwatches[p]
-            if pwl:
-                for con, _coef in pwl:
-                    slack = con.slack
-                    if slack < 0:
-                        self.qhead = qhead
-                        self.stats.propagations += nprops
-                        return con
-                    if slack < con.max_coef:
-                        coefs = con.coefs
-                        clits = con.lits
-                        for idx in range(len(clits)):
-                            if coefs[idx] > slack:
-                                lit = clits[idx]
-                                v = assigns[lit >> 1]
-                                if v == VAL_UNASSIGNED:
-                                    self._unchecked_enqueue(lit, con)
-                                # A false literal with coef > slack would
-                                # have made slack negative already.
-        self.qhead = qhead
-        if len(trail) > self.stats.max_trail:
-            self.stats.max_trail = len(trail)
-        self.stats.propagations += nprops
-        return None
+        return self.core.propagate(self)
 
     # ------------------------------------------------------------------
     # Conflict analysis
     # ------------------------------------------------------------------
 
-    def _reason_lits(self, confl: object, for_lit: int) -> list[int]:
+    def _reason_lits(self, ref: int, for_lit: int) -> list:
         """Literals of the constraint explaining a conflict or propagation.
 
-        For clauses this is the clause itself. For PB constraints we build
-        a clausal implicate: the propagated/conflict literal(s) plus the
-        negation of every constraint literal that was already false at the
-        relevant trail position (see the PB reason-weakening discussion in
-        the module docstring of :mod:`repro.pb`).
+        ``ref`` is a reason/conflict ref (clause id or PB ref).  For
+        clauses this is the packed clause itself. For PB constraints we
+        build a clausal implicate: the propagated/conflict literal(s)
+        plus the negation of every constraint literal that was already
+        false at the relevant trail position (see the PB reason-weakening
+        discussion in the module docstring of :mod:`repro.pb`).
         """
-        if isinstance(confl, Clause):
-            return confl.lits
+        if ref >= 0:
+            off = self.cla_off[ref]
+            return self.arena[off + 1: off + 1 + self.arena[off]]
         # PB constraint: build a clausal implicate over the literals that
         # were already false when the propagation/conflict fired.
-        con = confl
+        i = _pb_index(ref)
         out: list[int] = []
         assigns = self.assigns
         trail_pos = self.trail_pos
         if for_lit == -1:
-            pos_limit = len(self.trail)
+            pos_limit = self.trail_n
         else:
             # Reasons may only mention literals assigned before `for_lit`.
             out.append(for_lit)
             pos_limit = trail_pos[for_lit >> 1]
             assert self.level[for_lit >> 1] >= 0
-        for lit in con.lits:
+        off = self.pb_off[i]
+        pb_lits = self.pb_lits
+        for t in range(off, off + self.pb_len[i]):
+            lit = pb_lits[t]
             if lit == for_lit:
                 continue
             v = assigns[lit >> 1]
@@ -714,7 +847,7 @@ class Solver:
                 out.append(lit)
         return out
 
-    def _analyze(self, confl: object) -> tuple[list[int], int]:
+    def _analyze(self, confl: int) -> tuple[list[int], int]:
         """First-UIP conflict analysis.
 
         Returns the learnt clause (asserting literal first) and the level
@@ -723,16 +856,17 @@ class Solver:
         seen = self._seen
         level = self.level
         trail = self.trail
+        cla_flags = self.cla_flags
         cur_level = len(self.trail_lim)
         learnt: list[int] = [0]  # placeholder for the asserting literal
         counter = 0
         p = -1
-        index = len(trail) - 1
+        index = self.trail_n - 1
         to_clear: list[int] = []
         first = True
         while True:
             lits = self._reason_lits(confl, -1 if first else p)
-            if isinstance(confl, Clause) and confl.learnt:
+            if confl >= 0 and cla_flags[confl] & 1:
                 self._bump_clause(confl)
             start = 0 if first else 1
             first = False
@@ -765,7 +899,7 @@ class Solver:
             abstract_levels |= 1 << (level[q >> 1] & 31)
         i_keep = [learnt[0]]
         for q in learnt[1:]:
-            if self.reason[q >> 1] is None or not self._lit_redundant(
+            if self.reason[q >> 1] == REASON_NONE or not self._lit_redundant(
                 q, abstract_levels, to_clear
             ):
                 i_keep.append(q)
@@ -805,13 +939,13 @@ class Solver:
         marked: list[int] = [p >> 1]
         seen[p >> 1] = 1
         trail = self.trail
-        for pos in range(len(trail) - 1, self.trail_lim[0] - 1, -1):
+        for pos in range(self.trail_n - 1, self.trail_lim[0] - 1, -1):
             q = trail[pos]
             v = q >> 1
             if not seen[v]:
                 continue
             r = self.reason[v]
-            if r is None:
+            if r == REASON_NONE:
                 # Decision: under assumptions, every decision inside the
                 # assumption prefix IS an assumption literal.
                 if q in assumption_set:
@@ -844,7 +978,7 @@ class Solver:
         while stack:
             q = stack.pop()
             r = self.reason[q >> 1]
-            if r is None:
+            if r == REASON_NONE:
                 # Decision reached: lit is not redundant; undo markings.
                 for v in to_clear[top:]:
                     seen[v] = 0
@@ -858,7 +992,7 @@ class Solver:
                 pv = p >> 1
                 if not seen[pv] and level[pv] > 0:
                     if (
-                        self.reason[pv] is not None
+                        self.reason[pv] != REASON_NONE
                         and (1 << (level[pv] & 31)) & abstract_levels
                     ):
                         seen[pv] = 1
@@ -880,18 +1014,23 @@ class Solver:
         self.activity[var] = act
         if act > self.RESCALE_LIMIT:
             inv = 1.0 / self.RESCALE_LIMIT
-            for v in range(self.nvars):
-                self.activity[v] *= inv
+            if _np is not None:
+                acts = _np.frombuffer(self.activity)
+                acts *= inv
+            else:  # pragma: no cover - numpy is in the base image
+                for v in range(self.nvars):
+                    self.activity[v] *= inv
             self.var_inc *= inv
         if self.heap_pos[var] >= 0:
             self._heap_sift_up(self.heap_pos[var])
 
-    def _bump_clause(self, c: Clause) -> None:
-        c.activity += self.cla_inc
-        if c.activity > self.RESCALE_LIMIT:
+    def _bump_clause(self, cid: int) -> None:
+        act = self.cla_act[cid] + self.cla_inc
+        self.cla_act[cid] = act
+        if act > self.RESCALE_LIMIT:
             inv = 1.0 / self.RESCALE_LIMIT
-            for cl in self.learnts:
-                cl.activity *= inv
+            for c in self._learnt_cids:
+                self.cla_act[c] *= inv
             self.cla_inc *= inv
 
     def _decay(self) -> None:
@@ -912,12 +1051,17 @@ class Solver:
             if self.heap_pos[var] >= 0:
                 self._heap_sift_up(self.heap_pos[var])
 
-    # Indexed binary max-heap over variable activities.
+    # Indexed binary max-heap over variable activities.  The compiled
+    # backend mirrors these exact loops in C (it pops decision variables
+    # and re-inserts on backtrack); any change here must be transliterated
+    # to _core.c as well.
 
     def _heap_insert(self, var: int) -> None:
-        self.order_heap.append(var)
-        self.heap_pos[var] = len(self.order_heap) - 1
-        self._heap_sift_up(len(self.order_heap) - 1)
+        n = self.heap_n
+        self.order_heap[n] = var
+        self.heap_pos[var] = n
+        self.heap_n = n + 1
+        self._heap_sift_up(n)
 
     def _heap_sift_up(self, i: int) -> None:
         heap = self.order_heap
@@ -940,7 +1084,7 @@ class Solver:
         heap = self.order_heap
         pos = self.heap_pos
         act = self.activity
-        n = len(heap)
+        n = self.heap_n
         v = heap[i]
         a = act[v]
         while True:
@@ -965,19 +1109,19 @@ class Solver:
         pos = self.heap_pos
         top = heap[0]
         pos[top] = -1
-        last = heap.pop()
-        if heap:
+        self.heap_n -= 1
+        n = self.heap_n
+        if n:
+            last = heap[n]
             heap[0] = last
             pos[last] = 0
             self._heap_sift_down(0)
         return top
 
     def _pick_branch_var(self) -> int:
-        while self.order_heap:
-            v = self._heap_pop()
-            if self.assigns[v] == VAL_UNASSIGNED:
-                return v
-        return -1
+        """Next unassigned variable by activity (-1 when all assigned);
+        pops through the backend so the heap walk runs compiled."""
+        return self.core.pick_branch(self)
 
     # ------------------------------------------------------------------
     # Learnt-clause DB management
@@ -985,24 +1129,32 @@ class Solver:
 
     def _reduce_db(self) -> None:
         """Remove roughly half of the learnt clauses with lowest activity."""
-        learnts = self.learnts
-        learnts.sort(key=lambda c: c.activity)
+        learnts = self._learnt_cids
+        act = self.cla_act
+        learnts.sort(key=act.__getitem__)
         limit = self.cla_inc / max(len(learnts), 1)
-        keep: list[Clause] = []
+        keep: list[int] = []
         half = len(learnts) // 2
-        for i, c in enumerate(learnts):
+        arena = self.arena
+        cla_off = self.cla_off
+        reason = self.reason
+        for i, cid in enumerate(learnts):
+            off = cla_off[cid]
+            size = arena[off]
+            l0 = arena[off + 1]
             locked = (
-                self.value_lit(c.lits[0]) == VAL_TRUE
-                and self.reason[c.lits[0] >> 1] is c
+                self.value_lit(l0) == VAL_TRUE and reason[l0 >> 1] == cid
             )
-            if len(c.lits) > 2 and not locked and (i < half or c.activity < limit):
-                self._detach_clause(c)
+            if size > 2 and not locked and (i < half or act[cid] < limit):
+                self._detach_clause(cid)
                 if self.proof is not None:
-                    self.proof.log_delete(c.lits)
+                    self.proof.log_delete(list(arena[off + 1: off + 1 + size]))
                 self.stats.deleted_clauses += 1
             else:
-                keep.append(c)
-        self.learnts = keep
+                keep.append(cid)
+        self._learnt_cids = keep
+        if self._dead_lits * 2 > len(self.arena):
+            self._compact_arena()
 
     # ------------------------------------------------------------------
     # Main search
@@ -1025,6 +1177,17 @@ class Solver:
         learnt clauses intact) when any limit is hit.  Without a budget
         the search runs to completion exactly as before.
         """
+        t0 = time.perf_counter()
+        try:
+            return self._solve(assumptions, budget)
+        finally:
+            self.stats.solve_seconds += time.perf_counter() - t0
+
+    def _solve(
+        self,
+        assumptions: list[int] | None,
+        budget: Budget | None,
+    ) -> bool:
         self.stats.solve_calls += 1
         self.conflict_core = []
         if not self.ok:
@@ -1042,7 +1205,7 @@ class Solver:
 
         while True:
             confl = self._propagate()
-            if confl is not None:
+            if confl != -1:
                 self.stats.conflicts += 1
                 conflicts_this_restart += 1
                 if self._decision_level() == 0:
@@ -1059,15 +1222,15 @@ class Solver:
                     self.learn_hook(learnt)
                 self._cancel_until(bt)
                 if len(learnt) == 1:
-                    self._unchecked_enqueue(learnt[0], None)
+                    self._unchecked_enqueue(learnt[0], REASON_NONE)
                 else:
-                    c = Clause(learnt, learnt=True)
-                    self.learnts.append(c)
-                    self._attach_clause(c)
-                    self._bump_clause(c)
+                    cid = self._new_clause(learnt, learnt=True)
+                    self._learnt_cids.append(cid)
+                    self._attach_clause(cid)
+                    self._bump_clause(cid)
                     self.stats.learnt_clauses += 1
                     self.stats.learnt_literals += len(learnt)
-                    self._unchecked_enqueue(learnt[0], c)
+                    self._unchecked_enqueue(learnt[0], cid)
                 self._decay()
             else:
                 if conflicts_this_restart >= restart_limit:
@@ -1078,7 +1241,7 @@ class Solver:
                     restart_limit = self.luby_base * luby(restart_num + 1)
                     self._cancel_until(0)
                     continue
-                if len(self.learnts) >= max_learnts + len(self.trail):
+                if len(self._learnt_cids) >= max_learnts + self.trail_n:
                     self._reduce_db()
                     max_learnts *= self.learnt_growth
                 # Re-apply assumptions not yet on the trail.
@@ -1095,14 +1258,12 @@ class Solver:
                         self._analyze_final(neg(p), assumptions)
                         return False  # conflicting assumptions
                     self._new_decision_level()
-                    self._unchecked_enqueue(p, None)
+                    self._unchecked_enqueue(p, REASON_NONE)
                     continue
                 var = self._pick_branch_var()
                 if var == -1:
                     self.max_learnts = max_learnts
-                    self._model = [
-                        self.assigns[v] == VAL_TRUE for v in range(self.nvars)
-                    ]
+                    self._snapshot_model()
                     return True  # all variables assigned: SAT
                 self.stats.decisions += 1
                 if budget is not None and budget.step(decisions=1):
@@ -1110,7 +1271,15 @@ class Solver:
                 self._new_decision_level()
                 phase = self.saved_phase[var]
                 lit = mklit(var, phase == VAL_FALSE)
-                self._unchecked_enqueue(lit, None)
+                self._unchecked_enqueue(lit, REASON_NONE)
+
+    def _snapshot_model(self) -> None:
+        if _np is not None and self.nvars > 256:
+            self._model = (
+                _np.frombuffer(self.assigns, dtype=_np.int8) == VAL_TRUE
+            ).tolist()
+        else:
+            self._model = [v == VAL_TRUE for v in self.assigns]
 
     def _budget_stop(self, budget: Budget) -> None:
         """Abort the current search cooperatively: restore level 0 (the
@@ -1141,27 +1310,35 @@ class Solver:
 
     def num_clauses(self) -> int:
         """Number of problem clauses currently in the database."""
-        return len(self.clauses)
+        return len(self._problem_cids)
 
     def num_literals(self) -> int:
         """Total literal count over problem clauses and PB constraints —
         the 'Lit.' column of the paper's tables."""
-        n = sum(len(c.lits) for c in self.clauses)
-        n += sum(len(p.lits) for p in self.pbs)
-        return n
+        arena = self.arena
+        cla_off = self.cla_off
+        n = sum(arena[cla_off[cid]] for cid in self._problem_cids)
+        return n + len(self.pb_lits)
 
     def check_model(self) -> bool:
         """Verify the last model against every original constraint
         (used by the test suite; independent of the propagation code)."""
-        for c in self.clauses:
-            if not any(self.model_value(l) for l in c.lits):
+        arena = self.arena
+        model_value = self.model_value
+        for cid in self._problem_cids:
+            off = self.cla_off[cid]
+            end = off + 1 + arena[off]
+            if not any(model_value(arena[k]) for k in range(off + 1, end)):
                 return False
-        for con in self.pbs:
+        pb_lits = self.pb_lits
+        pb_coefs = self.pb_coefs
+        for i in range(self._n_pbs):
+            off = self.pb_off[i]
+            end = off + self.pb_len[i]
             total = sum(
-                coef
-                for coef, lit in zip(con.coefs, con.lits)
-                if self.model_value(lit)
+                pb_coefs[t] for t in range(off, end)
+                if model_value(pb_lits[t])
             )
-            if total < con.bound:
+            if total < self.pb_bound[i]:
                 return False
         return True

@@ -1,6 +1,7 @@
 """Tests for JSON serialization and the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -193,6 +194,30 @@ class TestCli:
                     "t_total"):
             assert key in stats, key
         assert stats["cnf_clauses"] > 0
+        # SAT-engine counters ride along as a "solver" block.
+        solver = stats["solver"]
+        for key in ("propagations", "props_per_sec", "backend",
+                    "conflicts", "decisions"):
+            assert key in solver, key
+        assert solver["propagations"] > 0
+        assert solver["backend"] in ("pure", "fast")
+
+    def test_solve_backend_flag_selects_core(self, system_file, capsys,
+                                             monkeypatch):
+        from repro.sat.core import BACKEND_ENV, set_default_backend
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        try:
+            rc = main(["solve", str(system_file), "--objective",
+                       "trt:ring", "--stats", "--backend", "pure"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            stats, _ = json.JSONDecoder().raw_decode(out[out.index("{"):])
+            assert stats["solver"]["backend"] == "pure"
+            # The flag exports the choice for spawned workers too.
+            assert os.environ[BACKEND_ENV] == "pure"
+        finally:
+            set_default_backend(None)
 
     def test_solve_no_simplify_matches_default_cost(self, system_file,
                                                     capsys):
