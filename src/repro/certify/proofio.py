@@ -23,8 +23,10 @@ certificate rather than a silently-accepted corrupt artifact.
 
 from __future__ import annotations
 
+import itertools
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 
@@ -38,6 +40,7 @@ __all__ = [
     "scan_artifact",
     "load_proof",
     "quarantine_artifact",
+    "resolve_spool_path",
 ]
 
 MAGIC = b"REPRO-PROOF v1\n"
@@ -131,6 +134,34 @@ def quarantine_artifact(path: str) -> str | None:
         return target
     except OSError:
         return None
+
+
+#: Per-process sequence disambiguating concurrent spools that share a
+#: request fingerprint (the fingerprint covers the solve *options*, not
+#: the system, so two simultaneous solves of different systems under
+#: identical options would otherwise collide).
+_spool_seq = itertools.count()
+_spool_seq_lock = threading.Lock()
+
+
+def resolve_spool_path(proof_log: str, fingerprint: str) -> str:
+    """Resolve a ``--proof-log`` argument to the spool file to write.
+
+    A plain file path is used as-is (the single-solve CLI contract).  A
+    *directory* -- an existing one, or a path ending in the separator --
+    is shared by concurrent solves, so the spool file inside it is
+    namespaced by the request fingerprint plus pid and a per-process
+    sequence number: two simultaneous certified solves never open the
+    same artifact (the regression in tests/test_certify.py drives two
+    threads through one directory).  The resolved path is recorded on
+    the certificate (``proof_artifact``), so callers can find it.
+    """
+    if not (proof_log.endswith(os.sep) or os.path.isdir(proof_log)):
+        return proof_log
+    with _spool_seq_lock:
+        seq = next(_spool_seq)
+    name = f"{fingerprint}-{os.getpid()}-{seq}.proof"
+    return os.path.join(proof_log, name)
 
 
 class ProofSpool:

@@ -57,6 +57,11 @@ Sites
 ``fabric.store.fsync``  the fsync after a result-store append
 ``fabric.lease.renew``  a fabric worker's lease heartbeat renewal
 ``fabric.worker.claim`` a fabric worker claiming a job lease
+``serve.accept``        the allocation server admitting one request
+``serve.queue``         enqueue/dequeue on a tenant admission queue
+``serve.cache``         a warm-start cache lookup or store
+``serve.worker``        a serve worker picking up a solve
+``serve.drain``         one step of the SIGTERM drain sequence
 ======================  ====================================================
 """
 
@@ -108,6 +113,11 @@ SITES = (
     "fabric.store.fsync",
     "fabric.lease.renew",
     "fabric.worker.claim",
+    "serve.accept",
+    "serve.queue",
+    "serve.cache",
+    "serve.worker",
+    "serve.drain",
 )
 
 KINDS = ("crash", "hang", "io-error", "torn-write", "corrupt-bytes")
@@ -131,6 +141,15 @@ SITE_KINDS = {
     "fabric.store.fsync": ("io-error", "hang"),
     "fabric.lease.renew": ("crash", "hang", "io-error"),
     "fabric.worker.claim": ("crash", "hang", "io-error"),
+    # Serve sites run inside the (long-lived) server process, so crash
+    # is excluded like supervisor.stage: killing the whole server is the
+    # SIGTERM/SIGKILL restart scenario, covered by the drain/resume
+    # torture tests from outside rather than by an in-process site.
+    "serve.accept": ("hang", "io-error"),
+    "serve.queue": ("hang", "io-error"),
+    "serve.cache": ("hang", "io-error"),
+    "serve.worker": ("hang", "io-error"),
+    "serve.drain": ("hang", "io-error"),
 }
 
 
@@ -191,6 +210,13 @@ PROFILES: dict[str, tuple[tuple[str, int, str, int], ...]] = {
         ("fabric.store.fsync", 3, "io-error", 1),
         ("fabric.lease.renew", 2, "io-error", 1),
         ("fabric.worker.claim", 3, "crash", 1),
+    ),
+    "serve": (
+        ("serve.accept", 2, "io-error", 1),
+        ("serve.queue", 3, "io-error", 1),
+        ("serve.cache", 1, "io-error", 2),
+        ("serve.worker", 2, "io-error", 1),
+        ("serve.drain", 1, "io-error", 1),
     ),
     "full-stack": (
         ("checkpoint.write", 1, "torn-write", 1),

@@ -46,13 +46,9 @@ from repro.core import (
     Allocator,
     EncoderConfig,
     ExitCode,
-    MinimizeCanUtilization,
-    MinimizeMaxUtilization,
-    MinimizeSumResponseTimes,
-    MinimizeSumTRT,
-    MinimizeTRT,
     ProblemEncoding,
     SolveRequest,
+    objective_from_spec,
 )
 from repro.core.diagnose import diagnose
 from repro.io import (
@@ -66,22 +62,10 @@ __all__ = ["main", "build_parser"]
 
 
 def _objective_from_spec(spec: str):
-    kind, _, arg = spec.partition(":")
-    if kind == "trt":
-        if not arg:
-            raise SystemExit("objective trt needs a medium: trt:<medium>")
-        return MinimizeTRT(arg)
-    if kind == "sum_trt":
-        return MinimizeSumTRT()
-    if kind == "can":
-        if not arg:
-            raise SystemExit("objective can needs a medium: can:<medium>")
-        return MinimizeCanUtilization(arg)
-    if kind == "sum_resp":
-        return MinimizeSumResponseTimes()
-    if kind == "max_util":
-        return MinimizeMaxUtilization()
-    raise SystemExit(f"unknown objective {spec!r}")
+    try:
+        return objective_from_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -289,6 +273,60 @@ def build_parser() -> argparse.ArgumentParser:
                       "and the event log")
     p_sw.add_argument("-o", "--output", default=None,
                       help="write the summary JSON here")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the long-lived allocation server (JSON lines over "
+        "TCP; see docs/SERVING.md)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8571,
+                       help="TCP port (0 = pick a free one and print it)")
+    p_srv.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="durable state: search checkpoints (drain/resume), the "
+        "serve-events.jsonl flight recorder",
+    )
+    p_srv.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrent solver threads")
+    p_srv.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                       help="per-tenant admission queue bound; a full "
+                       "queue sheds with a typed overloaded response")
+    p_srv.add_argument(
+        "--tenant-weight", action="append", default=[], metavar="NAME=W",
+        help="weighted-fair share for a tenant (repeatable; default 1)",
+    )
+    p_srv.add_argument("--default-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="deadline applied to requests that name none")
+    p_srv.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                       help="reject systems larger than this at admission")
+    p_srv.add_argument("--certify", action="store_true",
+                       help="audit every served answer even when the "
+                       "request does not ask for it")
+    p_srv.add_argument("--breaker-threshold", type=int, default=3,
+                       metavar="N",
+                       help="consecutive compiled-core faults before "
+                       "tripping to the pure core")
+    p_srv.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds between half-open compiled-core "
+                       "probes once tripped")
+    p_srv.add_argument("--cache-size", type=int, default=64, metavar="N",
+                       help="warm-start cache entries (LRU)")
+    p_srv.add_argument(
+        "--backend", choices=("auto", "pure", "fast"), default=None,
+        help="SAT propagation core (the circuit breaker may override "
+        "it to pure at runtime)",
+    )
+    p_srv.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                       help="inject a deterministic randomized fault "
+                       "schedule (torture drills)")
+    p_srv.add_argument("--chaos-profile", default=None, metavar="NAME",
+                       help="inject a named fault profile (e.g. serve)")
+    p_srv.add_argument("--chaos-dir", default=None, metavar="DIR",
+                       help="state directory for chaos trigger counts "
+                       "and the event log")
     return parser
 
 
@@ -742,6 +780,54 @@ def _cmd_sweep(args) -> int:
     return int(ExitCode.OK) if not failed else int(ExitCode.ERROR)
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import AllocationServer, ServeConfig
+
+    weights = {}
+    for spec in args.tenant_weight:
+        name, _, value = spec.partition("=")
+        if not name or not value:
+            raise SystemExit(f"bad --tenant-weight {spec!r} (want NAME=W)")
+        weights[name] = float(value)
+    config = ServeConfig(
+        state_dir=args.state_dir,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        tenant_weights=weights,
+        default_deadline=args.default_deadline,
+        max_tasks=args.max_tasks,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        cache_size=args.cache_size,
+        certify_default=args.certify,
+        chaos=_chaos_from_args(args),
+    )
+
+    async def run() -> int:
+        server = AllocationServer(config)
+        await server.start()
+        host, port = await server.start_tcp(args.host, args.port)
+        # The smoke harness and operators wait for this exact line.
+        print(f"serving on {host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without loop signal support
+        await stop.wait()
+        print("draining...", file=sys.stderr, flush=True)
+        await server.stop()
+        print("drained.", file=sys.stderr, flush=True)
+        return 0
+
+    return asyncio.run(run())
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -760,6 +846,7 @@ def main(argv: list[str] | None = None) -> int:
         "export": _cmd_export,
         "analyze": _cmd_analyze,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -36,6 +36,7 @@ from repro.core.objectives import (
     MinimizeSumResponseTimes,
     MinimizeSumTRT,
     MinimizeTRT,
+    objective_from_spec,
 )
 from repro.core.optimize import OptimizationOutcome, bin_search
 
@@ -49,6 +50,7 @@ __all__ = [
     "MinimizeCanUtilization",
     "MinimizeSumResponseTimes",
     "MinimizeMaxUtilization",
+    "objective_from_spec",
     "bin_search",
     "OptimizationOutcome",
     "ExitCode",

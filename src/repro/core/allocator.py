@@ -194,11 +194,51 @@ class Allocator:
                     objective, request.time_limit, request.verify,
                     request.budget, request.certify,
                 )
+            proof_log = request.proof_log
+            if proof_log is not None:
+                from repro.certify.proofio import resolve_spool_path
+
+                # Concurrent solves may share one --proof-log directory;
+                # namespacing by request fingerprint (+ a per-process
+                # sequence) keeps their spools from clobbering each
+                # other (see docs/SERVING.md).
+                proof_log = resolve_spool_path(
+                    proof_log, request.fingerprint()
+                )
             return self._minimize_incremental(
                 objective, request.time_limit, request.verify,
                 request.budget, ckpt, request.certify,
-                proof_log=request.proof_log,
+                proof_log=proof_log,
+                warm_start=request.warm_start,
+                warm_allocation=request.warm_allocation,
             )
+
+    def _audit_warm_witness(
+        self, objective: Objective, payload: dict
+    ) -> tuple[Allocation, int] | None:
+        """Audited warm-start witness and its cost, or None to ignore.
+
+        The witness (an allocation that was optimal for a *related*
+        instance) is re-checked against *this* instance with the
+        independent analysis -- never the SAT stack -- so a passing
+        witness yields a sound, known-achievable upper bound and the
+        binary search can skip the hint probe.  Any failure (malformed
+        payload, no longer schedulable, out-of-scale cost) just means
+        "no shortcut": the solve proceeds as usual.
+        """
+        try:
+            from repro.certify.audit import independent_cost
+            from repro.io import allocation_from_dict
+
+            alloc = allocation_from_dict(payload)
+            report = check_allocation(self.tasks, self.arch, alloc)
+            if not report.schedulable:
+                return None
+            cost, _ = independent_cost(self.tasks, self.arch, alloc,
+                                       objective)
+            return alloc, int(cost)
+        except (KeyError, ValueError, TypeError):
+            return None
 
     @staticmethod
     def _as_checkpoint(
@@ -223,9 +263,18 @@ class Allocator:
         checkpoint: SearchCheckpoint | None = None,
         certify: bool = False,
         proof_log: str | None = None,
+        warm_start: int | None = None,
+        warm_allocation: dict | None = None,
     ) -> AllocationResult:
         enc, cost_var, lo, hi, enc_secs = self._encode(objective)
         assert cost_var is not None
+        warm_trusted = False
+        witness: Allocation | None = None
+        if warm_allocation is not None:
+            audited = self._audit_warm_witness(objective, warm_allocation)
+            if audited is not None:
+                witness, warm_start = audited
+                warm_trusted = True
         certifier = None
         if certify:
             from repro.certify import ProbeCertifier
@@ -250,7 +299,11 @@ class Allocator:
                 certifier.result.proof_artifact = proof_log
                 certifier.result.proof_artifact_ok = False
                 certifier.result.proof_artifact_error = spool_error
-        best: list[Allocation | None] = [None]
+        # The audited witness stands in for the optimum's model until a
+        # SAT probe finds one (any SAT probe overwrites it): if the
+        # search closes at the witness's own cost, no model-loading
+        # probe is needed at all.
+        best: list[Allocation | None] = [witness]
 
         def snapshot() -> None:
             best[0] = enc.decode()
@@ -271,6 +324,10 @@ class Allocator:
             time_limit=time_limit, budget=budget,
             checkpoint=checkpoint, on_checkpoint=on_checkpoint,
             on_probe=certifier.on_probe if certifier is not None else None,
+            warm_hint=warm_start, warm_trusted=warm_trusted,
+            # Certified runs keep the final [R, R] probe so the
+            # certificate carries a SAT audit of the served model.
+            warm_model_loaded=warm_trusted and certifier is None,
         )
         if best[0] is None and checkpoint is not None and checkpoint.payload:
             from repro.io import allocation_from_dict

@@ -100,7 +100,35 @@ class SolveRequest:
     #: Persist the certifier's DRUP proof to this path as crash-safe
     #: length-prefixed records (:mod:`repro.certify.proofio`); implies
     #: nothing unless ``certify`` is set.  Sequential strategies only.
+    #: A *directory* path (existing, or ending in the path separator)
+    #: namespaces the spool file by request fingerprint, so concurrent
+    #: solves sharing one proof directory never collide.
     proof_log: str | None = None
+    #: Warm-start hint: a cost known (or believed) to be achievable for
+    #: a *related* scenario.  The binary search probes ``cost <= hint``
+    #: first instead of the unconstrained SOLVE; a SAT answer starts the
+    #: interval there, an UNSAT answer certifies the region empty and
+    #: the search continues above it -- either way the certified optimum
+    #: (and the ``{cost, proven, status}`` envelope) is identical to a
+    #: cold solve, only the probe sequence changes.  Excluded from
+    #: :meth:`fingerprint` for exactly that reason.
+    warm_start: int | None = None
+    #: Warm-start witness: a JSON allocation payload
+    #: (:func:`repro.io.allocation_to_dict`) believed to remain feasible
+    #: for this instance -- typically the optimal allocation of the base
+    #: scenario a serve request perturbs.  The allocator re-checks it
+    #: with the *independent* analysis (never the SAT stack); when it
+    #: passes, its recomputed objective value becomes a known-achievable
+    #: upper bound and the binary search skips the hint probe entirely.
+    #: A witness the analysis rejects is ignored (the ``warm_start``
+    #: hint, if any, still applies).  Like ``warm_start``, this never
+    #: changes the certified answer and is excluded from
+    #: :meth:`fingerprint`.
+    warm_allocation: dict | None = None
+    #: Append lifecycle events (supervisor stage transitions, with
+    #: timestamps and reasons) to this JSONL flight-recorder log
+    #: (:class:`repro.robust.flight.FlightRecorder`); None = off.
+    flight_log: str | None = None
 
     def merged(self, **updates) -> "SolveRequest":
         """A copy with ``updates`` applied."""
@@ -117,8 +145,10 @@ class SolveRequest:
         topology (``processes``/``speculate``/``race``) is excluded on
         purpose -- the parallel engine's contract is a bit-identical
         certified optimum -- as are persistence and fault-injection
-        knobs (``checkpoint``, ``proof_log``, ``chaos``), which never
-        change the answer, only how it survives.
+        knobs (``checkpoint``, ``proof_log``, ``chaos``) and the serving
+        hints (``warm_start``, ``warm_allocation``, ``flight_log``),
+        which never change the answer, only how it survives or how fast
+        it arrives.
         """
         import hashlib
 

@@ -28,6 +28,7 @@ __all__ = [
     "MinimizeCanUtilization",
     "MinimizeSumResponseTimes",
     "objective_spec",
+    "objective_from_spec",
 ]
 
 
@@ -42,6 +43,32 @@ def objective_spec(objective: "Objective") -> tuple[str, str | None]:
     if isinstance(objective, MinimizeCanUtilization):
         return "can_util", objective.medium
     return "sum_resp", None
+
+
+def objective_from_spec(spec: str) -> "Objective":
+    """Parse a textual objective spec (``trt:<medium>``, ``sum_trt``,
+    ``can:<medium>``, ``sum_resp``, ``max_util``) into an objective.
+
+    The inverse of :func:`objective_spec` for the specs the CLI and the
+    allocation server accept over the wire; raises :class:`ValueError`
+    on malformed input (callers map it to their own error surface)."""
+    kind, _, arg = spec.partition(":")
+    if kind == "trt":
+        if not arg:
+            raise ValueError("objective trt needs a medium: trt:<medium>")
+        return MinimizeTRT(arg)
+    if kind == "sum_trt":
+        return MinimizeSumTRT()
+    if kind == "can":
+        if not arg:
+            raise ValueError("objective can needs a medium: can:<medium>")
+        return MinimizeCanUtilization(arg)
+    if kind == "sum_resp":
+        return MinimizeSumResponseTimes()
+    if kind == "max_util":
+        return MinimizeMaxUtilization()
+    raise ValueError(f"unknown objective {spec!r}")
+
 
 #: Scale of utilization objectives: per-mille of the bus bandwidth.
 U_SCALE = 1000

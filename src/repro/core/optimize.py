@@ -159,6 +159,9 @@ def bin_search(
     checkpoint: SearchCheckpoint | None = None,
     on_checkpoint: Callable[[SearchCheckpoint], None] | None = None,
     on_probe: Callable[[ProbeLog, object], None] | None = None,
+    warm_hint: int | None = None,
+    warm_trusted: bool = False,
+    warm_model_loaded: bool = False,
 ) -> OptimizationOutcome:
     """Minimize ``cost_var`` over an :class:`repro.arith.IntSolver`.
 
@@ -186,6 +189,27 @@ def bin_search(
     saved when it has a path).  A resumed run that finds no new model
     re-certifies the optimum with one final ``[R, R]`` probe, so its
     model and cost match an uninterrupted run's.
+
+    ``warm_hint`` (a cost achievable for a *related* problem, e.g. the
+    last optimum of a base scenario a serve request perturbs) replaces
+    the initial unconstrained SOLVE with a probe of ``cost <= hint``:
+    SAT starts the interval at the model's cost, UNSAT certifies the
+    region empty and the search resumes above ``hint`` after one
+    unconstrained probe.  The hint is a *probe order* change only -- the
+    certified optimum, its proof and the outcome envelope are identical
+    to a cold run's; an out-of-range hint is ignored.  Resumed runs
+    ignore the hint (the checkpoint interval is stronger).
+
+    ``warm_trusted`` asserts that the caller has independently *proved*
+    ``warm_hint`` achievable (e.g. by re-running the analysis on a cached
+    allocation, see ``Allocator._audit_warm_witness``), so even the hint
+    probe is skipped: the search starts directly on ``[lower, hint]``
+    and usually closes with a single ``UNSAT(hint - 1)`` probe.
+    ``warm_model_loaded`` additionally says the caller *holds* an
+    allocation achieving the hint, so if the interval closes at the hint
+    the final ``[R, R]`` re-certification probe is unnecessary too (the
+    caller substitutes its witness; certified runs keep the probe so the
+    certificate contains a SAT audit of the served model).
     """
     t0 = time.perf_counter()
     out = OptimizationOutcome(feasible=False, optimum=None, proven=False)
@@ -300,6 +324,7 @@ def bin_search(
     left: int | None = None
     right: int | None = None
     model_loaded = False
+    confirm_first = False
 
     if checkpoint is not None and checkpoint.started:
         # Resume: skip the work the previous run already certified.
@@ -318,24 +343,63 @@ def bin_search(
         left, right = checkpoint.left, checkpoint.right
         assert left is not None and right is not None
     else:
-        # R := SOLVE(phi): the initial unconstrained query.
-        try:
-            sat, cost = run_probe(None, None)
-        except BudgetExpired:
-            out.seconds = time.perf_counter() - t0
+        hint = warm_hint
+        if hint is not None and not (lower <= hint < upper):
+            hint = None  # out of range: nothing to gain, ignore
+        warm_floor = lower
+        if hint is not None and warm_trusted:
+            # The caller certified the hint achievable via the
+            # independent analysis: no probe needed at all, the interval
+            # starts at [lower, hint].  Unless the caller also holds the
+            # witness model, the final [R, R] re-certification loads one
+            # if no SAT probe runs.
+            out.feasible = True
+            left, right = lower, hint
+            confirm_first = True
+            model_loaded = warm_model_loaded
             sync_checkpoint()
-            return out  # status: unknown
-        if not sat:
-            out.proven = True  # certified infeasibility
-            out.seconds = time.perf_counter() - t0
-            left, right = lower, None
+        elif hint is not None:
+            # Warm start: probe the hinted region first.  SAT makes the
+            # expensive unconstrained SOLVE unnecessary; UNSAT certifies
+            # "no solution <= hint", so the search continues above.
+            try:
+                sat, cost = run_probe(None, hint)
+            except BudgetExpired:
+                out.seconds = time.perf_counter() - t0
+                sync_checkpoint()
+                return out  # status: unknown
+            if sat:
+                assert cost is not None
+                out.feasible = True
+                model_loaded = True
+                left, right = lower, cost
+                # A hint usually comes from a near-identical scenario
+                # whose optimum survived the perturbation, so try to
+                # close the interval with a single UNSAT(cost-1) probe
+                # before falling back to bisection.
+                confirm_first = True
+                sync_checkpoint()
+            else:
+                warm_floor = hint + 1
+        if right is None:
+            # R := SOLVE(phi): the initial unconstrained query.
+            try:
+                sat, cost = run_probe(None, None)
+            except BudgetExpired:
+                out.seconds = time.perf_counter() - t0
+                sync_checkpoint()
+                return out  # status: unknown
+            if not sat:
+                out.proven = True  # certified infeasibility
+                out.seconds = time.perf_counter() - t0
+                left, right = lower, None
+                sync_checkpoint()
+                return out
+            out.feasible = True
+            model_loaded = True
+            assert cost is not None
+            left, right = warm_floor, cost
             sync_checkpoint()
-            return out
-        out.feasible = True
-        model_loaded = True
-        assert cost is not None
-        left, right = lower, cost
-        sync_checkpoint()
 
     while left < right:
         if time_limit is not None and time.perf_counter() - t0 > time_limit:
@@ -347,7 +411,8 @@ def bin_search(
             out.interrupted = True
             out.interrupt_reason = budget.expired_reason
             break
-        mid = (left + right) // 2
+        mid = right - 1 if confirm_first else (left + right) // 2
+        confirm_first = False
         try:
             sat, cost = run_probe(left, mid)
         except BudgetExpired:
@@ -375,8 +440,9 @@ def bin_search(
             return out
         if not sat:
             raise ValueError(
-                "checkpoint is inconsistent with the constraints: "
-                f"recorded optimum {right} is not satisfiable"
+                "recorded state is inconsistent with the constraints: "
+                f"optimum {right} (from a checkpoint or a trusted warm "
+                "witness) is not satisfiable"
             )
         sync_checkpoint()
     out.seconds = time.perf_counter() - t0

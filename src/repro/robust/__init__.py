@@ -29,6 +29,7 @@ from repro.robust.checkpoint import (
     SearchCheckpoint,
     SweepCheckpoint,
 )
+from repro.robust.flight import FlightRecorder, read_events
 from repro.robust.faults import (
     FAULT_EXIT_CODE,
     PROOF_CORRUPTIONS,
@@ -54,6 +55,8 @@ __all__ = [
     "SolveSupervisor",
     "StageReport",
     "SupervisedResult",
+    "FlightRecorder",
+    "read_events",
     "FaultPlan",
     "FaultInjector",
     "FaultInjected",

@@ -1,0 +1,74 @@
+"""A JSONL flight recorder for long-lived solve components.
+
+The fabric (:mod:`repro.fabric.coordinator`) introduced the pattern: an
+append-only ``*.jsonl`` event log written with one ``write`` call per
+record, so concurrent writers (threads, worker processes) interleave
+whole lines and a crash never leaves a half-parsable file worse than a
+torn last line.  This module lifts the pattern into :mod:`repro.robust`
+so the supervisor's stage transitions and the allocation server's
+request lifecycle land in the same kind of log CI can upload.
+
+A recorder must *never* take its host down: every filesystem failure is
+swallowed (the events are observability, not state).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+__all__ = ["FlightRecorder", "read_events"]
+
+
+class FlightRecorder:
+    """Append-only JSONL event log (one object per line, crash-tolerant).
+
+    ``actor`` tags every record (e.g. ``supervisor`` or ``serve``), so
+    several components can share one log file and still be told apart.
+    """
+
+    def __init__(self, path: str, actor: str = "repro"):
+        self.path = path
+        self.actor = actor
+
+    def log(self, event: str, **extra) -> None:
+        record = {
+            "ts": round(time.time(), 4),
+            "actor": self.actor,
+            "pid": os.getpid(),
+            "event": event,
+        }
+        record.update(extra)
+        try:
+            line = json.dumps(record, default=str) + "\n"
+        except (TypeError, ValueError):  # unserializable extra: degrade
+            record = {"ts": record["ts"], "actor": self.actor,
+                      "pid": record["pid"], "event": event}
+            line = json.dumps(record) + "\n"
+        try:
+            with open(self.path, "a") as fh:
+                fh.write(line)
+        except OSError:
+            pass  # observability must never take the run down
+
+
+def read_events(path: str) -> list[dict]:
+    """Parse a flight-recorder log; damaged/torn lines are skipped (a
+    crash mid-append tears at most the last line)."""
+    out: list[dict] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(rec, dict):
+                    out.append(rec)
+    except OSError:
+        return []
+    return out

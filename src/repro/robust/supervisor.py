@@ -134,6 +134,21 @@ class SolveSupervisor:
         #: Ask the exact stages for per-probe certificates (proof-checked
         #: UNSAT answers, audited SAT witnesses); see :mod:`repro.certify`.
         self.certify = request.certify
+        #: JSONL flight recorder for stage transitions (``None`` = off);
+        #: every escalation step lands in the log with a timestamp and
+        #: the reason, so a production operator can reconstruct *why* a
+        #: solve degraded without re-running it.
+        self.recorder = None
+        if request.flight_log:
+            from repro.robust.flight import FlightRecorder
+
+            self.recorder = FlightRecorder(
+                request.flight_log, actor="supervisor"
+            )
+
+    def _record(self, event: str, **extra) -> None:
+        if self.recorder is not None:
+            self.recorder.log(event, **extra)
 
     # ------------------------------------------------------------------
 
@@ -150,6 +165,7 @@ class SolveSupervisor:
             # Parallel requests lead with the speculative engine; the
             # sequential stages remain behind it as the degradation path.
             exact_chain.insert(0, "speculative")
+        self._record("solve.start", chain=exact_chain)
         for i, stage in enumerate(exact_chain):
             if i > 0 and self.budget is not None and self.budget.expired():
                 out.stages.append(
@@ -157,11 +173,18 @@ class SolveSupervisor:
                         stage, "skipped", detail="budget exhausted"
                     )
                 )
+                self._record("stage.skipped", stage=stage,
+                             reason="budget exhausted")
                 continue
             exact = self._exact_stage(out, stage)
             if exact is not None:
+                self._record("solve.end", status=exact.status,
+                             cost=exact.cost, proven=exact.proven)
                 return exact
-        return self._heuristic_stages(out)
+        out = self._heuristic_stages(out)
+        self._record("solve.end", status=out.status,
+                     cost=out.cost, proven=out.proven)
+        return out
 
     # ------------------------------------------------------------------
 
@@ -189,6 +212,7 @@ class SolveSupervisor:
         from repro.core.allocator import Allocator
 
         t0 = time.perf_counter()
+        self._record("stage.start", stage=stage)
         try:
             # Named fault site: an injected io-error here exercises the
             # "stage fails before solving anything" escalation path.
@@ -196,7 +220,7 @@ class SolveSupervisor:
             res = Allocator(self.tasks, self.arch, self.config).minimize(
                 request=self._stage_request(stage)
             )
-        except Exception:  # noqa: BLE001 - supervision boundary by design
+        except Exception as exc:  # noqa: BLE001 - supervision boundary
             out.stages.append(
                 StageReport(
                     stage, "failed",
@@ -204,15 +228,22 @@ class SolveSupervisor:
                     detail=traceback.format_exc(),
                 )
             )
+            self._record("stage.end", stage=stage, status="failed",
+                         seconds=round(time.perf_counter() - t0, 4),
+                         reason=f"{type(exc).__name__}: {exc}")
             return None
         status = res.status
+        reason = res.outcome.interrupt_reason if res.outcome else None
         out.stages.append(
             StageReport(
                 stage, status,
                 seconds=time.perf_counter() - t0,
-                detail=res.outcome.interrupt_reason if res.outcome else None,
+                detail=reason,
             )
         )
+        self._record("stage.end", stage=stage, status=status,
+                     seconds=round(time.perf_counter() - t0, 4),
+                     reason=reason)
         out.result = res
         if status == "unknown":
             return None  # escalate: no model, no certificate
@@ -233,9 +264,10 @@ class SolveSupervisor:
         spec, medium = objective_spec(self.objective)
         for name in self.heuristics:
             t0 = time.perf_counter()
+            self._record("stage.start", stage=f"heuristic:{name}")
             try:
                 feasible, alloc = self._run_heuristic(name, spec, medium)
-            except Exception:  # noqa: BLE001 - supervision boundary
+            except Exception as exc:  # noqa: BLE001 - supervision boundary
                 out.stages.append(
                     StageReport(
                         f"heuristic:{name}", "failed",
@@ -243,17 +275,27 @@ class SolveSupervisor:
                         detail=traceback.format_exc(),
                     )
                 )
+                self._record("stage.end", stage=f"heuristic:{name}",
+                             status="failed",
+                             seconds=round(time.perf_counter() - t0, 4),
+                             reason=f"{type(exc).__name__}: {exc}")
                 continue
             secs = time.perf_counter() - t0
             if not feasible or alloc is None:
                 out.stages.append(
                     StageReport(f"heuristic:{name}", "unknown", seconds=secs)
                 )
+                self._record("stage.end", stage=f"heuristic:{name}",
+                             status="unknown", seconds=round(secs, 4),
+                             reason="no feasible allocation found")
                 continue
             cost = evaluate_cost(self.tasks, self.arch, alloc, spec, medium)
             out.stages.append(
                 StageReport(f"heuristic:{name}", "heuristic", seconds=secs)
             )
+            self._record("stage.end", stage=f"heuristic:{name}",
+                         status="heuristic", seconds=round(secs, 4),
+                         reason=None)
             out.status = "heuristic"
             out.cost = cost
             out.allocation = alloc

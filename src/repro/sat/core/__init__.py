@@ -39,6 +39,7 @@ __all__ = [
     "set_default_backend",
     "default_backend_name",
     "backend_status",
+    "probe_fast_backend",
     "BACKEND_ENV",
 ]
 
@@ -119,6 +120,43 @@ def get_backend(name: str | None = None):
             pure.fallback_reason = _fast_reason
             return pure
     return _pure_backend()
+
+
+def probe_fast_backend() -> tuple[bool, str | None]:
+    """Exercise the compiled core end-to-end on a tiny instance.
+
+    The half-open probe of the allocation server's circuit breaker
+    (:class:`repro.serve.breaker.BackendBreaker`): after the breaker
+    tripped to the pure core, a periodic call here decides whether the
+    compiled core is trustworthy again.  Builds a fresh
+    :class:`~repro.sat.solver.Solver` explicitly on the ``fast`` backend
+    (per-instance selection, so in-flight solves on other backends are
+    untouched) and runs a 3-variable CNF with a known unique answer.
+
+    Returns ``(ok, reason)``; any exception or wrong answer is a
+    failure with the reason recorded, never a raise.
+    """
+    if _fast_backend() is None:
+        return False, _fast_reason or "fast backend unavailable"
+    try:
+        from repro.sat.literals import mklit
+        from repro.sat.solver import Solver
+
+        s = Solver(backend="fast")
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([mklit(a), mklit(b)])
+        s.add_clause([mklit(a, True), mklit(b)])
+        s.add_clause([mklit(b, True), mklit(c)])
+        if getattr(s.core, "name", None) != "fast":
+            return False, "fast backend silently fell back to pure"
+        if not s.solve():
+            return False, "fast-core probe answered UNSAT on a SAT CNF"
+        model = s.model()
+        if not (model[b] and model[c]):
+            return False, "fast-core probe produced a wrong model"
+        return True, None
+    except Exception as exc:  # noqa: BLE001 - probe boundary by design
+        return False, f"fast-core probe failed: {exc}"
 
 
 def backend_status() -> dict:

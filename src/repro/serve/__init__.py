@@ -1,0 +1,51 @@
+"""Allocation-as-a-service: a resilient long-lived solve server.
+
+The paper's solver answers one question per process; this package
+serves the same :class:`repro.core.api.SolveRequest` /
+:class:`~repro.core.api.SolveReport` contract as a long-lived
+multi-tenant service with production robustness semantics:
+
+- :mod:`repro.serve.server` -- the asyncio :class:`AllocationServer`
+  (deadline propagation, drain/resume, the JSON-lines TCP front end),
+- :mod:`repro.serve.queue` -- bounded per-tenant admission queues with
+  weighted-fair (stride) dequeue,
+- :mod:`repro.serve.breaker` -- the circuit breaker that trips the
+  compiled SAT core back to the pure reference core on repeated faults,
+- :mod:`repro.serve.cache` -- the warm-start LRU reusing proven optima
+  across related requests (never across code changes),
+- :mod:`repro.serve.responses` -- the typed terminal
+  :class:`ServeResponse` every request gets exactly one of,
+- :mod:`repro.serve.client` -- wire-protocol client helpers.
+
+``docs/SERVING.md`` is the operator manual; the ``serve.*`` chaos sites
+(:mod:`repro.chaos`) and ``tests/test_serve_torture.py`` keep the
+one-typed-response invariant honest under injected faults.
+"""
+
+from repro.serve.breaker import BackendBreaker
+from repro.serve.cache import WarmCache, WarmEntry
+from repro.serve.client import request, request_many_sync, request_sync
+from repro.serve.queue import TenantQueues
+from repro.serve.responses import KINDS, ServeResponse
+from repro.serve.server import (
+    AllocationServer,
+    ServeConfig,
+    ServeJob,
+    system_digest,
+)
+
+__all__ = [
+    "AllocationServer",
+    "ServeConfig",
+    "ServeJob",
+    "ServeResponse",
+    "KINDS",
+    "TenantQueues",
+    "BackendBreaker",
+    "WarmCache",
+    "WarmEntry",
+    "system_digest",
+    "request",
+    "request_sync",
+    "request_many_sync",
+]

@@ -1,0 +1,136 @@
+"""Warm-start cache: reuse optima across related requests.
+
+Production allocation traffic is heavily repetitive: the same scenario
+is re-solved after small perturbations (a task's WCET bumped, a message
+rerouted), and often re-solved *unchanged* (a retry, a second client).
+The cache exploits both without ever weakening the answer:
+
+- the key is ``(scenario, request-fingerprint, code-fingerprint)``:
+
+  * *scenario* is the client's stable label for a family of related
+    systems (defaults to the task-set name),
+  * *request fingerprint* is :meth:`repro.core.api.SolveRequest.
+    fingerprint` of the **identity options** (objective, encoder
+    config, certify) -- deadlines and budgets are excluded, they never
+    change the optimum,
+  * *code fingerprint* is :func:`repro.fabric.jobs.code_fingerprint`
+    over the package sources, so a server restarted onto changed solver
+    code can never serve (or warm-start from) a stale optimum computed
+    by different code;
+
+- a hit whose stored *system digest* matches the incoming system is an
+  **exact** hit; otherwise the stored optimum is only a **warm hint**:
+  the solve passes it as ``SolveRequest.warm_start`` (plus the cached
+  allocation as ``warm_allocation``, a witness the allocator re-audits
+  with the independent analysis), which is a probe-*order* change,
+  never a correctness shortcut -- the binary search still certifies the
+  optimum from scratch (bit-identical ``{cost, proven, status}``
+  envelope, asserted in tests).
+
+Entries are LRU-evicted.  ``serve.cache`` is a named chaos site: an
+injected fault degrades a lookup to a miss and a store to a no-op --
+the cache can make the server faster, never wrong and never down.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.chaos import chaos_point
+
+__all__ = ["WarmCache", "WarmEntry"]
+
+
+@dataclass(frozen=True)
+class WarmEntry:
+    """One cached optimum for a scenario/request/code key."""
+
+    optimum: int
+    envelope: dict
+    system_digest: str
+    #: JSON allocation payload of the optimum (a warm-start witness for
+    #: perturbed requests); None when the solve produced no allocation.
+    allocation: dict | None = None
+
+    def exact_for(self, system_digest: str) -> bool:
+        return self.system_digest == system_digest
+
+
+class WarmCache:
+    """Thread-safe LRU of proven optima, keyed to be staleness-proof."""
+
+    def __init__(self, size: int = 64):
+        if size < 1:
+            raise ValueError("cache size must be >= 1")
+        self.size = size
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, WarmEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.faults = 0
+
+    @staticmethod
+    def _key(scenario: str, request_fp: str, code_fp: str | None) -> tuple:
+        if code_fp is None:
+            from repro.fabric.jobs import code_fingerprint
+
+            code_fp = code_fingerprint()
+        return (scenario, request_fp, code_fp)
+
+    def lookup(
+        self, scenario: str, request_fp: str, code_fp: str | None = None
+    ) -> WarmEntry | None:
+        """The cached entry, or None.  Faults degrade to a miss."""
+        try:
+            chaos_point("serve.cache")
+            key = self._key(scenario, request_fp, code_fp)
+        except OSError:
+            self.faults += 1
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(
+        self,
+        scenario: str,
+        request_fp: str,
+        optimum: int,
+        envelope: dict,
+        system_digest: str,
+        code_fp: str | None = None,
+        allocation: dict | None = None,
+    ) -> None:
+        """Record a *proven* optimum.  Faults degrade to a no-op."""
+        try:
+            chaos_point("serve.cache")
+            key = self._key(scenario, request_fp, code_fp)
+        except OSError:
+            self.faults += 1
+            return
+        entry = WarmEntry(
+            optimum=optimum, envelope=dict(envelope),
+            system_digest=system_digest, allocation=allocation,
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.size:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.size,
+                "hits": self.hits,
+                "misses": self.misses,
+                "faults": self.faults,
+            }

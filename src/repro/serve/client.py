@@ -1,0 +1,103 @@
+"""Client helpers for the JSON-lines allocation service.
+
+The wire protocol is one JSON object per line, both ways.  Request
+fields (only ``system`` is required)::
+
+    {
+      "id": "r1",                  # echoed back; generated when absent
+      "tenant": "plant-a",         # admission-control queue ("default")
+      "scenario": "plant-a/trt",   # warm-cache family (task-set name)
+      "system": {...},             # repro.io.json_codec system schema
+      "objective": "trt:ring",     # objective spec (sum_resp default)
+      "deadline": 5.0,             # wall seconds; server default if absent
+      "conflict_budget": 200000,   # optional conflict cap
+      "certify": true,             # audit the answer before serving it
+      "return_allocation": true    # include the allocation payload
+    }
+
+The response is a :class:`repro.serve.responses.ServeResponse` dict.
+Both an asyncio client (:func:`request`) and a blocking convenience
+wrapper (:func:`request_sync`, used by the CI smoke and the tests) are
+provided; neither retries -- the typed ``retry_after`` hint is the
+caller's business.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.serve.responses import ServeResponse
+
+__all__ = ["request", "request_sync", "request_many_sync"]
+
+
+async def request(
+    host: str, port: int, payload: dict, timeout: float | None = None
+) -> ServeResponse:
+    """Send one request over a fresh connection; await its response."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((json.dumps(payload) + "\n").encode())
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if not line:
+            raise ConnectionError("server closed the connection mid-request")
+        return ServeResponse.from_dict(json.loads(line))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+
+
+def request_sync(
+    host: str, port: int, payload: dict, timeout: float | None = 60.0
+) -> ServeResponse:
+    """Blocking one-shot request (plain sockets; safe outside any loop)."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    "server closed the connection mid-request"
+                )
+            buf += chunk
+    return ServeResponse.from_dict(json.loads(buf))
+
+
+def request_many_sync(
+    host: str, port: int, payloads: list[dict], timeout: float | None = 60.0
+) -> list[ServeResponse]:
+    """Pipeline several requests down one connection; responses are
+    matched back into payload order by id (the server may interleave)."""
+    tagged = []
+    for i, payload in enumerate(payloads):
+        p = dict(payload)
+        p.setdefault("id", f"req-{i}")
+        tagged.append(p)
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        blob = "".join(json.dumps(p) + "\n" for p in tagged)
+        sock.sendall(blob.encode())
+        buf = b""
+        lines: list[bytes] = []
+        while len(lines) < len(tagged):
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    "server closed the connection mid-batch"
+                )
+            buf += chunk
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                if line.strip():
+                    lines.append(line)
+    by_id = {}
+    for line in lines:
+        resp = ServeResponse.from_dict(json.loads(line))
+        by_id[resp.id] = resp
+    return [by_id[p["id"]] for p in tagged]

@@ -1,0 +1,121 @@
+"""Admission control: bounded per-tenant queues, weighted-fair dequeue.
+
+The server accepts work from many tenants; one chatty tenant must not
+starve the others, and a burst must not grow an unbounded backlog that
+the solver can never drain.  Two mechanisms, both deliberately simple:
+
+- **bounded queues** -- each tenant owns a FIFO of at most ``depth``
+  requests.  A request arriving at a full queue is *shed* immediately
+  with a typed ``overloaded`` response and a ``retry_after`` hint; it
+  never waits unboundedly and never evicts someone else's work.
+- **weighted-fair dequeue** -- stride scheduling over the non-empty
+  tenant queues.  Each tenant carries a *pass* value advanced by
+  ``1 / weight`` per dequeued request, and the scheduler always serves
+  the non-empty tenant with the smallest pass.  A tenant with weight 2
+  therefore gets ~2x the dequeue slots of a weight-1 tenant under
+  contention, while an idle tenant's pass is re-synced to the virtual
+  time on re-arrival so it cannot hoard credit.
+
+This structure is only ever touched from the server's event loop (the
+asyncio single-thread discipline), so it needs no locking of its own;
+``serve.queue`` is a named chaos site covering both admission and
+dequeue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.chaos import chaos_point
+
+__all__ = ["TenantQueues"]
+
+
+@dataclass
+class _Tenant:
+    name: str
+    weight: float
+    jobs: deque = field(default_factory=deque)
+    #: Stride-scheduling pass value: advanced by 1/weight per dequeue.
+    pass_value: float = 0.0
+
+
+class TenantQueues:
+    """Bounded per-tenant FIFOs with stride-scheduled fair dequeue."""
+
+    def __init__(
+        self,
+        depth: int = 8,
+        weights: dict[str, float] | None = None,
+        default_weight: float = 1.0,
+    ):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self.default_weight = default_weight
+        self._weights = dict(weights or {})
+        self._tenants: dict[str, _Tenant] = {}
+        #: Virtual time: the pass value of the most recent dequeue.  A
+        #: tenant waking from idle starts here, not at its stale pass.
+        self._vtime = 0.0
+        self.shed = 0
+        self.accepted = 0
+
+    # ------------------------------------------------------------------
+
+    def _tenant(self, name: str) -> _Tenant:
+        t = self._tenants.get(name)
+        if t is None:
+            weight = max(self._weights.get(name, self.default_weight), 1e-6)
+            t = _Tenant(name=name, weight=weight)
+            self._tenants[name] = t
+        return t
+
+    def offer(self, tenant: str, job) -> bool:
+        """Admit ``job`` for ``tenant``.  Returns False when the tenant's
+        queue is full -- the caller must shed with ``overloaded``."""
+        chaos_point("serve.queue")
+        t = self._tenant(tenant)
+        if len(t.jobs) >= self.depth:
+            self.shed += 1
+            return False
+        if not t.jobs:
+            # Waking from idle: join at the current virtual time so the
+            # quiet tenant is served soon but cannot replay banked credit.
+            t.pass_value = max(t.pass_value, self._vtime)
+        t.jobs.append(job)
+        self.accepted += 1
+        return True
+
+    def take(self):
+        """Dequeue the next job fairly, or None when everything is empty."""
+        chaos_point("serve.queue")
+        best: _Tenant | None = None
+        for t in self._tenants.values():
+            if not t.jobs:
+                continue
+            if best is None or t.pass_value < best.pass_value:
+                best = t
+        if best is None:
+            return None
+        self._vtime = best.pass_value
+        best.pass_value += 1.0 / best.weight
+        return best.jobs.popleft()
+
+    def flush(self) -> list:
+        """Remove and return every queued job (drain path)."""
+        out = []
+        for t in self._tenants.values():
+            out.extend(t.jobs)
+            t.jobs.clear()
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(t.jobs) for t in self._tenants.values())
+
+    def backlog(self, tenant: str | None = None) -> int:
+        if tenant is None:
+            return len(self)
+        t = self._tenants.get(tenant)
+        return len(t.jobs) if t else 0

@@ -1,0 +1,101 @@
+"""Typed terminal responses of the allocation server.
+
+Every request submitted to :class:`repro.serve.server.AllocationServer`
+terminates with **exactly one** :class:`ServeResponse` -- the server
+never hangs a client and never drops a request silently (the serve
+torture suite drives this invariant under injected faults).  The
+``kind`` field is the typed verdict:
+
+==================== ===================================================
+``ok``               an answer was produced; ``status`` / ``cost`` /
+                     ``proven`` carry the honest envelope (``optimal``,
+                     ``upper_bound``, ``heuristic``, ``feasible``)
+``infeasible``       certified unsatisfiability
+``deadline_exceeded`` the request's deadline expired before anything
+                     usable existed (budget-exhausted solves land here,
+                     never as a silent partial answer)
+``overloaded``       admission control shed the request (tenant queue
+                     full); ``retry_after`` hints when to come back
+``draining``         the server is shutting down; an in-flight search
+                     was checkpointed and resumes on the restarted
+                     server, a queued one was never started
+``certificate_failed`` ``certify`` was asked and a probe certificate
+                     failed verification -- the answer is *not* served
+``error``            a typed internal failure (injected fault, bad
+                     payload, solver exception); ``detail`` explains
+==================== ===================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["KINDS", "TERMINAL_KINDS", "ServeResponse"]
+
+KINDS = (
+    "ok",
+    "infeasible",
+    "deadline_exceeded",
+    "overloaded",
+    "draining",
+    "certificate_failed",
+    "error",
+)
+
+#: Every kind is terminal: one request, one response, no follow-ups.
+TERMINAL_KINDS = frozenset(KINDS)
+
+
+@dataclass
+class ServeResponse:
+    """One typed terminal answer to one serve request."""
+
+    id: str
+    kind: str
+    #: Honest solve status for ``ok`` (``optimal`` / ``upper_bound`` /
+    #: ``heuristic`` / ``feasible``); None otherwise.
+    status: str | None = None
+    cost: int | None = None
+    proven: bool = False
+    #: Certification verdict when the request asked for ``certify``;
+    #: None when certification was off.
+    certified: bool | None = None
+    #: True when the solve resumed a checkpointed binary search.
+    resumed: bool = False
+    #: True when a warm-start hint from the scenario cache was applied.
+    warm: bool = False
+    #: Seconds the client should wait before retrying (``overloaded`` /
+    #: ``draining``).
+    retry_after: float | None = None
+    detail: str | None = None
+    #: Wall seconds from dequeue to response (0 for shed requests).
+    seconds: float = 0.0
+    #: The allocation payload (``repro.io.allocation_to_dict``) for
+    #: usable answers, when the client asked for it.
+    allocation: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TERMINAL_KINDS:
+            raise ValueError(f"unknown response kind {self.kind!r}")
+
+    @property
+    def usable(self) -> bool:
+        """Whether the response carries a deployable answer."""
+        return self.kind == "ok" and self.cost is not None or (
+            self.kind == "ok" and self.status == "feasible"
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeResponse":
+        names = {f.name for f in cls.__dataclass_fields__.values()}
+        kwargs = {k: v for k, v in data.items() if k in names}
+        kwargs.setdefault("id", "")
+        kwargs.setdefault("kind", "error")
+        return cls(**kwargs)
+
+
+# appease linters that dislike unused imports in docs-only modules
+_ = field

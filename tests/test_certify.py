@@ -365,3 +365,72 @@ class TestDiagnosisProvenance:
         # ...and the provenance tag census covers the core labels.
         assert diag.tagged_clauses
         assert all(n > 0 for n in diag.tagged_clauses.values())
+
+
+class TestProofSpoolNamespacing:
+    """Concurrent certified solves may share one ``--proof-log``
+    directory: each spool is namespaced by request fingerprint, pid and
+    a per-process sequence, so artifacts never collide (the regression
+    was two simultaneous solves clobbering one file)."""
+
+    def test_plain_file_path_used_verbatim(self, tmp_path):
+        from repro.certify.proofio import resolve_spool_path
+
+        target = str(tmp_path / "one.proof")
+        assert resolve_spool_path(target, "fp") == target
+
+    def test_directory_paths_never_collide(self, tmp_path):
+        import os
+
+        from repro.certify.proofio import resolve_spool_path
+
+        d = str(tmp_path)
+        paths = {resolve_spool_path(d, "same-fp") for _ in range(16)}
+        assert len(paths) == 16
+        assert all(os.path.dirname(p) == d for p in paths)
+        assert all("same-fp" in os.path.basename(p) for p in paths)
+
+    def test_two_simultaneous_certified_solves_share_directory(
+        self, tmp_path
+    ):
+        import os
+        import threading
+
+        from repro.certify.proofio import load_proof
+        from repro.core import SolveRequest
+
+        spool_dir = tmp_path / "proofs"
+        spool_dir.mkdir()
+        arch = tindell_architecture()
+        results = [None, None]
+
+        def run(i):
+            # Different task counts => different systems under identical
+            # solve options (and thus identical request fingerprints):
+            # exactly the collision case.
+            tasks = tindell_partition(7 - i)
+            req = SolveRequest(
+                objective=MinimizeTRT("ring"), certify=True,
+                proof_log=str(spool_dir) + os.sep,
+            )
+            results[i] = Allocator(tasks, arch).minimize(request=req)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        arts = []
+        for res in results:
+            assert res is not None and res.feasible
+            cert = res.certificate
+            assert cert is not None and cert.all_verified, cert.summary()
+            assert cert.proof_artifact is not None
+            arts.append(cert.proof_artifact)
+        assert arts[0] != arts[1]
+        assert {os.path.dirname(a) for a in arts} == {str(spool_dir)}
+        # Both artifacts are intact, complete proofs -- nothing was
+        # overwritten by the concurrent writer.
+        for art in arts:
+            assert load_proof(art)

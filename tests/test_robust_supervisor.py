@@ -281,3 +281,82 @@ class TestCliSupervision:
         # checkpoint merely re-certifies it).
         line = [ln for ln in first.splitlines() if "cost =" in ln][0]
         assert line in second
+
+
+class TestFlightRecorder:
+    """Stage transitions land in the JSONL flight recorder, in order,
+    with timestamps and reasons -- an operator can reconstruct *why* a
+    solve degraded without re-running it."""
+
+    @staticmethod
+    def _events(path):
+        from repro.robust import read_events
+
+        return list(read_events(path))
+
+    def _request(self, tmp_path, **kw):
+        from repro.core.api import SolveRequest
+
+        kw.setdefault("objective", MinimizeTRT("ring"))
+        kw.setdefault("flight_log", str(tmp_path / "flight.jsonl"))
+        return SolveRequest(**kw)
+
+    def test_healthy_solve_sequence(self, tmp_path):
+        tasks, arch = feasible_system()
+        req = self._request(tmp_path)
+        SolveSupervisor(tasks, arch, request=req).solve()
+        events = self._events(req.flight_log)
+        assert [e["event"] for e in events] == [
+            "solve.start", "stage.start", "stage.end", "solve.end",
+        ]
+        assert events[0]["chain"] == ["incremental", "rebuild"]
+        assert events[1]["stage"] == "incremental"
+        assert events[2]["status"] == "optimal"
+        assert events[3]["status"] == "optimal" and events[3]["proven"]
+        assert all(e["actor"] == "supervisor" for e in events)
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_crash_escalation_records_reasons(self, tmp_path, monkeypatch):
+        tasks, arch = feasible_system()
+        monkeypatch.setattr(
+            Allocator, "minimize",
+            lambda self, *a, **k: (_ for _ in ()).throw(
+                RuntimeError("injected exact failure")),
+        )
+        req = self._request(tmp_path)
+        out = SolveSupervisor(tasks, arch, request=req).solve()
+        assert out.status == "heuristic"
+        events = self._events(req.flight_log)
+        names = [e["event"] for e in events]
+        # Both exact stages fail with the recorded reason, then the
+        # first heuristic answers.
+        assert names == [
+            "solve.start",
+            "stage.start", "stage.end",   # incremental: failed
+            "stage.start", "stage.end",   # rebuild: failed
+            "stage.start", "stage.end",   # heuristic:greedy
+            "solve.end",
+        ]
+        incremental_end = events[2]
+        assert incremental_end["status"] == "failed"
+        assert "injected exact failure" in incremental_end["reason"]
+        assert events[5]["stage"] == "heuristic:greedy"
+        assert events[7]["status"] == "heuristic"
+
+    def test_budget_starved_solve_records_skip(self, tmp_path):
+        tasks, arch = feasible_system()
+        req = self._request(tmp_path, budget=Budget(max_decisions=1))
+        out = SolveSupervisor(tasks, arch, request=req).solve()
+        assert out.status in ("upper_bound", "heuristic")
+        events = self._events(req.flight_log)
+        skipped = [e for e in events if e["event"] == "stage.skipped"]
+        assert skipped and skipped[0]["stage"] == "rebuild"
+        assert skipped[0]["reason"] == "budget exhausted"
+
+    def test_recorder_off_by_default(self, tmp_path):
+        tasks, arch = feasible_system()
+        sup_dir = list(tmp_path.iterdir())
+        out = SolveSupervisor(tasks, arch, MinimizeTRT("ring")).solve()
+        assert out.status == "optimal"
+        assert list(tmp_path.iterdir()) == sup_dir  # nothing written

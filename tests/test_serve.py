@@ -1,0 +1,549 @@
+"""Tests for the allocation server (:mod:`repro.serve`).
+
+Unit coverage of the building blocks (tenant queues, circuit breaker,
+warm cache, typed responses) plus end-to-end server behavior: typed
+verdicts for every admission outcome, deadline propagation, warm-start
+reuse with bit-identical envelopes, cache safety across code-fingerprint
+changes, and the TCP JSON-lines front end.  The fault-injection side
+lives in tests/test_serve_torture.py.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import MinimizeTRT
+from repro.core.api import SolveRequest, solve
+from repro.io.json_codec import system_to_dict
+from repro.model import (
+    TOKEN_RING,
+    Architecture,
+    Ecu,
+    Medium,
+    Message,
+    Task,
+    TaskSet,
+)
+from repro.serve import (
+    AllocationServer,
+    BackendBreaker,
+    ServeConfig,
+    ServeResponse,
+    TenantQueues,
+    WarmCache,
+)
+from repro.serve.client import request, request_many_sync
+
+
+def feasible_system(name="serve-sys", wcet=400):
+    arch = Architecture(
+        ecus=[Ecu("p0"), Ecu("p1")],
+        media=[Medium("ring", TOKEN_RING, ("p0", "p1"),
+                      bit_rate=1_000_000, frame_overhead_bits=0,
+                      min_slot=50, slot_overhead=10)],
+    )
+    tasks = TaskSet([
+        Task("a", 2000, {"p0": wcet, "p1": wcet}, 2000,
+             messages=(Message("b", 100, 1000),),
+             separated_from=frozenset({"b"})),
+        Task("b", 2000, {"p0": wcet, "p1": wcet}, 2000),
+    ], name=name)
+    return tasks, arch
+
+
+def infeasible_system():
+    arch = Architecture(
+        ecus=[Ecu("p0"), Ecu("p1")],
+        media=[Medium("ring", TOKEN_RING, ("p0", "p1"),
+                      bit_rate=1_000_000, frame_overhead_bits=0,
+                      min_slot=50, slot_overhead=10)],
+    )
+    tasks = TaskSet([
+        Task(f"t{i}", 100, {"p0": 60, "p1": 60}, 100) for i in range(3)
+    ], name="serve-infeasible")
+    return tasks, arch
+
+
+def payload_for(tasks, arch, **extra):
+    out = {"system": system_to_dict(tasks, arch), "objective": "trt:ring"}
+    out.update(extra)
+    return out
+
+
+def serve_config(tmp_path, **kw):
+    kw.setdefault("workers", 1)
+    return ServeConfig(state_dir=str(tmp_path / "state"), **kw)
+
+
+async def started_server(tmp_path, **kw):
+    server = AllocationServer(serve_config(tmp_path, **kw))
+    await server.start()
+    return server
+
+
+class TestTenantQueues:
+    def test_bounded_offer_sheds_at_depth(self):
+        q = TenantQueues(depth=2)
+        assert q.offer("t", 1) and q.offer("t", 2)
+        assert not q.offer("t", 3)
+        assert q.shed == 1 and len(q) == 2
+
+    def test_depth_is_per_tenant(self):
+        q = TenantQueues(depth=1)
+        assert q.offer("a", 1)
+        assert q.offer("b", 2)
+        assert not q.offer("a", 3)
+
+    def test_take_empties_fifo_per_tenant(self):
+        q = TenantQueues(depth=4)
+        for i in range(3):
+            q.offer("t", i)
+        assert [q.take() for _ in range(3)] == [0, 1, 2]
+        assert q.take() is None
+
+    def test_weighted_fair_dequeue_ratio(self):
+        q = TenantQueues(depth=100, weights={"heavy": 2.0, "light": 1.0})
+        for i in range(30):
+            q.offer("heavy", ("heavy", i))
+            q.offer("light", ("light", i))
+        first12 = [q.take()[0] for _ in range(12)]
+        # Stride scheduling: ~2 heavy dequeues per light one.
+        assert first12.count("heavy") == 8
+        assert first12.count("light") == 4
+
+    def test_idle_tenant_cannot_bank_credit(self):
+        q = TenantQueues(depth=100, weights={"busy": 1.0, "idle": 1.0})
+        for i in range(10):
+            q.offer("busy", i)
+        for _ in range(8):
+            q.take()
+        # The late arrival joins at current virtual time: it gets served
+        # promptly but does not monopolize the next 8 slots as a naive
+        # pass of 0 would.
+        q.offer("idle", "x")
+        taken = [q.take() for _ in range(3)]
+        assert "x" in taken
+        assert 8 in taken and 9 in taken
+
+    def test_flush_returns_everything(self):
+        q = TenantQueues(depth=4)
+        q.offer("a", 1)
+        q.offer("b", 2)
+        assert sorted(q.flush()) == [1, 2]
+        assert len(q) == 0
+
+
+class TestBackendBreaker:
+    @pytest.fixture(autouse=True)
+    def _restore_backend_default(self):
+        from repro.sat.core import set_default_backend
+
+        yield
+        set_default_backend(None)
+
+    def test_below_threshold_stays_closed(self):
+        br = BackendBreaker(threshold=3, probe=lambda: (True, None))
+        assert not br.record_failure("boom", backend="fast")
+        assert not br.record_failure("boom", backend="fast")
+        assert br.state == "closed"
+
+    def test_success_resets_the_streak(self):
+        br = BackendBreaker(threshold=2, probe=lambda: (True, None))
+        br.record_failure("boom", backend="fast")
+        br.record_success()
+        assert not br.record_failure("boom", backend="fast")
+        assert br.state == "closed"
+
+    def test_pure_core_failures_never_trip(self):
+        br = BackendBreaker(threshold=1, probe=lambda: (True, None))
+        assert not br.record_failure("boom", backend="pure")
+        assert br.state == "closed"
+
+    def test_trip_switches_process_default_to_pure(self):
+        from repro.sat.core import default_backend_name
+
+        br = BackendBreaker(threshold=2, probe=lambda: (True, None))
+        br.record_failure("boom", backend="fast")
+        assert br.record_failure("boom again", backend="fast")
+        assert br.state == "open"
+        assert br.reason == "boom again"
+        assert default_backend_name() == "pure"
+
+    def test_half_open_probe_restores_after_cooldown(self):
+        from repro.sat.core import default_backend_name
+
+        clock = [0.0]
+        br = BackendBreaker(
+            threshold=1, cooldown=10.0,
+            probe=lambda: (True, None), clock=lambda: clock[0],
+        )
+        # The breaker restores whatever the pre-trip default was — under
+        # REPRO_SAT_BACKEND=pure that is "pure" itself.
+        original = default_backend_name()
+        br.record_failure("boom", backend="fast")
+        assert default_backend_name() == "pure"
+        assert not br.maybe_probe()  # still cooling down
+        clock[0] = 11.0
+        assert br.maybe_probe()
+        assert br.state == "closed"
+        assert default_backend_name() == original
+
+    def test_failed_probe_reopens_for_another_cooldown(self):
+        clock = [0.0]
+        br = BackendBreaker(
+            threshold=1, cooldown=10.0,
+            probe=lambda: (False, "still broken"), clock=lambda: clock[0],
+        )
+        br.record_failure("boom", backend="fast")
+        clock[0] = 11.0
+        assert not br.maybe_probe()
+        assert br.state == "open"
+        assert br.probes == 1
+        # The cooldown window restarted at the failed probe.
+        clock[0] = 12.0
+        assert not br.maybe_probe()
+        assert br.probes == 1
+
+
+class TestWarmCache:
+    def test_store_then_hit(self):
+        c = WarmCache(size=4)
+        c.store("s", "fp", 42, {"cost": 42}, "digest", code_fp="c1")
+        entry = c.lookup("s", "fp", code_fp="c1")
+        assert entry is not None and entry.optimum == 42
+        assert entry.exact_for("digest")
+        assert not entry.exact_for("other")
+
+    def test_code_fingerprint_change_misses(self):
+        c = WarmCache(size=4)
+        c.store("s", "fp", 42, {}, "digest", code_fp="c1")
+        assert c.lookup("s", "fp", code_fp="c2") is None
+        assert c.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        c = WarmCache(size=2)
+        for i in range(3):
+            c.store("s", f"fp{i}", i, {}, "d", code_fp="c")
+        assert c.lookup("s", "fp0", code_fp="c") is None
+        assert c.lookup("s", "fp2", code_fp="c") is not None
+
+    def test_chaos_fault_degrades_to_miss(self, tmp_path):
+        from repro.chaos import ChaosFault, ChaosSchedule, active
+
+        sched = ChaosSchedule(
+            str(tmp_path), [ChaosFault("serve.cache", 1, "io-error", 2)]
+        )
+        c = WarmCache(size=4)
+        with active(sched):
+            c.store("s", "fp", 42, {}, "d", code_fp="c")   # faulted: no-op
+            assert c.lookup("s", "fp", code_fp="c") is None  # faulted: miss
+        assert c.stats()["faults"] == 2
+        # Out of the chaos scope the cache works again (and is empty --
+        # the faulted store really stored nothing).
+        assert c.lookup("s", "fp", code_fp="c") is None
+
+
+class TestServeResponse:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ServeResponse(id="x", kind="shrug")
+
+    def test_roundtrip(self):
+        r = ServeResponse(id="x", kind="ok", status="optimal", cost=7,
+                          proven=True, warm=True)
+        back = ServeResponse.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert back == r
+
+
+class TestServerVerdicts:
+    def test_ok_optimal_matches_direct_solve(self, tmp_path):
+        tasks, arch = feasible_system()
+        oracle = solve(tasks, arch,
+                       SolveRequest(objective=MinimizeTRT("ring")))
+
+        async def main():
+            server = await started_server(tmp_path)
+            resp = await server.submit(payload_for(tasks, arch, id="r1"))
+            await server.stop()
+            return resp
+
+        resp = asyncio.run(main())
+        assert resp.kind == "ok"
+        assert resp.status == "optimal"
+        assert resp.proven
+        assert resp.cost == oracle.cost
+
+    def test_infeasible_is_typed_and_proven(self, tmp_path):
+        tasks, arch = infeasible_system()
+
+        async def main():
+            server = await started_server(tmp_path)
+            resp = await server.submit(payload_for(tasks, arch))
+            await server.stop()
+            return resp
+
+        resp = asyncio.run(main())
+        assert resp.kind == "infeasible"
+        assert resp.proven
+
+    def test_expired_deadline_is_typed(self, tmp_path):
+        tasks, arch = feasible_system()
+
+        async def main():
+            server = await started_server(tmp_path)
+            resp = await server.submit(
+                payload_for(tasks, arch, deadline=1e-6)
+            )
+            await server.stop()
+            return resp
+
+        resp = asyncio.run(main())
+        assert resp.kind == "deadline_exceeded"
+        assert resp.cost is None  # never a silent partial answer
+
+    def test_conflict_budget_exhaustion_is_typed(self, tmp_path):
+        # One conflict is never enough for the initial SOLVE of this
+        # system, so the search ends with nothing usable.
+        from repro.workloads.scaling import ring_architecture, scaling_taskset
+
+        tasks, arch = scaling_taskset(4, 16), ring_architecture(4)
+
+        async def main():
+            server = await started_server(tmp_path)
+            resp = await server.submit(
+                payload_for(tasks, arch, conflict_budget=1)
+            )
+            await server.stop()
+            return resp
+
+        resp = asyncio.run(main())
+        assert resp.kind == "deadline_exceeded"
+
+    def test_bad_payloads_are_typed_errors(self, tmp_path):
+        tasks, arch = feasible_system()
+
+        async def main():
+            server = await started_server(tmp_path)
+            r1 = await server.submit({"id": "no-system"})
+            r2 = await server.submit(
+                payload_for(tasks, arch, objective="nonsense")
+            )
+            await server.stop()
+            return r1, r2
+
+        r1, r2 = asyncio.run(main())
+        assert r1.kind == "error" and "bad request" in r1.detail
+        assert r2.kind == "error" and "nonsense" in r2.detail
+
+    def test_oversized_system_shed_at_admission(self, tmp_path):
+        tasks, arch = feasible_system()
+
+        async def main():
+            server = await started_server(tmp_path, max_tasks=1)
+            resp = await server.submit(payload_for(tasks, arch))
+            await server.stop()
+            return resp
+
+        resp = asyncio.run(main())
+        assert resp.kind == "overloaded"
+        assert "at most 1" in resp.detail
+
+    def test_full_queue_sheds_with_retry_after(self, tmp_path):
+        from repro.workloads.scaling import ring_architecture, scaling_taskset
+
+        slow = payload_for(scaling_taskset(4, 16), ring_architecture(4))
+        fast_tasks, fast_arch = feasible_system()
+        fast = payload_for(fast_tasks, fast_arch)
+
+        async def main():
+            server = await started_server(tmp_path, queue_depth=1)
+            t1 = asyncio.create_task(server.submit(dict(slow, id="slow")))
+            # Wait until the slow solve is actually in flight.
+            for _ in range(200):
+                if server._inflight:
+                    break
+                await asyncio.sleep(0.01)
+            t2 = asyncio.create_task(server.submit(dict(fast, id="queued")))
+            await asyncio.sleep(0.05)
+            shed = await server.submit(dict(fast, id="shed"))
+            r1, r2 = await t1, await t2
+            await server.stop()
+            return r1, r2, shed
+
+        r1, r2, shed = asyncio.run(main())
+        assert r1.kind == "ok" and r2.kind == "ok"
+        assert shed.kind == "overloaded"
+        assert shed.retry_after is not None and shed.retry_after > 0
+
+    def test_draining_server_rejects_new_work(self, tmp_path):
+        tasks, arch = feasible_system()
+
+        async def main():
+            server = await started_server(tmp_path)
+            await server.drain()
+            resp = await server.submit(payload_for(tasks, arch))
+            await server.stop()
+            return resp
+
+        resp = asyncio.run(main())
+        assert resp.kind == "draining"
+        assert resp.retry_after is not None
+
+
+class TestWarmStarts:
+    def test_repeat_request_is_warm_and_bit_identical(self, tmp_path):
+        tasks, arch = feasible_system()
+
+        async def main():
+            server = await started_server(tmp_path)
+            cold = await server.submit(payload_for(tasks, arch, id="cold"))
+            warm = await server.submit(payload_for(tasks, arch, id="warm"))
+            await server.stop()
+            return cold, warm
+
+        cold, warm = asyncio.run(main())
+        assert cold.kind == warm.kind == "ok"
+        assert not cold.warm and warm.warm
+        # The warm envelope is bit-identical to the cold one.
+        for f in ("cost", "proven", "status"):
+            assert getattr(warm, f) == getattr(cold, f)
+        # Identical system: the finished checkpoint re-certified the
+        # optimum instead of re-searching.
+        assert warm.resumed
+
+    def test_perturbed_request_warm_envelope_matches_cold(self, tmp_path):
+        base_tasks, arch = feasible_system()
+        pert_tasks, _ = feasible_system(wcet=420)  # same name => scenario
+        oracle = solve(pert_tasks, arch,
+                       SolveRequest(objective=MinimizeTRT("ring")))
+
+        async def main():
+            server = await started_server(tmp_path)
+            await server.submit(payload_for(base_tasks, arch, id="base"))
+            resp = await server.submit(
+                payload_for(pert_tasks, arch, id="perturbed")
+            )
+            await server.stop()
+            return resp
+
+        resp = asyncio.run(main())
+        assert resp.kind == "ok"
+        assert resp.warm and not resp.resumed
+        assert (resp.cost, resp.proven, resp.status) == (
+            oracle.cost, oracle.proven, oracle.status
+        )
+
+    def test_trusted_witness_skips_probing_bit_identical(self):
+        # API-level contract behind the server's warm path: a cached
+        # allocation that still passes the independent analysis lets the
+        # search close with a single UNSAT(cost-1) probe, yet the
+        # envelope stays bit-identical to a cold solve.
+        from repro.io import allocation_to_dict
+
+        tasks, arch = feasible_system()
+        req = SolveRequest(objective=MinimizeTRT("ring"))
+        cold = solve(tasks, arch, req)
+        warm = solve(tasks, arch, req.merged(
+            warm_start=cold.cost,
+            warm_allocation=allocation_to_dict(cold.allocation),
+        ))
+        assert (warm.cost, warm.proven, warm.status) == (
+            cold.cost, cold.proven, cold.status
+        )
+        assert len(warm.result.outcome.probes) == 1
+        assert not warm.result.outcome.probes[0].sat
+        # The served allocation is the audited witness, re-verified.
+        assert warm.allocation is not None
+        assert warm.result.verification.schedulable
+
+    def test_garbage_witness_is_ignored(self):
+        tasks, arch = feasible_system()
+        req = SolveRequest(objective=MinimizeTRT("ring"))
+        cold = solve(tasks, arch, req)
+        warm = solve(tasks, arch, req.merged(
+            warm_start=cold.cost,
+            warm_allocation={"task_ecu": {"no-such-task": "nowhere"}},
+        ))
+        # Malformed witness: no shortcut, but the plain hint still
+        # applies and the answer is unchanged.
+        assert (warm.cost, warm.proven, warm.status) == (
+            cold.cost, cold.proven, cold.status
+        )
+
+    def test_certified_warm_witness_keeps_sat_audit(self):
+        from repro.io import allocation_to_dict
+
+        tasks, arch = feasible_system()
+        req = SolveRequest(objective=MinimizeTRT("ring"))
+        cold = solve(tasks, arch, req)
+        warm = solve(tasks, arch, req.merged(
+            certify=True,
+            warm_start=cold.cost,
+            warm_allocation=allocation_to_dict(cold.allocation),
+        ))
+        assert warm.cost == cold.cost and warm.proven
+        cert = warm.certificate
+        assert cert is not None and cert.all_verified
+        # The certificate must audit the served model, not just the
+        # UNSAT fence: a certified run keeps the [R, R] probe.
+        assert any(p.kind == "sat" for p in cert.probes)
+
+    def test_code_fingerprint_change_defeats_cache(self, tmp_path,
+                                                   monkeypatch):
+        tasks, arch = feasible_system()
+
+        async def main():
+            server = await started_server(tmp_path)
+            first = await server.submit(payload_for(tasks, arch, id="a"))
+            monkeypatch.setattr(
+                "repro.fabric.jobs.code_fingerprint", lambda: "deadbeef"
+            )
+            second = await server.submit(payload_for(tasks, arch, id="b"))
+            await server.stop()
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert first.kind == second.kind == "ok"
+        # New code fingerprint: neither the warm cache nor the
+        # checkpoint recorded under the old code may be reused.
+        assert not second.warm
+        assert not second.resumed
+        assert second.cost == first.cost
+
+
+class TestTcpFrontEnd:
+    def test_roundtrip_and_pipelining(self, tmp_path):
+        tasks, arch = feasible_system()
+        p = payload_for(tasks, arch, deadline=30)
+
+        async def main():
+            server = await started_server(tmp_path, workers=2)
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            one = await request(host, port, dict(p, id="one"), timeout=60)
+            many = await asyncio.to_thread(
+                request_many_sync, host, port,
+                [dict(p), dict(p), {"id": "bad"}],
+            )
+            await server.stop()
+            return one, many
+
+        one, many = asyncio.run(main())
+        assert one.kind == "ok" and one.id == "one"
+        assert [r.kind for r in many] == ["ok", "ok", "error"]
+
+    def test_malformed_line_answered_not_dropped(self, tmp_path):
+        async def main():
+            server = await started_server(tmp_path)
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), 30)
+            writer.close()
+            await server.stop()
+            return json.loads(line)
+
+        resp = asyncio.run(main())
+        assert resp["kind"] == "error"
+        assert "bad request line" in resp["detail"]
