@@ -1,0 +1,110 @@
+"""Bounds sidecar savings: table-4 with ``--bounds=auto`` vs ``off``.
+
+For every table-4 architecture (the fig. 2 hierarchies plus the flat
+Tindell ring) the same certified solve runs twice -- once cold, once
+with the :class:`repro.bounds.RelaxationBoundsProvider` resolving an
+audited ``[lower, upper]`` interval first.  The acceptance gates:
+
+- the ``{cost, proven, status}`` envelope is **bit-identical** in every
+  cell (bounds are a probe-count optimization, never an answer change),
+- both runs certify green (every probe proof-checked / audited),
+- the median relative SAT-probe reduction across cells is >= 25%.
+
+``benchmarks/out/BENCH_bounds.json`` carries per-cell probe counts,
+wall times and the bounds provenance so the saving is diffable across
+PRs (CI uploads it from the bounds-smoke job).
+"""
+
+import statistics
+
+from conftest import bench_cell
+
+from repro.bounds import RelaxationBoundsProvider
+from repro.core import Allocator, MinimizeSumTRT, MinimizeTRT, SolveRequest
+from repro.reporting import ExperimentRow, format_table
+from repro.workloads import (
+    architecture_a,
+    architecture_b,
+    architecture_c,
+    tindell_architecture,
+    tindell_partition,
+)
+
+MIN_MEDIAN_SAVING = 0.25
+
+
+def _cells(profile):
+    tasks = tindell_partition(profile.table4_tasks)
+    flat_tasks = tindell_partition(max(6, profile.table4_tasks - 2))
+    return [
+        ("Arch A", tasks, architecture_a(), MinimizeSumTRT()),
+        ("Arch B", tasks, architecture_b(), MinimizeSumTRT()),
+        ("Arch C", tasks, architecture_c(), MinimizeSumTRT()),
+        ("Flat ring", flat_tasks, tindell_architecture(),
+         MinimizeTRT("ring")),
+    ]
+
+
+def _solve(tasks, arch, objective, profile, bounds: bool):
+    req = SolveRequest(
+        objective=objective,
+        time_limit=profile.time_limit,
+        certify=True,
+        bounds=(RelaxationBoundsProvider(),) if bounds else (),
+        bounds_mode="auto" if bounds else "off",
+    )
+    return Allocator(tasks, arch).minimize(request=req)
+
+
+def test_bounds_probe_savings(profile, record_table, record_json):
+    rows, payload, savings = [], {}, []
+    for name, tasks, arch, objective in _cells(profile):
+        off = _solve(tasks, arch, objective, profile, bounds=False)
+        auto = _solve(tasks, arch, objective, profile, bounds=True)
+
+        # Bit-identical certified envelope, both certificates green.
+        assert (auto.cost, auto.proven, auto.status) == (
+            off.cost, off.proven, off.status
+        ), name
+        assert off.certificate.all_verified, off.certificate.summary()
+        assert auto.certificate.all_verified, auto.certificate.summary()
+
+        p_off = off.outcome.num_probes
+        p_auto = auto.outcome.num_probes
+        saving = (p_off - p_auto) / p_off if p_off else 0.0
+        savings.append(saving)
+        payload[name] = {
+            "off": bench_cell(off),
+            "auto": bench_cell(
+                auto,
+                bounds=auto.outcome.bounds,
+                bounds_hits=auto.outcome.bounds_hits,
+            ),
+            "probe_saving": round(saving, 4),
+        }
+        rows.append(ExperimentRow(
+            name,
+            f"cost {off.cost}",
+            auto.solve_seconds,
+            auto.formula_size.get("bool_vars", 0),
+            auto.formula_size.get("literals", 0),
+            extra={
+                "probes off": p_off,
+                "probes auto": p_auto,
+                "saved": f"{saving:.0%}",
+                "t off (s)": round(off.solve_seconds, 2),
+            },
+        ))
+
+    median_saving = statistics.median(savings)
+    payload["median_probe_saving"] = round(median_saving, 4)
+    record_table(format_table(
+        f"Bounds sidecar savings (profile={profile.name}, "
+        f"median saving {median_saving:.0%})",
+        rows,
+    ))
+    record_json("bounds", payload)
+    assert median_saving >= MIN_MEDIAN_SAVING, (
+        f"median SAT-probe saving {median_saving:.0%} below the "
+        f"{MIN_MEDIAN_SAVING:.0%} gate: {savings}"
+    )

@@ -1,0 +1,64 @@
+"""The bounds sidecar racer (``bounds_mode="race"``).
+
+Runs :func:`repro.bounds.providers.resolve_bounds` on a daemon thread so
+the parallel engine can start probing immediately; once the audited
+bounds arrive they tighten the shared search interval mid-flight and
+obsolete in-flight probes are cancelled.  A sidecar crash never fails
+the solve -- the race degrades to a cold search.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["BoundsRacer"]
+
+
+class BoundsRacer:
+    """One-shot background bounds resolution.
+
+    ``start()`` launches the thread; the engine calls :meth:`poll` from
+    its event loop and receives the ``(ResolvedBounds, witness_alloc,
+    meta)`` triple exactly once, the first time it polls after the
+    resolver finished.
+    """
+
+    def __init__(self, tasks, arch, objective, request, extra=()):
+        from repro.bounds.providers import resolve_bounds
+
+        self._resolve = resolve_bounds
+        self._args = (tasks, arch, objective, request, extra)
+        self.result = None
+        self.error: str | None = None
+        self.seconds = 0.0
+        self._done = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="bounds-racer"
+        )
+
+    def start(self) -> "BoundsRacer":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        t0 = time.perf_counter()
+        try:
+            self.result = self._resolve(*self._args)
+        except Exception as exc:  # degrade to a cold search
+            self.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self.seconds = time.perf_counter() - t0
+            self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def poll(self):
+        """The resolved triple exactly once; None while running, after
+        the hand-off, or on a crashed resolver."""
+        if not self._done.is_set() or self.result is None:
+            return None
+        out, self.result = self.result, None
+        return out

@@ -7,7 +7,10 @@ Every binary-search probe either proves its answer or is rejected:
   (:mod:`repro.certify.drup`, no solver code imported) replays;
 - SAT probes carry a witness (the decoded allocation) that
   :mod:`repro.certify.audit` re-verifies against the original analysis
-  and an independently recomputed objective value.
+  and an independently recomputed objective value;
+- relaxation lower bounds (:mod:`repro.bounds`) carry a dual-weight
+  certificate that :mod:`repro.certify.bounds` re-audits from the model
+  before the search may skip the UNSAT probes below the bound.
 
 :class:`ProbeCertifier` (:mod:`repro.certify.certifier`) wires both into
 :func:`repro.core.optimize.bin_search`; results surface as a
@@ -15,6 +18,12 @@ Every binary-search probe either proves its answer or is rejected:
 """
 
 from repro.certify.audit import AuditReport, audit_witness, independent_cost
+from repro.certify.bounds import (
+    BoundAuditReport,
+    BoundCertificate,
+    audit_lower_certificate,
+    bound_objective_key,
+)
 from repro.certify.certifier import (
     ProbeCertifier,
     certify_sat_probe,
@@ -31,6 +40,10 @@ from repro.certify.result import CertifiedResult, ProbeCertificate
 
 __all__ = [
     "AuditReport",
+    "BoundAuditReport",
+    "BoundCertificate",
+    "audit_lower_certificate",
+    "bound_objective_key",
     "CertifiedResult",
     "ProbeCertificate",
     "ProbeCertifier",

@@ -34,6 +34,12 @@ class AuditReport:
     problems: list[str] = field(default_factory=list)
     claimed_cost: int | None = None
     recomputed_cost: int | None = None
+    #: False when the recomputed cost is only an *upper-bound* witness
+    #: (the ``sum_resp`` objective: the encoding admits any response
+    #: fixpoint, the analysis computes the least).  Consumers -- the
+    #: bounds layer above all -- must never promote a non-exact audit to
+    #: a trusted lower bound.
+    exact: bool = True
     seconds: float = 0.0
 
 
@@ -88,6 +94,7 @@ def audit_witness(
     report = check_allocation(tasks, arch, alloc)
     problems.extend(f"analysis: {p}" for p in report.problems)
     recomputed: int | None = None
+    exact = True
     if objective is not None and claimed_cost is not None:
         recomputed, exact = independent_cost(tasks, arch, alloc, objective)
         if exact and recomputed != claimed_cost:
@@ -105,5 +112,6 @@ def audit_witness(
         problems=problems,
         claimed_cost=claimed_cost,
         recomputed_cost=recomputed,
+        exact=exact,
         seconds=time.perf_counter() - t0,
     )

@@ -1,0 +1,293 @@
+"""Machine-checkable certificates for relaxation lower bounds.
+
+A :class:`~repro.core.api.BoundsReport` may claim a lower bound on the
+optimum.  Before the binary search is allowed to *skip* the UNSAT probes
+that would otherwise certify the region below the bound empty, the claim
+must survive :func:`audit_lower_certificate`: an independent re-audit
+that recomputes the bound arithmetic **from the model** (task WCETs,
+periods, candidate sets, media parameters) -- never from solver state
+and never from the provider's own numbers.  A failing audit demotes the
+bound to a probe-order hint; the certified answer then still rests
+exclusively on SAT probes.
+
+The certificate kinds mirror the greedy-dual / LP-style relaxations of
+:mod:`repro.bounds.relaxation` (drop integrality on placement, keep the
+utilization / bus-capacity budgets).  Each certificate carries its
+per-item dual weights (``terms``); the auditor checks every weight
+against the weight it recomputes itself and then re-aggregates:
+
+``wcet_floor`` (``sum_resp``)
+    one weight per task, at most its minimal WCET over candidate ECUs
+    (a response time always contains the task's own WCET); aggregate =
+    sum.
+``slot_floor`` (``trt:<m>``, ``sum_trt``)
+    one weight per (token-ring medium, ECU) slot, at most the medium's
+    ``min_slot`` (every ring member owns a slot of at least that
+    length); aggregate = sum.
+``forced_can_floor`` (``can:<m>``)
+    one weight per message whose sender and receiver candidate sets are
+    disjoint on a single-medium architecture (the message *must* cross
+    the bus), at most ``ceil(rho * 1000 / period)``; aggregate = sum.
+``util_packing`` (``max_util:<scale>``)
+    one weight per task, at most its minimal utilization contribution;
+    aggregate = ``max(ceil(sum / E), max_term)`` where ``E`` (from
+    ``meta``) must be at least the number of distinct candidate ECUs
+    (fractionally spreading the total demand over all machines -- the
+    LP relaxation of the assignment).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BoundCertificate",
+    "BoundAuditReport",
+    "bound_objective_key",
+    "audit_lower_certificate",
+]
+
+#: Per-mille scale of the CAN-utilization objective (must match
+#: :data:`repro.core.objectives.U_SCALE`; duplicated by design -- the
+#: auditor recomputes from first principles, it does not import the
+#: encoder's constants at audit time).
+_CAN_SCALE = 1000
+
+
+@dataclass(frozen=True)
+class BoundCertificate:
+    """Dual weights backing one claimed lower bound (see module doc)."""
+
+    #: ``wcet_floor`` / ``slot_floor`` / ``forced_can_floor`` /
+    #: ``util_packing``.
+    kind: str
+    #: Canonical objective key (:func:`bound_objective_key`) the bound
+    #: was derived for -- a certificate never transfers to another
+    #: objective.
+    objective: str
+    #: The claimed lower bound on the optimum.
+    bound: int
+    #: Per-item dual weights (item key -> claimed contribution).
+    terms: dict = field(default_factory=dict)
+    #: Kind-specific extras (``util_packing``: ``{"ecus": E}``).
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "objective": self.objective,
+            "bound": self.bound,
+            "terms": dict(self.terms),
+            "meta": dict(self.meta),
+        }
+
+
+@dataclass
+class BoundAuditReport:
+    """Outcome of independently re-auditing one lower-bound certificate."""
+
+    ok: bool
+    problems: list[str] = field(default_factory=list)
+    claimed_bound: int | None = None
+    #: The bound the auditor's own re-aggregation of the claimed terms
+    #: supports (None when the structure itself was invalid).
+    recomputed_bound: int | None = None
+    seconds: float = 0.0
+
+
+def bound_objective_key(objective) -> str:
+    """Canonical textual key of an objective for certificate matching."""
+    from repro.core.objectives import (
+        MinimizeCanUtilization,
+        MinimizeMaxUtilization,
+        MinimizeSumResponseTimes,
+        MinimizeSumTRT,
+        MinimizeTRT,
+    )
+
+    if isinstance(objective, MinimizeTRT):
+        return f"trt:{objective.medium}"
+    if isinstance(objective, MinimizeSumTRT):
+        return "sum_trt"
+    if isinstance(objective, MinimizeCanUtilization):
+        return f"can:{objective.medium}"
+    if isinstance(objective, MinimizeMaxUtilization):
+        return f"max_util:{objective.scale}"
+    if isinstance(objective, MinimizeSumResponseTimes):
+        return "sum_resp"
+    raise ValueError(f"no bound certificate key for {objective!r}")
+
+
+_EXPECTED_KIND = {
+    "trt": "slot_floor",
+    "sum_trt": "slot_floor",
+    "can": "forced_can_floor",
+    "sum_resp": "wcet_floor",
+    "max_util": "util_packing",
+}
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+def _wcet_floor_terms(tasks, arch) -> dict[str, int]:
+    return {
+        t.name: min(t.wcet[p] for p in t.candidate_ecus(arch))
+        for t in tasks
+        if t.candidate_ecus(arch)
+    }
+
+
+def _slot_floor_terms(arch, medium: str | None) -> dict[str, int]:
+    from repro.model.architecture import MediumKind
+
+    out: dict[str, int] = {}
+    for kname, k in arch.media.items():
+        if k.kind is not MediumKind.TOKEN_RING:
+            continue
+        if medium is not None and kname != medium:
+            continue
+        for p in k.ecus:
+            out[f"{kname}/{p}"] = k.min_slot
+    return out
+
+
+def _forced_can_terms(tasks, arch, medium: str) -> dict[str, int] | None:
+    """Sound per-message floors for a CAN bus, or None when the
+    architecture is too rich for the single-medium forcing argument."""
+    from repro.model.architecture import MediumKind
+
+    if len(arch.media) != 1 or medium not in arch.media:
+        return None
+    k = arch.media[medium]
+    if k.kind is not MediumKind.CAN:
+        return None
+    out: dict[str, int] = {}
+    for t in tasks:
+        senders = set(t.candidate_ecus(arch))
+        for i, m in enumerate(t.messages):
+            if m.target not in tasks.names():
+                return None
+            receivers = set(tasks[m.target].candidate_ecus(arch))
+            if not senders or not receivers or senders & receivers:
+                continue  # may be co-located: contributes 0
+            rho = k.transmission_ticks(m.size_bits)
+            out[f"{t.name}/{i}"] = _ceil_div(rho * _CAN_SCALE, t.period)
+    return out
+
+
+def _util_terms(tasks, arch, scale: int) -> tuple[dict[str, int], int]:
+    terms: dict[str, int] = {}
+    ecus: set[str] = set()
+    for t in tasks:
+        cands = t.candidate_ecus(arch)
+        if not cands:
+            continue
+        ecus.update(cands)
+        terms[t.name] = min(
+            _ceil_div(t.wcet[p] * scale, t.period) for p in cands
+        )
+    return terms, len(ecus)
+
+
+def audit_lower_certificate(tasks, arch, objective, cert) -> BoundAuditReport:
+    """Re-audit a :class:`BoundCertificate` from the model alone.
+
+    Checks, in order: the certificate targets *this* objective; its kind
+    is the one this objective admits; every claimed dual weight is at
+    most the weight the auditor recomputes from the model; and the
+    claimed bound is at most the auditor's own re-aggregation of the
+    claimed weights.  Any discrepancy fails the audit (the bound then
+    degrades to an untrusted hint, see :func:`repro.bounds.providers.
+    resolve_bounds`).
+    """
+    t0 = time.perf_counter()
+    problems: list[str] = []
+
+    def report(recomputed: int | None = None) -> BoundAuditReport:
+        return BoundAuditReport(
+            ok=not problems,
+            problems=problems,
+            claimed_bound=getattr(cert, "bound", None),
+            recomputed_bound=recomputed,
+            seconds=time.perf_counter() - t0,
+        )
+
+    try:
+        key = bound_objective_key(objective)
+    except ValueError as exc:
+        problems.append(str(exc))
+        return report()
+    if cert.objective != key:
+        problems.append(
+            f"certificate targets objective {cert.objective!r}, "
+            f"this solve minimizes {key!r}"
+        )
+        return report()
+    kind, _, arg = key.partition(":")
+    expected = _EXPECTED_KIND[kind]
+    if cert.kind != expected:
+        problems.append(
+            f"certificate kind {cert.kind!r} is not the {expected!r} "
+            f"relaxation admitted for {key!r}"
+        )
+        return report()
+    if not isinstance(cert.bound, int):
+        problems.append(f"claimed bound {cert.bound!r} is not an integer")
+        return report()
+
+    if expected == "wcet_floor":
+        sound = _wcet_floor_terms(tasks, arch)
+        aggregate = "sum"
+    elif expected == "slot_floor":
+        sound = _slot_floor_terms(arch, arg if kind == "trt" else None)
+        aggregate = "sum"
+    elif expected == "forced_can_floor":
+        sound = _forced_can_terms(tasks, arch, arg)
+        if sound is None:
+            problems.append(
+                "forced_can_floor only applies to a single-medium CAN "
+                "architecture with fully known message targets"
+            )
+            return report()
+        aggregate = "sum"
+    else:  # util_packing
+        scale = int(arg)
+        sound, n_ecus = _util_terms(tasks, arch, scale)
+        claimed_ecus = cert.meta.get("ecus")
+        if not isinstance(claimed_ecus, int) or claimed_ecus < max(n_ecus, 1):
+            problems.append(
+                f"packing over {claimed_ecus!r} ECUs is unsound: the "
+                f"model has {n_ecus} distinct candidate ECUs"
+            )
+            return report()
+        aggregate = "packing"
+
+    for item, claimed in cert.terms.items():
+        if item not in sound:
+            problems.append(f"term {item!r} does not exist in the model")
+        elif not isinstance(claimed, int) or claimed > sound[item]:
+            problems.append(
+                f"term {item!r}: claimed weight {claimed!r} exceeds the "
+                f"recomputed sound weight {sound[item]}"
+            )
+    if problems:
+        return report()
+
+    total = sum(cert.terms.values())
+    if aggregate == "sum":
+        recomputed = total
+    else:
+        recomputed = max(
+            _ceil_div(total, cert.meta["ecus"]),
+            max(cert.terms.values(), default=0),
+            0,
+        )
+    if cert.bound > recomputed:
+        problems.append(
+            f"claimed bound {cert.bound} exceeds the re-aggregated "
+            f"bound {recomputed}"
+        )
+    return report(recomputed)

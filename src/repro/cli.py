@@ -132,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
         "against the analysis; exit code 3 on any certificate failure",
     )
     p_solve.add_argument(
+        "--bounds", choices=("off", "auto", "race"), default="auto",
+        help="certified dual-bounds sidecar (relaxation lower bounds "
+        "with audited certificates + repaired heuristic upper bounds): "
+        "auto resolves before the search, race runs it alongside the "
+        "parallel engine, off disables it; the certified answer is "
+        "bit-identical either way (see docs/BOUNDS.md)",
+    )
+    p_solve.add_argument(
         "--proof-log", default=None, metavar="PATH",
         help="with --certify, spool the DRUP proof to this crash-safe "
         "length-prefixed artifact (torn tails are detected on reload)",
@@ -315,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--cache-size", type=int, default=64, metavar="N",
                        help="warm-start cache entries (LRU)")
     p_srv.add_argument(
+        "--bounds", choices=("off", "auto"), default="auto",
+        help="compose the relaxation bounds sidecar with warm-cache "
+        "hints on every solve (tightest audited bound wins); off "
+        "serves warm-cache hints only",
+    )
+    p_srv.add_argument(
         "--backend", choices=("auto", "pure", "fast"), default=None,
         help="SAT propagation core (the circuit breaker may override "
         "it to pure at runtime)",
@@ -405,12 +419,17 @@ def _print_stats(res) -> None:
     stats = getattr(res, "encode_stats", None)
     solver_stats = getattr(res, "solver_stats", None)
     cert = getattr(res, "certificate", None)
-    if stats or solver_stats or cert is not None:
+    bounds = dict(
+        getattr(getattr(res, "outcome", None), "bounds", None) or {}
+    )
+    if stats or solver_stats or cert is not None or bounds:
         payload = dict(stats or {})
         if solver_stats:
             payload["solver"] = dict(solver_stats)
         if cert is not None:
             payload["certify"] = cert.to_dict()
+        if bounds:
+            payload["bounds"] = bounds
         print(json.dumps(payload, indent=2))
     else:
         print("no encode stats available for this solve path",
@@ -457,7 +476,15 @@ def _chaos_from_args(args):
 def _request_from_args(args, cfg, objective, budget, checkpoint
                        ) -> SolveRequest:
     """Build the unified :class:`SolveRequest` from solve argv."""
+    bounds_mode = getattr(args, "bounds", "auto")
+    bounds = ()
+    if bounds_mode != "off" and objective is not None:
+        from repro.bounds import RelaxationBoundsProvider
+
+        bounds = (RelaxationBoundsProvider(),)
     return SolveRequest(
+        bounds=bounds,
+        bounds_mode=bounds_mode,
         objective=objective,
         config=cfg,
         time_limit=args.time_limit,
@@ -803,6 +830,7 @@ def _cmd_serve(args) -> int:
         breaker_cooldown=args.breaker_cooldown,
         cache_size=args.cache_size,
         certify_default=args.certify,
+        bounds=args.bounds,
         chaos=_chaos_from_args(args),
     )
 

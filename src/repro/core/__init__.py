@@ -22,6 +22,8 @@ Typical use::
 
 from repro.core.allocator import AllocationResult, Allocator
 from repro.core.api import (
+    BoundsProvider,
+    BoundsReport,
     ExitCode,
     SolveReport,
     SolveRequest,
@@ -54,6 +56,8 @@ __all__ = [
     "bin_search",
     "OptimizationOutcome",
     "ExitCode",
+    "BoundsProvider",
+    "BoundsReport",
     "SolveRequest",
     "SolveReport",
     "merge_legacy",

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.allocation import Allocation
 from repro.analysis.feasibility import FeasibilityReport, check_allocation
-from repro.core.api import SolveRequest, merge_legacy
+from repro.core.api import SolveRequest
 from repro.core.config import EncoderConfig
 from repro.core.encoder import ProblemEncoding
 from repro.core.objectives import Objective
@@ -33,9 +33,17 @@ from repro.robust.checkpoint import SearchCheckpoint
 
 __all__ = ["Allocator", "AllocationResult"]
 
-#: Sentinel distinguishing "kwarg not passed" from an explicit None, so
-#: the legacy-kwarg shim only deprecation-warns about what was given.
-_UNSET = object()
+
+def _reject_legacy(caller: str, legacy: dict) -> None:
+    """The PR 4 legacy-kwarg shims are gone: fail loud, point forward."""
+    if legacy:
+        names = ", ".join(sorted(legacy))
+        raise TypeError(
+            f"{caller} no longer accepts the legacy solve kwargs "
+            f"({names}); put them on a SolveRequest instead, e.g. "
+            f"{caller}(request=SolveRequest(objective=..., "
+            f"{sorted(legacy)[0]}=...)) -- see docs/SOLVER.md"
+        )
 
 
 @dataclass
@@ -112,38 +120,41 @@ class Allocator:
     def minimize(
         self,
         objective: Objective | SolveRequest | None = None,
-        time_limit=_UNSET,
-        reuse_learned=_UNSET,
-        verify=_UNSET,
-        budget=_UNSET,
-        checkpoint=_UNSET,
-        certify=_UNSET,
         request: SolveRequest | None = None,
+        **legacy,
     ) -> AllocationResult:
         """Find the cost-minimal feasible allocation.
 
-        Preferred calling convention: pass a
-        :class:`~repro.core.api.SolveRequest` (positionally or as
-        ``request=``); the legacy kwargs keep working through a shim that
-        emits :class:`DeprecationWarning`.
+        Calling convention: pass a :class:`~repro.core.api.SolveRequest`
+        (positionally or as ``request=``), optionally with a bare
+        objective: ``minimize(MinimizeTRT("ring"))``.  The PR 4 legacy
+        kwargs (``time_limit=``, ``budget=``, ...) are gone; passing one
+        raises :class:`TypeError` with a migration hint.
 
-        ``certify=True`` makes every probe return a checkable artifact
-        (see :mod:`repro.certify`): UNSAT answers log a DRUP-style proof
-        replayed by an independent checker, SAT answers are audited
-        against the analysis; verdicts land on ``result.certificate``.
+        ``request.certify`` makes every probe return a checkable
+        artifact (see :mod:`repro.certify`): UNSAT answers log a
+        DRUP-style proof replayed by an independent checker, SAT answers
+        are audited against the analysis; verdicts land on
+        ``result.certificate``.
 
-        ``reuse_learned=False`` (strategy ``rebuild``) rebuilds the
-        encoding from scratch for every binary-search probe (the paper's
-        pre-section-7 baseline; used by the clause-reuse ablation
-        benchmark).
+        ``request.reuse_learned=False`` (strategy ``rebuild``) rebuilds
+        the encoding from scratch for every binary-search probe (the
+        paper's pre-section-7 baseline; used by the clause-reuse
+        ablation benchmark).
 
-        ``budget`` bounds the whole search (wall time / conflicts /
-        decisions) and can interrupt a probe mid-search; the result then
-        carries the best anytime bound with ``proven`` False instead of
-        hanging.  ``checkpoint`` (a :class:`SearchCheckpoint` or a file
-        path) persists the binary-search state after every probe and
-        resumes from it when it already holds state; a resumed run
-        reaches the same certified optimum as an uninterrupted one.
+        ``request.budget`` bounds the whole search (wall time /
+        conflicts / decisions) and can interrupt a probe mid-search; the
+        result then carries the best anytime bound with ``proven`` False
+        instead of hanging.  ``request.checkpoint`` (a
+        :class:`SearchCheckpoint` or a file path) persists the
+        binary-search state after every probe and resumes from it when
+        it already holds state; a resumed run reaches the same certified
+        optimum as an uninterrupted one.
+
+        ``request.bounds`` providers are resolved and audited before the
+        search (:func:`repro.bounds.providers.resolve_bounds`); audited
+        bounds seed the interval, unaudited ones reorder probes, and the
+        certified answer is bit-identical either way.
 
         A request with ``processes > 1``, ``race > 1`` or strategy
         ``speculative`` routes to the parallel engine
@@ -157,19 +168,8 @@ class Allocator:
                     "not both"
                 )
             request, objective = objective, None
-        legacy = {
-            k: v
-            for k, v in (
-                ("time_limit", time_limit),
-                ("reuse_learned", reuse_learned),
-                ("verify", verify),
-                ("budget", budget),
-                ("checkpoint", checkpoint),
-                ("certify", certify),
-            )
-            if v is not _UNSET
-        }
-        request = merge_legacy(request, legacy, "Allocator.minimize")
+        _reject_legacy("Allocator.minimize", legacy)
+        request = request if request is not None else SolveRequest()
         if objective is not None:
             request = request.merged(objective=objective)
         objective = request.objective
@@ -206,39 +206,8 @@ class Allocator:
                     proof_log, request.fingerprint()
                 )
             return self._minimize_incremental(
-                objective, request.time_limit, request.verify,
-                request.budget, ckpt, request.certify,
-                proof_log=proof_log,
-                warm_start=request.warm_start,
-                warm_allocation=request.warm_allocation,
+                objective, request, ckpt, proof_log=proof_log,
             )
-
-    def _audit_warm_witness(
-        self, objective: Objective, payload: dict
-    ) -> tuple[Allocation, int] | None:
-        """Audited warm-start witness and its cost, or None to ignore.
-
-        The witness (an allocation that was optimal for a *related*
-        instance) is re-checked against *this* instance with the
-        independent analysis -- never the SAT stack -- so a passing
-        witness yields a sound, known-achievable upper bound and the
-        binary search can skip the hint probe.  Any failure (malformed
-        payload, no longer schedulable, out-of-scale cost) just means
-        "no shortcut": the solve proceeds as usual.
-        """
-        try:
-            from repro.certify.audit import independent_cost
-            from repro.io import allocation_from_dict
-
-            alloc = allocation_from_dict(payload)
-            report = check_allocation(self.tasks, self.arch, alloc)
-            if not report.schedulable:
-                return None
-            cost, _ = independent_cost(self.tasks, self.arch, alloc,
-                                       objective)
-            return alloc, int(cost)
-        except (KeyError, ValueError, TypeError):
-            return None
 
     @staticmethod
     def _as_checkpoint(
@@ -257,24 +226,25 @@ class Allocator:
     def _minimize_incremental(
         self,
         objective: Objective,
-        time_limit: float | None,
-        verify: bool,
-        budget: Budget | None = None,
+        request: SolveRequest,
         checkpoint: SearchCheckpoint | None = None,
-        certify: bool = False,
         proof_log: str | None = None,
-        warm_start: int | None = None,
-        warm_allocation: dict | None = None,
     ) -> AllocationResult:
+        time_limit = request.time_limit
+        verify = request.verify
+        budget = request.budget
+        certify = request.certify
+        from repro.bounds.providers import resolve_bounds
+
+        rb, witness, bmeta = resolve_bounds(
+            self.tasks, self.arch, objective, request
+        )
+        if certify:
+            # Certified runs keep the final [R, R] probe so the
+            # certificate carries a SAT audit of the served model.
+            rb.model_loaded = False
         enc, cost_var, lo, hi, enc_secs = self._encode(objective)
         assert cost_var is not None
-        warm_trusted = False
-        witness: Allocation | None = None
-        if warm_allocation is not None:
-            audited = self._audit_warm_witness(objective, warm_allocation)
-            if audited is not None:
-                witness, warm_start = audited
-                warm_trusted = True
         certifier = None
         if certify:
             from repro.certify import ProbeCertifier
@@ -299,6 +269,24 @@ class Allocator:
                 certifier.result.proof_artifact = proof_log
                 certifier.result.proof_artifact_ok = False
                 certifier.result.proof_artifact_error = spool_error
+            if bmeta.get("audits"):
+                # The audits that let bounds shrink the interval become
+                # part of the certificate, in resolution order (before
+                # any probe certificate).
+                from repro.certify import ProbeCertificate
+
+                for a in bmeta["audits"]:
+                    certifier.result.add(
+                        ProbeCertificate(
+                            index=len(certifier.result.probes),
+                            kind="bounds",
+                            ok=True,
+                            detail=(
+                                f"{a['provider']} {a['side']}: "
+                                f"{a['detail']}"
+                            ),
+                        )
+                    )
         # The audited witness stands in for the optimum's model until a
         # SAT probe finds one (any SAT probe overwrites it): if the
         # search closes at the witness's own cost, no model-loading
@@ -324,11 +312,14 @@ class Allocator:
             time_limit=time_limit, budget=budget,
             checkpoint=checkpoint, on_checkpoint=on_checkpoint,
             on_probe=certifier.on_probe if certifier is not None else None,
-            warm_hint=warm_start, warm_trusted=warm_trusted,
-            # Certified runs keep the final [R, R] probe so the
-            # certificate carries a SAT audit of the served model.
-            warm_model_loaded=warm_trusted and certifier is None,
+            bounds=rb if bmeta.get("providers") else None,
         )
+        if bmeta.get("providers"):
+            outcome.bounds.setdefault("mode", bmeta["mode"])
+            outcome.bounds["providers"] = bmeta["providers"]
+            if bmeta.get("notes"):
+                outcome.bounds["notes"] = bmeta["notes"]
+            outcome.bounds["bounds_hits"] = outcome.bounds_hits
         if best[0] is None and checkpoint is not None and checkpoint.payload:
             from repro.io import allocation_from_dict
 
@@ -490,33 +481,18 @@ class Allocator:
 
     def find_feasible(
         self,
-        verify=_UNSET,
-        budget=_UNSET,
-        certify=_UNSET,
         request: SolveRequest | None = None,
+        **legacy,
     ) -> AllocationResult:
         """One SOLVE call: any allocation satisfying all constraints.
 
         Accepts a :class:`~repro.core.api.SolveRequest` (positionally or
-        as ``request=``); the legacy kwargs deprecation-warn.
+        as ``request=``).  The PR 4 legacy kwargs (``verify=``,
+        ``budget=``, ``certify=``) are gone; passing one raises
+        :class:`TypeError` with a migration hint.
         """
-        if isinstance(verify, SolveRequest):
-            if request is not None:
-                raise TypeError(
-                    "pass the SolveRequest positionally or as request=, "
-                    "not both"
-                )
-            request, verify = verify, _UNSET
-        legacy = {
-            k: v
-            for k, v in (
-                ("verify", verify),
-                ("budget", budget),
-                ("certify", certify),
-            )
-            if v is not _UNSET
-        }
-        request = merge_legacy(request, legacy, "Allocator.find_feasible")
+        _reject_legacy("Allocator.find_feasible", legacy)
+        request = request if request is not None else SolveRequest()
         from repro.chaos import active
 
         with active(request.chaos):

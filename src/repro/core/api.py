@@ -6,9 +6,21 @@ checkpoint=, certify=)``, ``SolveSupervisor(..., heuristics=, verify=)``,
 ``solve_portfolio(..., cell_timeout=, retries=)`` -- and the CLI
 re-invented all of them as flags.  :class:`SolveRequest` is the single
 carrier for all solve options; every public entry point accepts one
-(``request=``), the legacy kwargs keep working through a thin shim that
-emits :class:`DeprecationWarning`, and the CLI builds a request from
-argv so library and command line cannot drift apart.
+(``request=``), and the CLI builds a request from argv so library and
+command line cannot drift apart.  The ``Allocator`` entry points accept
+*only* a request (the PR 4 legacy-kwarg shims are gone -- passing a
+legacy kwarg raises :class:`TypeError` with a migration hint); the
+supervisor / portfolio shims still deprecation-warn for one more
+release via :func:`merge_legacy`.
+
+:class:`BoundsProvider` / :class:`BoundsReport` are the one sanctioned
+channel for search-interval hints: warm caches, heuristic baselines and
+the relaxation sidecar (:mod:`repro.bounds`) all propose bounds through
+it, the allocator audits every proposal (witnesses via the independent
+analysis, lower bounds via :func:`repro.certify.bounds.
+audit_lower_certificate`) and only audited bounds may shrink the binary
+search's certified interval; everything else degrades to a probe-order
+hint.  See ``docs/BOUNDS.md``.
 
 :class:`SolveReport` is the matching result-side view: a uniform
 status/cost/exit-code summary over :class:`~repro.core.allocator.
@@ -33,6 +45,8 @@ from enum import IntEnum
 
 __all__ = [
     "ExitCode",
+    "BoundsReport",
+    "BoundsProvider",
     "SolveRequest",
     "SolveReport",
     "merge_legacy",
@@ -48,6 +62,63 @@ class ExitCode(IntEnum):
     INFEASIBLE = 2
     CERTIFICATE_FAILED = 3
     BUDGET_EXHAUSTED = 4
+
+
+@dataclass
+class BoundsReport:
+    """One provider's proposal for the cost-search interval.
+
+    Nothing in a report is trusted as stated: the allocator re-audits
+    every claim before it may narrow the certified search interval
+    (:func:`repro.bounds.providers.resolve_bounds`).
+
+    - ``upper`` with a ``witness`` (a JSON allocation payload,
+      :func:`repro.io.allocation_to_dict`): the witness is re-checked by
+      the *independent* analysis; when it passes, its recomputed cost --
+      not the claimed ``upper`` -- becomes a known-achievable upper
+      bound.  Without a witness (or when the audit fails) ``upper`` is
+      only a probe-order hint.
+    - ``lower`` with a ``certificate`` (:class:`repro.certify.bounds.
+      BoundCertificate`): the certificate's arithmetic is recomputed
+      from the model by :func:`repro.certify.bounds.
+      audit_lower_certificate`; a passing audit makes ``lower`` a
+      certified floor, a failing one demotes it to a hint.  A ``lower``
+      without certificate is always just a hint.
+    """
+
+    #: Human-readable provider name for provenance / stats.
+    provider: str = "bounds"
+    #: Claimed lower bound on the optimum (certified only via audit).
+    lower: int | None = None
+    #: Claimed achievable cost (trusted only via witness audit).
+    upper: int | None = None
+    #: JSON allocation payload achieving ``upper`` (or None).
+    witness: dict | None = None
+    #: Machine-checkable certificate for ``lower`` (or None).
+    certificate: object | None = None
+    #: False when ``upper`` came from a non-unique cost encoding
+    #: (``sum_resp``: the audit proves only an upper bound, see
+    #: :func:`repro.certify.audit.independent_cost`); such a report must
+    #: never be promoted to a trusted *lower* bound.
+    exact: bool = True
+    #: Wall time the provider spent (filled by the resolver when 0).
+    seconds: float = 0.0
+
+
+class BoundsProvider:
+    """Protocol for search-interval providers (duck-typed).
+
+    Implementations return a :class:`BoundsReport` -- or None when they
+    have nothing to offer -- given the system and the request.  They
+    must never touch SAT-solver state: bounds are audited against the
+    model only, and a provider crash is treated as "no proposal".
+    Providers ride on :attr:`SolveRequest.bounds`.
+    """
+
+    name = "bounds"
+
+    def propose(self, tasks, arch, request) -> "BoundsReport | None":
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -104,26 +175,31 @@ class SolveRequest:
     #: namespaces the spool file by request fingerprint, so concurrent
     #: solves sharing one proof directory never collide.
     proof_log: str | None = None
-    #: Warm-start hint: a cost known (or believed) to be achievable for
-    #: a *related* scenario.  The binary search probes ``cost <= hint``
-    #: first instead of the unconstrained SOLVE; a SAT answer starts the
-    #: interval there, an UNSAT answer certifies the region empty and
-    #: the search continues above it -- either way the certified optimum
-    #: (and the ``{cost, proven, status}`` envelope) is identical to a
-    #: cold solve, only the probe sequence changes.  Excluded from
-    #: :meth:`fingerprint` for exactly that reason.
-    warm_start: int | None = None
-    #: Warm-start witness: a JSON allocation payload
-    #: (:func:`repro.io.allocation_to_dict`) believed to remain feasible
-    #: for this instance -- typically the optimal allocation of the base
-    #: scenario a serve request perturbs.  The allocator re-checks it
-    #: with the *independent* analysis (never the SAT stack); when it
-    #: passes, its recomputed objective value becomes a known-achievable
-    #: upper bound and the binary search skips the hint probe entirely.
-    #: A witness the analysis rejects is ignored (the ``warm_start``
-    #: hint, if any, still applies).  Like ``warm_start``, this never
-    #: changes the certified answer and is excluded from
+    #: Bounds providers consulted before the binary search starts: each
+    #: :class:`BoundsProvider` proposes an interval, the allocator
+    #: audits every proposal, and the tightest *audited* bounds seed
+    #: ``bin_search`` (unaudited ones degrade to probe-order hints).
+    #: Bounds never change the certified answer -- only the probe
+    #: sequence -- so like the old warm hints they are excluded from
     #: :meth:`fingerprint`.
+    bounds: tuple = ()
+    #: How the providers run: ``"auto"`` resolves them synchronously
+    #: before the search; ``"race"`` runs them as a sidecar racer of the
+    #: parallel engine whose audited bounds tighten the shared interval
+    #: mid-flight (sequential solves treat ``race`` as ``auto``);
+    #: ``"off"`` ignores all providers (including the deprecated warm
+    #: fields below).
+    bounds_mode: str = "auto"
+    #: Deprecated (one-release shim): a cost believed achievable for a
+    #: *related* scenario.  Mapped onto a ``HintBoundsProvider`` with a
+    #: :class:`DeprecationWarning`; pass a provider in :attr:`bounds`
+    #: instead.
+    warm_start: int | None = None
+    #: Deprecated (one-release shim): a JSON allocation payload
+    #: (:func:`repro.io.allocation_to_dict`) believed to remain feasible
+    #: for this instance.  Mapped onto a ``HintBoundsProvider`` with a
+    #: :class:`DeprecationWarning`; pass a provider in :attr:`bounds`
+    #: instead.
     warm_allocation: dict | None = None
     #: Append lifecycle events (supervisor stage transitions, with
     #: timestamps and reasons) to this JSONL flight-recorder log
@@ -146,9 +222,9 @@ class SolveRequest:
         purpose -- the parallel engine's contract is a bit-identical
         certified optimum -- as are persistence and fault-injection
         knobs (``checkpoint``, ``proof_log``, ``chaos``) and the serving
-        hints (``warm_start``, ``warm_allocation``, ``flight_log``),
-        which never change the answer, only how it survives or how fast
-        it arrives.
+        hints (``bounds``, ``bounds_mode``, the deprecated
+        ``warm_start``/``warm_allocation``, ``flight_log``), which never
+        change the answer, only how it survives or how fast it arrives.
         """
         import hashlib
 
@@ -274,6 +350,10 @@ class SolveReport:
     result: object | None = None
     #: Stage log of a supervised solve (empty otherwise).
     stages: list = field(default_factory=list)
+    #: Bounds provenance of the search (providers consulted, audited
+    #: interval, probes the bounds injected); empty when no provider
+    #: ran.  Mirrors ``OptimizationOutcome.bounds``.
+    bounds: dict = field(default_factory=dict)
 
     @property
     def exit_code(self) -> ExitCode:
@@ -292,6 +372,7 @@ class SolveReport:
         status = res.status
         if status == "optimal" and getattr(request, "objective", 1) is None:
             status = "feasible"
+        outcome = getattr(res, "outcome", None)
         return cls(
             status=status,
             feasible=res.feasible,
@@ -300,12 +381,14 @@ class SolveReport:
             allocation=res.allocation,
             certificate=res.certificate,
             result=res,
+            bounds=dict(getattr(outcome, "bounds", None) or {}),
         )
 
     @classmethod
     def from_supervised(cls, sup) -> "SolveReport":
         """Summarize a :class:`~repro.robust.supervisor.SupervisedResult`."""
         inner = sup.result
+        outcome = getattr(inner, "outcome", None)
         return cls(
             status=sup.status,
             feasible=sup.allocation is not None,
@@ -315,6 +398,7 @@ class SolveReport:
             certificate=getattr(inner, "certificate", None),
             result=sup,
             stages=list(sup.stages),
+            bounds=dict(getattr(outcome, "bounds", None) or {}),
         )
 
 

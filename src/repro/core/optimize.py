@@ -50,6 +50,7 @@ from repro.robust.checkpoint import SearchCheckpoint
 __all__ = [
     "ProbeLog",
     "OptimizationOutcome",
+    "ResolvedBounds",
     "bin_search",
     "CHECKPOINT_FAILURE_LIMIT",
 ]
@@ -90,6 +91,12 @@ class ProbeLog:
     cancelled: bool = False
     #: Worker group that served the probe (-1 = in-process).
     group: int = -1
+    #: Why this probe ran: ``"initial"`` (the unconstrained SOLVE),
+    #: ``"bisect"``, ``"recertify"`` (the final [R, R] audit), or a
+    #: ``"bounds:*"`` provenance tag when a :class:`ResolvedBounds`
+    #: interval shaped it (``bounds:confirm`` / ``bounds:upper_hint`` /
+    #: ``bounds:lower_hint``).  Default keeps old checkpoints loadable.
+    origin: str = ""
 
 
 @dataclass
@@ -116,10 +123,22 @@ class OptimizationOutcome:
     checkpoint_errors: int = 0
     #: True when checkpointing was disabled after repeated save failures.
     checkpoint_disabled: bool = False
+    #: Bounds provenance: providers consulted, the audited interval the
+    #: search started from vs. the cold one, and which probes the bounds
+    #: injected.  Empty when no bounds provider ran (JSON-ready; see
+    #: ``docs/BOUNDS.md``).
+    bounds: dict = field(default_factory=dict)
 
     @property
     def num_probes(self) -> int:
         return len(self.probes)
+
+    @property
+    def bounds_hits(self) -> int:
+        """Probes whose placement came from a bounds provider."""
+        return sum(
+            1 for p in self.probes if p.origin.startswith("bounds:")
+        )
 
     @property
     def speculative_hits(self) -> int:
@@ -148,6 +167,54 @@ class OptimizationOutcome:
         return "infeasible" if self.proven else "unknown"
 
 
+@dataclass
+class ResolvedBounds:
+    """Audited search-interval bounds handed to :func:`bin_search`.
+
+    Built by :func:`repro.bounds.providers.resolve_bounds` -- the one
+    sanctioned path by which warm caches, heuristic baselines and the
+    relaxation sidecar reach the binary search.  Trust is explicit:
+
+    - ``lower``: certified floor -- its :class:`repro.certify.bounds.
+      BoundCertificate` passed the independent re-audit, so the search
+      may start at ``left = lower`` and skip the UNSAT probes below it.
+    - ``upper``: known-achievable cost -- its witness passed the
+      independent analysis, so the search starts at ``right = upper``
+      and skips the initial unconstrained SOLVE.
+    - ``lower_hint`` / ``upper_hint``: unaudited guesses.  They only
+      reorder probes (one targeted probe each) and can never shrink the
+      certified interval by themselves; a wrong hint costs one probe,
+      never the answer.
+
+    Bounds are a probe-order / probe-count change only: the certified
+    optimum and the ``{cost, proven, status}`` envelope are identical to
+    a cold run's.
+    """
+
+    lower: int | None = None
+    upper: int | None = None
+    lower_hint: int | None = None
+    upper_hint: int | None = None
+    #: The caller holds an allocation achieving ``upper``, so a search
+    #: closing exactly there needs no model-loading ``[R, R]`` probe
+    #: (certified runs keep the probe regardless: the certificate must
+    #: contain a SAT audit of the served model).
+    model_loaded: bool = False
+    #: Bound field -> provider name, for the probe log / stats.
+    provenance: dict = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        """JSON-ready summary (only the fields actually set)."""
+        out: dict = {}
+        for k in ("lower", "upper", "lower_hint", "upper_hint"):
+            v = getattr(self, k)
+            if v is not None:
+                out[k] = v
+        if self.provenance:
+            out["provenance"] = dict(self.provenance)
+        return out
+
+
 def bin_search(
     solver,
     cost_var: IntVar,
@@ -159,9 +226,7 @@ def bin_search(
     checkpoint: SearchCheckpoint | None = None,
     on_checkpoint: Callable[[SearchCheckpoint], None] | None = None,
     on_probe: Callable[[ProbeLog, object], None] | None = None,
-    warm_hint: int | None = None,
-    warm_trusted: bool = False,
-    warm_model_loaded: bool = False,
+    bounds: ResolvedBounds | None = None,
 ) -> OptimizationOutcome:
     """Minimize ``cost_var`` over an :class:`repro.arith.IntSolver`.
 
@@ -190,26 +255,17 @@ def bin_search(
     re-certifies the optimum with one final ``[R, R]`` probe, so its
     model and cost match an uninterrupted run's.
 
-    ``warm_hint`` (a cost achievable for a *related* problem, e.g. the
-    last optimum of a base scenario a serve request perturbs) replaces
-    the initial unconstrained SOLVE with a probe of ``cost <= hint``:
-    SAT starts the interval at the model's cost, UNSAT certifies the
-    region empty and the search resumes above ``hint`` after one
-    unconstrained probe.  The hint is a *probe order* change only -- the
-    certified optimum, its proof and the outcome envelope are identical
-    to a cold run's; an out-of-range hint is ignored.  Resumed runs
-    ignore the hint (the checkpoint interval is stronger).
-
-    ``warm_trusted`` asserts that the caller has independently *proved*
-    ``warm_hint`` achievable (e.g. by re-running the analysis on a cached
-    allocation, see ``Allocator._audit_warm_witness``), so even the hint
-    probe is skipped: the search starts directly on ``[lower, hint]``
-    and usually closes with a single ``UNSAT(hint - 1)`` probe.
-    ``warm_model_loaded`` additionally says the caller *holds* an
-    allocation achieving the hint, so if the interval closes at the hint
-    the final ``[R, R]`` re-certification probe is unnecessary too (the
-    caller substitutes its witness; certified runs keep the probe so the
-    certificate contains a SAT audit of the served model).
+    ``bounds`` (a :class:`ResolvedBounds`) seeds the search interval
+    from *audited* provider bounds and reorders probes for the unaudited
+    hints; see the class docstring for the trust levels.  The caller --
+    normally :class:`repro.core.allocator.Allocator` via
+    :func:`repro.bounds.providers.resolve_bounds` -- is responsible for
+    having audited ``lower``/``upper``; ``bin_search`` itself only
+    range-clamps them.  Out-of-range bounds are ignored; resumed runs
+    ignore bounds entirely (the checkpoint interval is stronger).  The
+    provenance of every bounds-shaped probe lands in
+    :attr:`ProbeLog.origin` and the interval arithmetic in
+    :attr:`OptimizationOutcome.bounds`.
     """
     t0 = time.perf_counter()
     out = OptimizationOutcome(feasible=False, optimum=None, proven=False)
@@ -253,7 +309,9 @@ def bin_search(
         else:
             ckpt_failures[0] = 0
 
-    def run_probe(lo: int | None, hi: int | None) -> tuple[bool, int | None]:
+    def run_probe(
+        lo: int | None, hi: int | None, origin: str = "bisect"
+    ) -> tuple[bool, int | None]:
         guard = solver.new_guard()
         sat_engine = getattr(solver, "sat", None)
         v0 = sat_engine.nvars if sat_engine is not None else 0
@@ -293,6 +351,7 @@ def bin_search(
                     interrupted=True,
                     vars_added=vars_added,
                     clauses_added=clauses_added,
+                    origin=origin,
                 )
             )
             out.interrupted = True
@@ -313,6 +372,7 @@ def bin_search(
                 decisions=solver.stats.decisions - d0,
                 vars_added=vars_added,
                 clauses_added=clauses_added,
+                origin=origin,
             )
         )
         if sat and on_sat is not None:
@@ -325,9 +385,19 @@ def bin_search(
     right: int | None = None
     model_loaded = False
     confirm_first = False
+    rb = bounds or ResolvedBounds()
+    floor_probe: int | None = None
+
+    def note_bounds(**extra) -> None:
+        if bounds is None:
+            return
+        out.bounds.update(rb.describe())
+        out.bounds.setdefault("interval_cold", [lower, upper])
+        out.bounds.update(extra)
 
     if checkpoint is not None and checkpoint.started:
         # Resume: skip the work the previous run already certified.
+        # Bounds are ignored -- the checkpoint interval is stronger.
         if checkpoint.lower != lower or checkpoint.upper != upper:
             raise ValueError(
                 f"checkpoint range [{checkpoint.lower}, {checkpoint.upper}] "
@@ -335,6 +405,7 @@ def bin_search(
             )
         out.resumed = True
         out.probes = [ProbeLog(**p) for p in checkpoint.probes]
+        note_bounds(ignored="resumed from checkpoint")
         if checkpoint.feasible is False:
             out.proven = True
             out.seconds = time.perf_counter() - t0
@@ -343,63 +414,91 @@ def bin_search(
         left, right = checkpoint.left, checkpoint.right
         assert left is not None and right is not None
     else:
-        hint = warm_hint
-        if hint is not None and not (lower <= hint < upper):
-            hint = None  # out of range: nothing to gain, ignore
-        warm_floor = lower
-        if hint is not None and warm_trusted:
-            # The caller certified the hint achievable via the
+        # Certified floor: the region below it is audited empty, so the
+        # search never probes there (and the initial SOLVE may carry
+        # ``cost >= floor``).
+        floor = lower
+        if rb.lower is not None and lower < rb.lower:
+            floor = min(rb.lower, upper)
+        trusted_upper = rb.upper
+        if trusted_upper is not None and not (lower <= trusted_upper <= upper):
+            trusted_upper = None  # out of scale: ignore defensively
+        hint = rb.upper_hint
+        if hint is not None and (
+            trusted_upper is not None or not (floor <= hint < upper)
+        ):
+            hint = None  # audited upper wins / out of range: ignore
+        if rb.lower_hint is not None and floor < rb.lower_hint:
+            floor_probe = min(rb.lower_hint, upper)
+        initial_skipped = False
+        if trusted_upper is not None:
+            # The caller audited the bound achievable via the
             # independent analysis: no probe needed at all, the interval
-            # starts at [lower, hint].  Unless the caller also holds the
-            # witness model, the final [R, R] re-certification loads one
-            # if no SAT probe runs.
+            # starts at [floor, upper_bound].  Unless the caller also
+            # holds the witness model, the final [R, R] re-certification
+            # loads one if no SAT probe runs.
             out.feasible = True
-            left, right = lower, hint
-            confirm_first = True
-            model_loaded = warm_model_loaded
+            left, right = min(floor, trusted_upper), trusted_upper
+            confirm_first = left < right
+            model_loaded = rb.model_loaded
+            initial_skipped = True
             sync_checkpoint()
         elif hint is not None:
-            # Warm start: probe the hinted region first.  SAT makes the
-            # expensive unconstrained SOLVE unnecessary; UNSAT certifies
-            # "no solution <= hint", so the search continues above.
+            # Unaudited upper hint: probe the hinted region first.  SAT
+            # makes the expensive unconstrained SOLVE unnecessary; UNSAT
+            # certifies "no solution <= hint", so the search continues
+            # above.
             try:
-                sat, cost = run_probe(None, hint)
+                sat, cost = run_probe(floor, hint, origin="bounds:upper_hint")
             except BudgetExpired:
                 out.seconds = time.perf_counter() - t0
                 sync_checkpoint()
+                note_bounds()
                 return out  # status: unknown
             if sat:
                 assert cost is not None
                 out.feasible = True
                 model_loaded = True
-                left, right = lower, cost
+                left, right = min(floor, cost), cost
                 # A hint usually comes from a near-identical scenario
                 # whose optimum survived the perturbation, so try to
                 # close the interval with a single UNSAT(cost-1) probe
                 # before falling back to bisection.
                 confirm_first = True
+                initial_skipped = True
                 sync_checkpoint()
             else:
-                warm_floor = hint + 1
+                floor = hint + 1
         if right is None:
-            # R := SOLVE(phi): the initial unconstrained query.
+            # R := SOLVE(phi): the initial unconstrained query (bounded
+            # below by the certified floor, when one is known).
             try:
-                sat, cost = run_probe(None, None)
+                sat, cost = run_probe(
+                    floor,
+                    None,
+                    origin="initial" if floor <= lower else "bounds:floor",
+                )
             except BudgetExpired:
                 out.seconds = time.perf_counter() - t0
                 sync_checkpoint()
+                note_bounds()
                 return out  # status: unknown
             if not sat:
                 out.proven = True  # certified infeasibility
                 out.seconds = time.perf_counter() - t0
-                left, right = lower, None
+                left, right = floor, None
                 sync_checkpoint()
+                note_bounds(interval_start=[left, right])
                 return out
             out.feasible = True
             model_loaded = True
             assert cost is not None
-            left, right = warm_floor, cost
+            left, right = floor, cost
             sync_checkpoint()
+        note_bounds(
+            interval_start=[left, right],
+            initial_solve_skipped=initial_skipped,
+        )
 
     while left < right:
         if time_limit is not None and time.perf_counter() - t0 > time_limit:
@@ -411,10 +510,20 @@ def bin_search(
             out.interrupted = True
             out.interrupt_reason = budget.expired_reason
             break
-        mid = right - 1 if confirm_first else (left + right) // 2
-        confirm_first = False
+        if confirm_first:
+            mid, origin = right - 1, "bounds:confirm"
+            confirm_first = False
+        elif floor_probe is not None and left < floor_probe <= right:
+            # Unaudited lower hint: one targeted probe at [left, hint-1].
+            # UNSAT certifies the hint as the true floor in a single
+            # step; SAT just shrinks the interval like any bisect probe.
+            mid, origin = floor_probe - 1, "bounds:lower_hint"
+            floor_probe = None
+        else:
+            mid, origin = (left + right) // 2, "bisect"
+            floor_probe = None  # out of range now: stop rechecking
         try:
-            sat, cost = run_probe(left, mid)
+            sat, cost = run_probe(left, mid, origin=origin)
         except BudgetExpired:
             break  # interrupted probe already logged; keep best bound
         if not sat:
@@ -432,7 +541,7 @@ def bin_search(
         # its own; re-certify [R, R] so the model (and on_sat snapshot)
         # belong to the optimum, exactly as in an uninterrupted run.
         try:
-            sat, _ = run_probe(right, right)
+            sat, _ = run_probe(right, right, origin="recertify")
         except BudgetExpired:
             out.proven = False
             out.seconds = time.perf_counter() - t0
@@ -441,8 +550,8 @@ def bin_search(
         if not sat:
             raise ValueError(
                 "recorded state is inconsistent with the constraints: "
-                f"optimum {right} (from a checkpoint or a trusted warm "
-                "witness) is not satisfiable"
+                f"optimum {right} (from a checkpoint or an audited "
+                "bounds witness) is not satisfiable"
             )
         sync_checkpoint()
     out.seconds = time.perf_counter() - t0

@@ -23,6 +23,13 @@ Fault handling mirrors :mod:`repro.parallel`: a worker death (EOF on its
 pipe) triggers a bounded number of respawns; cancellation is cooperative
 with one solve-slice latency; budget / time-limit expiry winds the fleet
 down gracefully and reports an honest anytime bound (``proven`` False).
+
+Bounds providers (:mod:`repro.bounds`) join the fleet in two modes:
+``bounds_mode="auto"`` resolves and audits them before the first
+dispatch (an audited witness then replaces the unconstrained SOLVE);
+``"race"`` runs the resolver as a sidecar thread whose audited bounds
+tighten the shared interval mid-flight, cancelling probes they decide.
+Either way the certified optimum is bit-identical to a cold run's.
 """
 
 from __future__ import annotations
@@ -129,9 +136,7 @@ def speculative_minimize(allocator, objective, request, faults=None):
             # Nothing left to parallelize; the sequential path also
             # handles the [R, R] re-certification corner.
             return allocator._minimize_incremental(
-                objective, request.time_limit, request.verify,
-                request.budget, ckpt, request.certify,
-                proof_log=request.proof_log,
+                objective, request, ckpt, proof_log=request.proof_log,
             )
     enc, cost_var, lb, ub, enc_secs = allocator._encode(objective)
     assert cost_var is not None
@@ -220,6 +225,8 @@ def speculative_minimize(allocator, objective, request, faults=None):
             best_blob = dict(ckpt.payload)
             best_cost = search.right
 
+    witness_seeded = False
+    bounds_meta: dict = {}
     ckpt_failures = [0]  # consecutive failed saves
 
     def sync_checkpoint() -> None:
@@ -414,6 +421,103 @@ def speculative_minimize(allocator, objective, request, faults=None):
             )
         sync_checkpoint()
 
+    def apply_bounds(rb, witness, meta) -> None:
+        """Fold resolved (audited) bounds into the shared interval.
+
+        Same sequential-equivalence rules as probe answers: an audited
+        upper is a SAT answer whose witness the caller holds, a
+        certified lower an UNSAT verdict for the region below it.
+        In-flight probes the bounds decide are cancelled.  A bound that
+        contradicts already-probed facts is dropped with a note (the
+        probes win; the search stays sound either way).
+        """
+        nonlocal best_blob, best_cost, witness_seeded
+        from repro.parallel_solve.plan import SearchInconsistency
+
+        bounds_meta["mode"] = meta["mode"]
+        bounds_meta["providers"] = meta["providers"]
+        if meta.get("notes"):
+            bounds_meta.setdefault("notes", []).extend(meta["notes"])
+        upper = rb.upper if rb.upper is not None and lb <= rb.upper <= ub \
+            else None
+        floor = rb.lower if rb.lower is not None and rb.lower > lb else None
+        if floor is not None:
+            floor = min(floor, ub)
+        applied: dict = {}
+        obsolete: list[int] = []
+        if upper is not None:
+            try:
+                obsolete += search.tighten_upper(upper)
+            except SearchInconsistency as exc:
+                bounds_meta.setdefault("notes", []).append(
+                    f"audited upper dropped: {exc}"
+                )
+            else:
+                applied["upper"] = upper
+                if witness is not None and (
+                    best_cost is None or upper < best_cost
+                ):
+                    from repro.io import allocation_to_dict
+
+                    best_blob = allocation_to_dict(witness)
+                    best_cost = upper
+                    witness_seeded = True
+        if floor is not None:
+            try:
+                obsolete += search.tighten_lower(floor)
+            except SearchInconsistency as exc:
+                bounds_meta.setdefault("notes", []).append(
+                    f"certified floor dropped: {exc}"
+                )
+            else:
+                applied["lower"] = floor
+        if applied:
+            bounds_meta["applied"] = {
+                **bounds_meta.get("applied", {}), **applied,
+            }
+            if rb.provenance:
+                bounds_meta["provenance"] = dict(rb.provenance)
+        if certificate is not None and meta.get("audits"):
+            from repro.certify import ProbeCertificate
+
+            for a in meta["audits"]:
+                certificate.add(ProbeCertificate(
+                    index=len(certificate.probes),
+                    kind="bounds",
+                    ok=True,
+                    detail=f"{a['provider']} {a['side']}: {a['detail']}",
+                ))
+        for pid2 in obsolete:
+            cancel_probe(pid2)
+        sync_checkpoint()
+
+    racer = None
+    bounds_mode = getattr(request, "bounds_mode", "auto")
+    if (
+        objective is not None
+        and bounds_mode != "off"
+        and not (ckpt is not None and ckpt.started)
+    ):
+        if bounds_mode == "race":
+            # Sidecar racer: the fleet starts cold, the bounds arrive
+            # mid-flight and tighten the shared interval.
+            from repro.bounds.sidecar import BoundsRacer
+
+            racer = BoundsRacer(
+                allocator.tasks, allocator.arch, objective, request
+            ).start()
+        else:
+            # "auto": resolve synchronously so the very first dispatch
+            # already sees the audited interval (no unconstrained SOLVE
+            # when an audited witness exists).
+            from repro.bounds.providers import resolve_bounds
+
+            rb, wit, meta = resolve_bounds(
+                allocator.tasks, allocator.arch, objective, request
+            )
+            if meta.get("providers"):
+                apply_bounds(rb, wit, meta)
+
     def dispatch() -> None:
         idle = [g for g in groups.values() if g.idle]
         if not idle:
@@ -457,6 +561,14 @@ def speculative_minimize(allocator, objective, request, faults=None):
                 out.interrupted = True
                 out.interrupt_reason = "all probe workers failed"
                 break
+            if racer is not None and racer.done:
+                got = racer.poll()
+                if got is not None:
+                    apply_bounds(*got)
+                    if search.done:
+                        break
+                elif racer.error and "sidecar_error" not in bounds_meta:
+                    bounds_meta["sidecar_error"] = racer.error
             dispatch()
             if search.done:
                 break
@@ -504,18 +616,33 @@ def speculative_minimize(allocator, objective, request, faults=None):
                 w.inbox.cancel_join_thread()
                 w.inbox.close()
 
+    if racer is not None and not racer.done:
+        bounds_meta.setdefault("notes", []).append(
+            "race: search closed before the bounds sidecar resolved"
+        )
     out.feasible = search.feasible is True
     out.optimum = search.right
     out.proven = search.done and not out.interrupted
     out.seconds = time.perf_counter() - t0
+    if bounds_meta:
+        out.bounds.update(bounds_meta)
     sync_checkpoint()
 
     alloc = None
     certifier = None
-    if out.feasible and best_blob is None and out.proven:
-        # Resumed run that closed the interval without a SAT probe of its
-        # own and without a checkpointed allocation: re-certify [R, R] on
-        # the (pristine) parent encoding, exactly like bin_search does.
+    need_model = best_blob is None
+    # A certified run whose optimum rests on a seeded bounds witness
+    # (no SAT probe of its own) still owes the certificate a SAT audit
+    # of the served model.
+    need_audit = (
+        certificate is not None
+        and witness_seeded
+        and not any(p.sat for p in out.probes)
+    )
+    if out.feasible and out.proven and (need_model or need_audit):
+        # Closed without a SAT probe of its own (resumed checkpoint or
+        # audited bounds witness): re-certify [R, R] on the (pristine)
+        # parent encoding, exactly like bin_search does.
         certifier = _recertify(
             allocator, objective, enc, cost_var, lb, search.right, out,
             certificate is not None,
@@ -593,8 +720,9 @@ def _recertify(allocator, objective, enc, cost_var, lb, optimum, out,
     sat = enc.solver.solve(assumptions=[guard])
     if not sat:
         raise ValueError(
-            "checkpoint is inconsistent with the constraints: "
-            f"recorded optimum {optimum} is not satisfiable"
+            "recorded state is inconsistent with the constraints: "
+            f"optimum {optimum} (from a checkpoint or an audited bounds "
+            "witness) is not satisfiable"
         )
     out.probes.append(ProbeLog(
         lo=optimum, hi=optimum, sat=True, cost=enc.solver.value(cost_var),

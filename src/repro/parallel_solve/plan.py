@@ -190,6 +190,52 @@ class SpeculativeSearch:
         ]
         return hit, obsolete
 
+    # -- bounds ----------------------------------------------------------
+
+    def tighten_upper(self, cost: int) -> list[int]:
+        """Apply an *audited* achievable cost from a bounds provider.
+
+        Semantically identical to a SAT answer at ``cost`` (the caller
+        holds the audited witness), so the same sequential rules apply.
+        Returns the now-obsolete in-flight probe ids.
+        """
+        if self.feasible is False:
+            raise SearchInconsistency(
+                f"audited witness at cost {cost} after certified "
+                "infeasibility"
+            )
+        if cost < self.left:
+            raise SearchInconsistency(
+                f"audited witness cost {cost} below the refuted bound "
+                f"{self.left}"
+            )
+        if self.feasible is None:
+            self.feasible = True
+        if self.right is None or cost < self.right:
+            self.right = cost
+        return [
+            pid for pid, s in self.in_flight.items() if self._obsolete(s)
+        ]
+
+    def tighten_lower(self, bound: int) -> list[int]:
+        """Apply an *audited* certified floor from a bounds provider.
+
+        Semantically identical to an UNSAT answer for
+        ``[left, bound - 1]`` (the certificate refuted that region), so
+        the same sequential rules apply.  Returns the now-obsolete
+        in-flight probe ids.
+        """
+        if self.right is not None and bound > self.right:
+            raise SearchInconsistency(
+                f"certified floor {bound} above the witnessed cost "
+                f"{self.right}"
+            )
+        if bound > self.left:
+            self.left = bound
+        return [
+            pid for pid, s in self.in_flight.items() if self._obsolete(s)
+        ]
+
     def on_cancelled(self, probe_id: int) -> None:
         """Forget a probe the engine cancelled (neither hit nor miss)."""
         self.in_flight.pop(probe_id, None)

@@ -20,11 +20,12 @@ The cache exploits both without ever weakening the answer:
 
 - a hit whose stored *system digest* matches the incoming system is an
   **exact** hit; otherwise the stored optimum is only a **warm hint**:
-  the solve passes it as ``SolveRequest.warm_start`` (plus the cached
-  allocation as ``warm_allocation``, a witness the allocator re-audits
-  with the independent analysis), which is a probe-*order* change,
-  never a correctness shortcut -- the binary search still certifies the
-  optimum from scratch (bit-identical ``{cost, proven, status}``
+  the server wraps it in a ``repro.bounds.HintBoundsProvider`` (cached
+  optimum as the claimed upper, cached allocation as the witness) on
+  ``SolveRequest.bounds``, and the allocator re-audits the witness with
+  the independent analysis before trusting anything -- a probe-*count*
+  change, never a correctness shortcut: the binary search still
+  certifies the optimum (bit-identical ``{cost, proven, status}``
   envelope, asserted in tests).
 
 Entries are LRU-evicted.  ``serve.cache`` is a named chaos site: an

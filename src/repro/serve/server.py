@@ -24,12 +24,13 @@ small pool of worker tasks runs the CPU-bound solves in threads via
   with ``draining``, and lets workers finish.  A restarted server given
   the same ``state_dir`` resumes interrupted searches from their
   checkpoints on resubmission.
-- **warm starts** -- proven optima (and their allocations) land in a
-  :class:`~repro.serve.cache.WarmCache`; a later request in the same
-  scenario gets the cached optimum as a ``warm_start`` probe hint and
-  the cached allocation as a ``warm_allocation`` witness the allocator
-  re-audits with the independent analysis (identical certified answer,
-  fewer probes).
+- **bounds composition** -- proven optima (and their allocations) land
+  in a :class:`~repro.serve.cache.WarmCache`; a later request in the
+  same scenario gets the cached entry as a ``HintBoundsProvider`` and,
+  unless ``ServeConfig.bounds`` is ``"off"``, the relaxation sidecar
+  (:class:`repro.bounds.RelaxationBoundsProvider`) as a second
+  provider.  The allocator audits every proposal and the tightest
+  audited bound wins (identical certified answer, fewer probes).
 
 Every lifecycle event is appended to ``state_dir/serve-events.jsonl``
 (:class:`repro.robust.FlightRecorder`), and the ``serve.*`` chaos sites
@@ -89,6 +90,10 @@ class ServeConfig:
     keep_checkpoints: bool = True
     #: Certify answers even when the request does not ask for it.
     certify_default: bool = False
+    #: Bounds providers composed into every solve: ``"auto"`` adds the
+    #: relaxation sidecar next to the warm-cache hint (tightest audited
+    #: bound wins), ``"off"`` serves warm-cache hints only.
+    bounds: str = "auto"
     #: Chaos schedule installed process-wide for the server's lifetime.
     chaos: object | None = None
 
@@ -449,9 +454,18 @@ class AllocationServer:
             # Drain may have snapshotted _inflight before we registered.
             budget.expired_reason = "server draining"
 
+        from repro.bounds import HintBoundsProvider, RelaxationBoundsProvider
+
         entry = self.cache.lookup(job.scenario, job.identity_fp)
         hint = entry.optimum if entry is not None else None
         witness = entry.allocation if entry is not None else None
+        providers: list = []
+        if entry is not None:
+            providers.append(HintBoundsProvider(
+                upper=hint, witness=witness, name="warm-cache",
+            ))
+        if self.config.bounds != "off":
+            providers.append(RelaxationBoundsProvider())
         ckpt = None
         if self.config.keep_checkpoints:
             from repro.fabric.jobs import code_fingerprint
@@ -466,8 +480,7 @@ class AllocationServer:
         request = job.base_request.merged(
             budget=budget,
             checkpoint=ckpt,
-            warm_start=hint,
-            warm_allocation=witness,
+            bounds=tuple(providers),
             flight_log=self.events_path,
         )
         backend = get_backend().name

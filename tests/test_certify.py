@@ -14,7 +14,7 @@ from repro.certify import (
     audit_witness,
     check_proof_lines,
 )
-from repro.core import Allocator, MinimizeSumTRT, MinimizeTRT
+from repro.core import Allocator, MinimizeSumTRT, MinimizeTRT, SolveRequest
 from repro.sat import Solver, mklit, neg
 from repro.workloads import (
     architecture_a,
@@ -243,7 +243,8 @@ class TestCertifiedOptimization:
         tasks = tindell_partition(7)
         arch = tindell_architecture()
         res = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), reuse_learned=reuse, certify=True
+            MinimizeTRT("ring"),
+            request=SolveRequest(reuse_learned=reuse, certify=True),
         )
         assert res.feasible
         cert = res.certificate
@@ -263,7 +264,8 @@ class TestCertifiedOptimization:
         tasks = tindell_partition(6, n_ecus=4)
         arch = architecture_a()
         res = Allocator(tasks, arch).minimize(
-            MinimizeSumTRT(), reuse_learned=reuse, certify=True
+            MinimizeSumTRT(),
+            request=SolveRequest(reuse_learned=reuse, certify=True),
         )
         assert res.feasible
         cert = res.certificate
@@ -275,7 +277,7 @@ class TestCertifiedOptimization:
         tasks = tindell_partition(7)
         arch = tindell_architecture()
         res = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), certify=True
+            MinimizeTRT("ring"), request=SolveRequest(certify=True)
         )
         finals = [
             p for p in res.certificate.probes
@@ -294,7 +296,8 @@ class TestCertifiedOptimization:
     def test_find_feasible_sat_certified(self):
         tasks = tindell_partition(6)
         arch = tindell_architecture()
-        res = Allocator(tasks, arch).find_feasible(certify=True)
+        res = Allocator(tasks, arch).find_feasible(
+            request=SolveRequest(certify=True))
         assert res.feasible
         assert res.certified
         assert res.certificate.sat_probes == 1
@@ -312,7 +315,8 @@ class TestCertifiedOptimization:
         tasks = TaskSet([
             Task(f"t{i}", 100, {"p0": 60, "p1": 60}, 100) for i in range(3)
         ])
-        res = Allocator(tasks, arch).find_feasible(certify=True)
+        res = Allocator(tasks, arch).find_feasible(
+            request=SolveRequest(certify=True))
         assert not res.feasible
         cert = res.certificate
         assert cert.all_verified, cert.summary()
@@ -323,7 +327,7 @@ class TestCertifiedOptimization:
         tasks = tindell_partition(6)
         arch = tindell_architecture()
         res = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), certify=True
+            MinimizeTRT("ring"), request=SolveRequest(certify=True)
         )
         data = res.certificate.to_dict()
         for key in ("probes", "sat_probes", "unsat_probes",

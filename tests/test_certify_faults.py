@@ -154,7 +154,7 @@ class TestGuaranteedProofRejections:
 
 class TestWitnessCorruption:
     def _solved_system(self):
-        from repro.core import Allocator
+        from repro.core import Allocator, SolveRequest
         from repro.model import TOKEN_RING, Architecture, Ecu, Medium
         from repro.model import Task, TaskSet
 
@@ -172,7 +172,8 @@ class TestWitnessCorruption:
             Task("b", 2000, {"p0": 400, "p1": 400}, 2000,
                  separated_from=frozenset({"a"})),
         ])
-        res = Allocator(tasks, arch).find_feasible(certify=True)
+        res = Allocator(tasks, arch).find_feasible(
+            request=SolveRequest(certify=True))
         assert res.feasible and res.certified
         return tasks, arch, res.allocation
 

@@ -593,23 +593,36 @@ class TestDeprecationLocation:
         assert len(deps) == 1, [str(w.message) for w in deps]
         return deps[0]
 
-    def test_minimize_warning_names_this_file(self, tiny):
+    def test_warm_start_shim_warning_names_this_file(self, tiny):
         tasks, arch = tiny
         with warnings.catch_warnings(record=True) as rec:
             warnings.simplefilter("always")
             Allocator(tasks, arch).minimize(
-                MinimizeTRT("ring"), time_limit=300.0
+                MinimizeTRT("ring"), request=SolveRequest(warm_start=999)
             )
         w = self._single_warning(rec)
         assert w.filename == __file__
-        assert "time_limit" in str(w.message)
+        assert "HintBoundsProvider" in str(w.message)
 
-    def test_find_feasible_warning_names_this_file(self, tiny):
+    def test_warm_allocation_shim_warning_names_this_file(self, tiny):
         tasks, arch = tiny
         with warnings.catch_warnings(record=True) as rec:
             warnings.simplefilter("always")
-            Allocator(tasks, arch).find_feasible(verify=False)
+            Allocator(tasks, arch).minimize(
+                MinimizeTRT("ring"),
+                request=SolveRequest(warm_start=999,
+                                     warm_allocation={"task_ecu": {}}),
+            )
         assert self._single_warning(rec).filename == __file__
+
+    def test_legacy_solve_kwargs_raise_with_migration_hint(self, tiny):
+        tasks, arch = tiny
+        with pytest.raises(TypeError, match="SolveRequest"):
+            Allocator(tasks, arch).minimize(
+                MinimizeTRT("ring"), time_limit=300.0
+            )
+        with pytest.raises(TypeError, match="SolveRequest"):
+            Allocator(tasks, arch).find_feasible(verify=False)
 
     def test_supervisor_warning_names_this_file(self, tiny):
         from repro.robust import Budget, SolveSupervisor

@@ -11,6 +11,7 @@ from repro.core import (
     MinimizeCanUtilization,
     MinimizeSumTRT,
     MinimizeTRT,
+    SolveRequest,
 )
 from repro.model import CAN
 from repro.workloads import (
@@ -139,9 +140,11 @@ class TestConfigurationMatrix:
         arch = tindell_architecture()
         tasks = tindell_partition(7)
         inc = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), reuse_learned=True
+            MinimizeTRT("ring"),
+            request=SolveRequest(reuse_learned=True),
         )
         reb = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), reuse_learned=False
+            MinimizeTRT("ring"),
+            request=SolveRequest(reuse_learned=False),
         )
         assert inc.cost == reb.cost

@@ -474,12 +474,10 @@ class TestParallelEngine:
 
 
 class TestLegacyShim:
-    def test_minimize_legacy_kwargs_warn_but_work(self, small_system,
-                                                  sequential_result):
+    def test_minimize_legacy_kwargs_raise(self, small_system):
         tasks, arch, obj = small_system
-        with pytest.deprecated_call():
-            res = Allocator(tasks, arch).minimize(obj, time_limit=300.0)
-        assert res.cost == sequential_result.cost
+        with pytest.raises(TypeError, match="time_limit"):
+            Allocator(tasks, arch).minimize(obj, time_limit=300.0)
 
     def test_minimize_request_only_is_silent(self, small_system):
         import warnings
@@ -504,11 +502,10 @@ class TestLegacyShim:
         with pytest.raises(TypeError):
             Allocator(tasks, arch).minimize(req, request=req)
 
-    def test_find_feasible_legacy_kwarg_warns(self, small_system):
+    def test_find_feasible_legacy_kwarg_raises(self, small_system):
         tasks, arch, _ = small_system
-        with pytest.deprecated_call():
-            res = Allocator(tasks, arch).find_feasible(verify=False)
-        assert res.feasible
+        with pytest.raises(TypeError, match="verify"):
+            Allocator(tasks, arch).find_feasible(verify=False)
 
     def test_supervisor_legacy_kwargs_warn(self, small_system):
         from repro.robust import Budget, SolveSupervisor

@@ -8,6 +8,7 @@ optimization results.
 import pytest
 
 from repro.arith import IntSolver
+from repro.core import SolveRequest
 from repro.core.optimize import bin_search
 from repro.robust import Budget, BudgetExpired
 
@@ -193,7 +194,8 @@ class TestAllocatorProvenFlag:
 
         tasks, arch = self._system()
         res = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), budget=Budget(max_decisions=2)
+            MinimizeTRT("ring"),
+            request=SolveRequest(budget=Budget(max_decisions=2)),
         )
         assert not res.proven
         assert res.status in ("upper_bound", "unknown")
@@ -204,8 +206,9 @@ class TestAllocatorProvenFlag:
 
         tasks, arch = self._system()
         res = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), reuse_learned=False,
-            budget=Budget(max_decisions=2),
+            MinimizeTRT("ring"),
+            request=SolveRequest(
+                reuse_learned=False, budget=Budget(max_decisions=2)),
         )
         assert not res.proven
         assert res.status in ("upper_bound", "unknown")
@@ -215,7 +218,7 @@ class TestAllocatorProvenFlag:
 
         tasks, arch = self._system()
         res = Allocator(tasks, arch).find_feasible(
-            budget=Budget(max_decisions=1)
+            request=SolveRequest(budget=Budget(max_decisions=1))
         )
         assert not res.feasible
         assert res.status == "unknown"

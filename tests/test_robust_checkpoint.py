@@ -11,6 +11,7 @@ import os
 import pytest
 
 from repro.arith import IntSolver
+from repro.core import SolveRequest
 from repro.core.optimize import bin_search
 from repro.robust import Budget, SearchCheckpoint, SweepCheckpoint
 
@@ -230,8 +231,10 @@ class TestAllocatorResume:
                 os.remove(path)
             starved = Allocator(tasks, arch).minimize(
                 MinimizeTRT("ring"),
-                budget=Budget(max_decisions=max_decisions),
-                checkpoint=path,
+                request=SolveRequest(
+                    budget=Budget(max_decisions=max_decisions),
+                    checkpoint=path,
+                ),
             )
             if starved.outcome.feasible and not starved.proven:
                 break
@@ -240,7 +243,7 @@ class TestAllocatorResume:
         assert os.path.exists(path)
 
         resumed = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), checkpoint=path
+            MinimizeTRT("ring"), request=SolveRequest(checkpoint=path)
         )
         assert resumed.proven
         assert resumed.cost == reference.cost
@@ -255,16 +258,18 @@ class TestAllocatorResume:
         tasks, arch = self._system()
         path = str(tmp_path / "alloc.json")
         first = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), budget=Budget(max_decisions=200),
-            checkpoint=path,
+            MinimizeTRT("ring"),
+            request=SolveRequest(
+                budget=Budget(max_decisions=200), checkpoint=path),
         )
         if first.allocation is None:
             pytest.skip("budget too small to find any model on this host")
         data = json.load(open(path))
         assert data["payload"] is not None
         resumed = Allocator(tasks, arch).minimize(
-            MinimizeTRT("ring"), budget=Budget(max_decisions=1),
-            checkpoint=path,
+            MinimizeTRT("ring"),
+            request=SolveRequest(
+                budget=Budget(max_decisions=1), checkpoint=path),
         )
         assert resumed.allocation is not None
 

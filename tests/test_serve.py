@@ -310,7 +310,9 @@ class TestServerVerdicts:
         tasks, arch = scaling_taskset(4, 16), ring_architecture(4)
 
         async def main():
-            server = await started_server(tmp_path)
+            # bounds=off: the relaxation sidecar would hand the starved
+            # search an audited witness and mask the exhaustion verdict.
+            server = await started_server(tmp_path, bounds="off")
             resp = await server.submit(
                 payload_for(tasks, arch, conflict_budget=1)
             )
@@ -439,15 +441,19 @@ class TestWarmStarts:
         # allocation that still passes the independent analysis lets the
         # search close with a single UNSAT(cost-1) probe, yet the
         # envelope stays bit-identical to a cold solve.
+        from repro.bounds import HintBoundsProvider
         from repro.io import allocation_to_dict
 
         tasks, arch = feasible_system()
         req = SolveRequest(objective=MinimizeTRT("ring"))
         cold = solve(tasks, arch, req)
-        warm = solve(tasks, arch, req.merged(
-            warm_start=cold.cost,
-            warm_allocation=allocation_to_dict(cold.allocation),
-        ))
+        warm = solve(tasks, arch, req.merged(bounds=(
+            HintBoundsProvider(
+                upper=cold.cost,
+                witness=allocation_to_dict(cold.allocation),
+                name="warm-cache",
+            ),
+        )))
         assert (warm.cost, warm.proven, warm.status) == (
             cold.cost, cold.proven, cold.status
         )
@@ -458,13 +464,17 @@ class TestWarmStarts:
         assert warm.result.verification.schedulable
 
     def test_garbage_witness_is_ignored(self):
+        from repro.bounds import HintBoundsProvider
+
         tasks, arch = feasible_system()
         req = SolveRequest(objective=MinimizeTRT("ring"))
         cold = solve(tasks, arch, req)
-        warm = solve(tasks, arch, req.merged(
-            warm_start=cold.cost,
-            warm_allocation={"task_ecu": {"no-such-task": "nowhere"}},
-        ))
+        warm = solve(tasks, arch, req.merged(bounds=(
+            HintBoundsProvider(
+                upper=cold.cost,
+                witness={"task_ecu": {"no-such-task": "nowhere"}},
+            ),
+        )))
         # Malformed witness: no shortcut, but the plain hint still
         # applies and the answer is unchanged.
         assert (warm.cost, warm.proven, warm.status) == (
@@ -472,22 +482,42 @@ class TestWarmStarts:
         )
 
     def test_certified_warm_witness_keeps_sat_audit(self):
+        from repro.bounds import HintBoundsProvider
         from repro.io import allocation_to_dict
 
         tasks, arch = feasible_system()
         req = SolveRequest(objective=MinimizeTRT("ring"))
         cold = solve(tasks, arch, req)
-        warm = solve(tasks, arch, req.merged(
-            certify=True,
-            warm_start=cold.cost,
-            warm_allocation=allocation_to_dict(cold.allocation),
-        ))
+        warm = solve(tasks, arch, req.merged(certify=True, bounds=(
+            HintBoundsProvider(
+                upper=cold.cost,
+                witness=allocation_to_dict(cold.allocation),
+            ),
+        )))
         assert warm.cost == cold.cost and warm.proven
         cert = warm.certificate
         assert cert is not None and cert.all_verified
         # The certificate must audit the served model, not just the
         # UNSAT fence: a certified run keeps the [R, R] probe.
         assert any(p.kind == "sat" for p in cert.probes)
+
+    def test_warm_kwarg_shim_still_works_with_warning(self):
+        # One release of grace: the deprecated warm kwargs are mapped
+        # onto a HintBoundsProvider and behave identically.
+        from repro.io import allocation_to_dict
+
+        tasks, arch = feasible_system()
+        req = SolveRequest(objective=MinimizeTRT("ring"))
+        cold = solve(tasks, arch, req)
+        with pytest.deprecated_call():
+            warm = solve(tasks, arch, req.merged(
+                warm_start=cold.cost,
+                warm_allocation=allocation_to_dict(cold.allocation),
+            ))
+        assert (warm.cost, warm.proven, warm.status) == (
+            cold.cost, cold.proven, cold.status
+        )
+        assert len(warm.result.outcome.probes) == 1
 
     def test_code_fingerprint_change_defeats_cache(self, tmp_path,
                                                    monkeypatch):

@@ -161,9 +161,11 @@ class TestDrainAndResume:
         }
         state = str(tmp_path / "state")
 
+        # bounds=off throughout: the relaxation sidecar would prove the
+        # optimum without SAT work and defeat the interruption setup.
         async def first():
             server = AllocationServer(ServeConfig(state_dir=state,
-                                                  workers=1))
+                                                  workers=1, bounds="off"))
             await server.start()
             r = await server.submit(
                 dict(payload, id="cut", conflict_budget=budget)
@@ -173,7 +175,7 @@ class TestDrainAndResume:
 
         async def second():
             server = AllocationServer(ServeConfig(state_dir=state,
-                                                  workers=1))
+                                                  workers=1, bounds="off"))
             await server.start()
             r = await server.submit(dict(payload, id="resume"))
             await server.stop()
