@@ -1,0 +1,120 @@
+"""Guard: disabled governor hooks stay under 1% solve overhead.
+
+The governor promises to be *free when off*: every ``charge`` /
+``track`` / ``mem_tick`` call site reduces to one module-global
+truthiness check when no governor is installed, and the solver's
+rate-limited tick to one ``current()`` lookup every 256 decisions.
+Like the chaos guard next door, this benchmark checks the promise
+robustly -- by *counting* real hook executions and multiplying by the
+measured disabled per-call cost -- instead of differencing two noisy
+wall-clock runs:
+
+1. a clean ungoverned solve measures the baseline wall time ``T``;
+2. the same solve under a governor with unreachable limits counts real
+   hook executions through the governor's own stats (``charges`` for
+   the disk side, ``mem_ticks`` for the memory side);
+3. ``timeit`` measures the disabled fast path per call;
+4. ``overhead = calls * per_call / T`` must stay below 1%.
+
+Results land in ``benchmarks/out/BENCH_governor.json``.
+"""
+
+import time
+import timeit
+
+from conftest import bench_cell
+
+from repro import governor as governor_mod
+from repro.core import Allocator, MinimizeSumTRT, SolveRequest
+from repro.governor import GovernorConfig
+from repro.robust import SearchCheckpoint
+from repro.workloads import architecture_a, tindell_partition
+
+OVERHEAD_BUDGET = 0.01  # < 1% of solve wall time
+
+#: Limits no real solve can reach: every hook runs its full governed
+#: path (counted in stats) but never rejects, evicts, or cancels.
+_UNREACHABLE = GovernorConfig(disk_quota=1 << 40, mem_watermark=1 << 40)
+
+
+def _request(objective, base, governor=None):
+    ckpt = SearchCheckpoint()
+    ckpt.path = str(base / "ck.json")
+    return SolveRequest(
+        objective=objective,
+        certify=True,
+        proof_log=str(base / "run.proof"),
+        checkpoint=ckpt,
+        flight_log=str(base / "flight.jsonl"),
+        governor=governor,
+    )
+
+
+def _disabled_per_call_seconds():
+    assert governor_mod.current() is None
+    n = 200_000
+    charge = timeit.timeit(
+        lambda: governor_mod.charge("flight", 64), number=n
+    )
+    tick = timeit.timeit(lambda: governor_mod.mem_tick(), number=n)
+    return charge / n, tick / n
+
+
+def test_disabled_hooks_stay_under_one_percent(profile, tmp_path,
+                                               record_json):
+    tasks = tindell_partition(profile.table4_tasks)
+    arch = architecture_a()
+    objective = MinimizeSumTRT()
+
+    # 1. Baseline: hooks present, nothing installed (the production
+    # configuration this guard protects).
+    base = tmp_path / "baseline"
+    base.mkdir()
+    t0 = time.perf_counter()
+    res = Allocator(tasks, arch).minimize(
+        request=_request(objective, base)
+    )
+    baseline_seconds = time.perf_counter() - t0
+    assert res.feasible
+
+    # 2. Count real hook executions with unreachable limits.
+    governed_base = tmp_path / "governed"
+    governed_base.mkdir()
+    counted = Allocator(tasks, arch).minimize(
+        request=_request(objective, governed_base, governor=_UNREACHABLE)
+    )
+    assert counted.feasible and counted.cost == res.cost
+    stats = counted.solver_stats["governor"]
+    assert stats["quota_rejections"] == 0 and not stats["responses"]
+    charges = stats["charges"]
+    ticks = stats["mem_ticks"]
+    assert charges > 0 and ticks > 0  # both hook families saw traffic
+
+    # 3 + 4. Disabled per-call cost, projected onto the solve.
+    per_charge, per_tick = _disabled_per_call_seconds()
+    overhead_seconds = charges * per_charge + ticks * per_tick
+    overhead_fraction = overhead_seconds / baseline_seconds
+    cell = bench_cell(
+        res,
+        charge_calls=charges,
+        mem_tick_calls=ticks,
+        disabled_charge_ns=round(per_charge * 1e9, 2),
+        disabled_tick_ns=round(per_tick * 1e9, 2),
+        baseline_seconds=round(baseline_seconds, 4),
+        overhead_seconds=round(overhead_seconds, 6),
+        overhead_fraction=round(overhead_fraction, 6),
+        overhead_budget=OVERHEAD_BUDGET,
+    )
+    assert overhead_fraction < OVERHEAD_BUDGET, (
+        f"disabled governor hooks project to {overhead_fraction:.2%} "
+        f"of a {baseline_seconds:.2f}s solve ({charges} charges at "
+        f"{per_charge * 1e9:.0f}ns, {ticks} ticks at "
+        f"{per_tick * 1e9:.0f}ns)"
+    )
+
+    record_json("governor", {
+        "profile": profile.name,
+        "tasks": profile.table4_tasks,
+        "architecture": "A",
+        "cell": cell,
+    })

@@ -3,8 +3,7 @@
 :func:`resolve_bounds` is the single gate between bounds providers and
 the binary search.  It runs every :class:`~repro.core.api.
 BoundsProvider` on :attr:`SolveRequest.bounds` (plus any the engine
-injects, plus the deprecated ``warm_start``/``warm_allocation`` shim)
-and audits each proposal:
+injects) and audits each proposal:
 
 - an ``upper`` backed by a ``witness`` is re-checked by the independent
   analysis; the *recomputed* cost (never the claim) becomes a trusted
@@ -25,14 +24,9 @@ slower.
 from __future__ import annotations
 
 import time
-import warnings
 
 from repro.certify.bounds import audit_lower_certificate
-from repro.core.api import (
-    BoundsProvider,
-    BoundsReport,
-    _caller_stacklevel,
-)
+from repro.core.api import BoundsProvider, BoundsReport
 from repro.core.optimize import ResolvedBounds
 
 __all__ = ["HintBoundsProvider", "resolve_bounds"]
@@ -114,24 +108,6 @@ def resolve_bounds(tasks, arch, objective, request, extra=()):
         return rb, None, meta
 
     providers = list(extra) + list(getattr(request, "bounds", ()) or ())
-    warm_start = getattr(request, "warm_start", None)
-    warm_allocation = getattr(request, "warm_allocation", None)
-    if warm_start is not None or warm_allocation is not None:
-        warnings.warn(
-            "SolveRequest.warm_start / warm_allocation are deprecated; "
-            "pass a repro.bounds.HintBoundsProvider in "
-            "SolveRequest.bounds instead (the shim keeps working for "
-            "one release)",
-            DeprecationWarning,
-            stacklevel=_caller_stacklevel(),
-        )
-        providers.append(
-            HintBoundsProvider(
-                upper=warm_start,
-                witness=warm_allocation,
-                name="legacy-warm",
-            )
-        )
 
     # Providers read the objective off the request.
     req = request

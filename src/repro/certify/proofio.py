@@ -30,7 +30,8 @@ import threading
 import zlib
 from dataclasses import dataclass
 
-from repro.chaos import chaos_data
+from repro import governor as _governor
+from repro.chaos import ChaosDiskFull, chaos_data
 
 __all__ = [
     "MAGIC",
@@ -235,9 +236,23 @@ class ProofSpool:
         for _attempt in (0, 1):
             blob = b"".join(_pack(line) for line in pending)
             try:
+                # A quota rejection is ENOSPC-shaped and lands on the
+                # same retry-then-condemn path as a real full disk: the
+                # governor never truncates a live proof spool.
+                _governor.charge("proof", len(blob), path=self.path)
                 data, _damage = chaos_data("proof.append", blob)
                 self._write_at(self._end, data)
                 self._fh.truncate(self._end + len(data))
+            except ChaosDiskFull as exc:
+                # ENOSPC mid-write: the frame prefix reached the disk
+                # before space ran out.  Land it (a torn record the
+                # read-back verification must catch), then retry once.
+                if exc.partial:
+                    try:
+                        self._write_at(self._end, exc.partial)
+                    except OSError:
+                        pass
+                continue
             except OSError:
                 continue  # transient write failure: one retry
 

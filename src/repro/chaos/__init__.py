@@ -12,11 +12,13 @@ from repro.chaos.schedule import (
     PROFILES,
     SITE_KINDS,
     SITES,
+    ChaosDiskFull,
     ChaosFault,
     ChaosIOError,
     ChaosSchedule,
     active,
     chaos_data,
+    chaos_flag,
     chaos_lits,
     chaos_point,
     current,
@@ -31,11 +33,13 @@ __all__ = [
     "PROFILES",
     "SITE_KINDS",
     "SITES",
+    "ChaosDiskFull",
     "ChaosFault",
     "ChaosIOError",
     "ChaosSchedule",
     "active",
     "chaos_data",
+    "chaos_flag",
     "chaos_lits",
     "chaos_point",
     "current",

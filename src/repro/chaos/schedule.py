@@ -39,6 +39,13 @@ Fault kinds
   reach the medium, the rest are lost (crash between two ``write``\\ s).
 - ``"corrupt-bytes"`` -- data faults only: one byte (or literal) is
   flipped in transit (bit rot, a buggy NIC, a hostile filesystem).
+- ``"disk-full"``     -- raise :class:`ChaosDiskFull` (an ``OSError``
+  with ``errno.ENOSPC``); at data sites the *prefix* of the frame up to
+  the fault's ``offset`` (default: half) reaches the medium first --
+  the mid-write partial-frame shape of a real full disk.
+- ``"mem-pressure"``  -- flag-only: :func:`chaos_flag` reports True, so
+  the resource governor (``repro.governor``) sees its memory watermark
+  as exceeded without the harness allocating a single byte.
 
 Sites
 -----
@@ -62,11 +69,15 @@ Sites
 ``serve.cache``         a warm-start cache lookup or store
 ``serve.worker``        a serve worker picking up a solve
 ``serve.drain``         one step of the SIGTERM drain sequence
+``flight.append``       flight-recorder JSONL bytes on their way to disk (data)
+``governor.disk``       a disk-quota admission check in the governor
+``governor.mem``        a memory-watermark reading in the governor
 ======================  ====================================================
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import random
@@ -81,11 +92,13 @@ __all__ = [
     "PROFILES",
     "CHAOS_EXIT_CODE",
     "ChaosIOError",
+    "ChaosDiskFull",
     "ChaosFault",
     "ChaosSchedule",
     "chaos_point",
     "chaos_data",
     "chaos_lits",
+    "chaos_flag",
     "install",
     "uninstall",
     "current",
@@ -118,9 +131,13 @@ SITES = (
     "serve.cache",
     "serve.worker",
     "serve.drain",
+    "flight.append",
+    "governor.disk",
+    "governor.mem",
 )
 
-KINDS = ("crash", "hang", "io-error", "torn-write", "corrupt-bytes")
+KINDS = ("crash", "hang", "io-error", "torn-write", "corrupt-bytes",
+         "disk-full", "mem-pressure")
 
 #: Which kinds make sense where.  Control sites (``chaos_point``) cannot
 #: tear or corrupt bytes; ``crash`` is limited to sites that execute in
@@ -132,13 +149,16 @@ SITE_KINDS = {
     "worker.spawn": ("io-error",),
     "worker.ipc.put": ("crash", "hang", "io-error"),
     "worker.ipc.get": ("crash", "hang", "io-error"),
-    "checkpoint.write": ("io-error", "torn-write", "corrupt-bytes"),
-    "checkpoint.fsync": ("io-error", "hang"),
-    "proof.append": ("io-error", "torn-write", "corrupt-bytes"),
+    "checkpoint.write": ("io-error", "torn-write", "corrupt-bytes",
+                         "disk-full"),
+    "checkpoint.fsync": ("io-error", "hang", "disk-full"),
+    "proof.append": ("io-error", "torn-write", "corrupt-bytes",
+                     "disk-full"),
     "race.import": ("torn-write", "corrupt-bytes", "io-error"),
     "supervisor.stage": ("io-error",),
-    "fabric.store.append": ("io-error", "torn-write", "corrupt-bytes"),
-    "fabric.store.fsync": ("io-error", "hang"),
+    "fabric.store.append": ("io-error", "torn-write", "corrupt-bytes",
+                            "disk-full"),
+    "fabric.store.fsync": ("io-error", "hang", "disk-full"),
     "fabric.lease.renew": ("crash", "hang", "io-error"),
     "fabric.worker.claim": ("crash", "hang", "io-error"),
     # Serve sites run inside the (long-lived) server process, so crash
@@ -150,6 +170,14 @@ SITE_KINDS = {
     "serve.cache": ("hang", "io-error"),
     "serve.worker": ("hang", "io-error"),
     "serve.drain": ("hang", "io-error"),
+    "flight.append": ("io-error", "torn-write", "corrupt-bytes",
+                      "disk-full"),
+    # Governor sites: resource exhaustion seen *by the governor itself*.
+    # ``governor.disk`` forces a quota rejection regardless of real
+    # usage; ``governor.mem`` is flag-only (queried via chaos_flag) and
+    # forces the watermark over threshold.
+    "governor.disk": ("disk-full", "io-error"),
+    "governor.mem": ("mem-pressure",),
 }
 
 
@@ -157,6 +185,22 @@ class ChaosIOError(OSError):
     """The injected ``io-error`` fault (an :class:`OSError` on purpose:
     hardened code must survive it through its *ordinary* error
     handling, not through knowledge of the harness)."""
+
+
+class ChaosDiskFull(ChaosIOError):
+    """The injected ``disk-full`` fault: an ``OSError`` carrying
+    ``errno.ENOSPC`` so hardened code sees exactly what a full disk
+    produces.  ``partial`` holds the frame prefix that reached the
+    medium before space ran out (empty at control sites); data-site
+    callers land it before handling the error, so torn-tail repair --
+    not luck -- decides what survives."""
+
+    def __init__(self, site: str, partial: bytes = b""):
+        super().__init__(
+            errno.ENOSPC, f"chaos: injected disk-full at {site}"
+        )
+        self.site = site
+        self.partial = partial
 
 
 @dataclass(frozen=True)
@@ -169,6 +213,9 @@ class ChaosFault:
     trigger: int
     kind: str
     repeat: int = 1
+    #: For ``disk-full`` at data sites only: how many bytes of the frame
+    #: reach the medium before ENOSPC (None = half the frame).
+    offset: int | None = None
 
     def __post_init__(self) -> None:
         if self.site not in SITES:
@@ -181,6 +228,11 @@ class ChaosFault:
             )
         if self.trigger < 1 or self.repeat < 1:
             raise ValueError("trigger and repeat must be >= 1")
+        if self.offset is not None:
+            if self.kind != "disk-full":
+                raise ValueError("offset is only meaningful for disk-full")
+            if self.offset < 0:
+                raise ValueError("offset must be >= 0")
 
 
 #: Named profiles: curated schedules for the CLI and the CI smoke job.
@@ -225,6 +277,16 @@ PROFILES: dict[str, tuple[tuple[str, int, str, int], ...]] = {
         ("worker.ipc.put", 1, "io-error", 1),
         ("proof.append", 2, "torn-write", 1),
         ("supervisor.stage", 1, "io-error", 1),
+    ),
+    # Resource exhaustion: a full disk at every persistence writer plus
+    # the governor's own admission check, and a forced memory watermark.
+    "resource": (
+        ("checkpoint.write", 1, "disk-full", 1),
+        ("proof.append", 2, "disk-full", 1),
+        ("fabric.store.append", 2, "disk-full", 1),
+        ("flight.append", 1, "disk-full", 1),
+        ("governor.disk", 2, "disk-full", 1),
+        ("governor.mem", 1, "mem-pressure", 4),
     ),
 }
 
@@ -347,6 +409,12 @@ class ChaosSchedule:
         """Record one execution of ``site``; return the fault kind to
         inject now, or None.  Sites with no scheduled fault skip the
         counter-file round-trip entirely."""
+        fault = self.hit_fault(site)
+        return fault.kind if fault is not None else None
+
+    def hit_fault(self, site: str) -> ChaosFault | None:
+        """Like :meth:`hit` but returns the whole scheduled fault, so
+        data sites can honour per-fault parameters (``offset``)."""
         entries = self._by_site.get(site)
         if not entries:
             return None
@@ -357,7 +425,7 @@ class ChaosSchedule:
         for f in entries:
             if f.trigger <= count < f.trigger + f.repeat:
                 self._log_event(site, f.kind, count)
-                return f.kind
+                return f
         return None
 
     def describe(self) -> str:
@@ -430,6 +498,10 @@ def chaos_point(site: str) -> None:
     if kind == "hang":
         time.sleep(sched.hang_seconds)
         return
+    if kind == "mem-pressure":
+        return  # flag-only kind: consulted through chaos_flag
+    if kind == "disk-full":
+        raise ChaosDiskFull(site)
     raise ChaosIOError(f"chaos: injected {kind} at {site}")
 
 
@@ -445,9 +517,10 @@ def chaos_data(site: str, data: bytes) -> tuple[bytes, str | None]:
     if not _ACTIVE:
         return data, None
     sched = _ACTIVE[-1]
-    kind = sched.hit(site)
-    if kind is None:
+    fault = sched.hit_fault(site)
+    if fault is None:
         return data, None
+    kind = fault.kind
     if kind == "crash":
         os._exit(CHAOS_EXIT_CODE)
     if kind == "hang":
@@ -455,6 +528,9 @@ def chaos_data(site: str, data: bytes) -> tuple[bytes, str | None]:
         return data, None
     if kind == "io-error":
         raise ChaosIOError(f"chaos: injected io-error at {site}")
+    if kind == "disk-full":
+        cut = len(data) // 2 if fault.offset is None else fault.offset
+        raise ChaosDiskFull(site, partial=data[: min(cut, len(data))])
     if kind == "torn-write":
         return data[: len(data) // 2], kind
     # corrupt-bytes: flip one byte mid-payload (or the only byte).
@@ -493,3 +569,14 @@ def chaos_lits(site: str, lits: tuple) -> tuple | None:
         return lits[:-1]
     mid = len(lits) // 2
     return lits[:mid] + (-lits[mid],) + lits[mid + 1:]
+
+
+def chaos_flag(site: str) -> bool:
+    """A non-raising, non-mutating query site: does a scheduled fault
+    fire at this execution?  Used for conditions the harness *asserts*
+    rather than injects -- ``governor.mem`` answering True forces the
+    memory watermark over threshold without allocating anything.  Free
+    when no schedule is installed."""
+    if not _ACTIVE:
+        return False
+    return _ACTIVE[-1].hit(site) is not None

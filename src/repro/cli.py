@@ -160,6 +160,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="state directory for chaos trigger counts and the event "
         "log (default: a fresh temporary directory)",
     )
+    p_solve.add_argument(
+        "--disk-quota", default=None, metavar="BYTES",
+        help="bound the summed size of this solve's state files "
+        "(checkpoint generations evicted first, flight log rotated; "
+        "proof spools are condemned typed, never truncated); accepts "
+        "k/M/G suffixes (see docs/GOVERNOR.md)",
+    )
+    p_solve.add_argument(
+        "--mem-watermark", default=None, metavar="BYTES",
+        help="memory watermark: graduated degradation (learnt-DB "
+        "reduction, cache shrink, budget cancellation) as usage "
+        "approaches this many bytes; k/M/G suffixes",
+    )
     p_solve.add_argument("--pb", action="store_true",
                          help="pseudo-Boolean adder axioms (GOBLIN mode)")
     p_solve.add_argument(
@@ -276,6 +289,17 @@ def build_parser() -> argparse.ArgumentParser:
                       "schedule into the fabric workers")
     p_sw.add_argument("--chaos-profile", default=None, metavar="NAME",
                       help="inject a named fault profile (e.g. fabric)")
+    p_sw.add_argument(
+        "--disk-quota", default=None, metavar="BYTES",
+        help="bound the sweep's tracked state files (fabric store "
+        "growth surfaces as typed per-cell errors, never silent "
+        "truncation); k/M/G suffixes (see docs/GOVERNOR.md)",
+    )
+    p_sw.add_argument(
+        "--mem-watermark", default=None, metavar="BYTES",
+        help="memory watermark for the coordinator process; k/M/G "
+        "suffixes",
+    )
     p_sw.add_argument("--chaos-dir", default=None, metavar="DIR",
                       help="state directory for chaos trigger counts "
                       "and the event log")
@@ -332,6 +356,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("auto", "pure", "fast"), default=None,
         help="SAT propagation core (the circuit breaker may override "
         "it to pure at runtime)",
+    )
+    p_srv.add_argument(
+        "--disk-quota", default=None, metavar="BYTES",
+        help="quota over the server's state directory: checkpoint "
+        "generations are evicted first, the flight recorder rotated "
+        "to a marker; k/M/G suffixes (see docs/GOVERNOR.md)",
+    )
+    p_srv.add_argument(
+        "--mem-watermark", default=None, metavar="BYTES",
+        help="memory watermark: learnt-DB reduction, warm-cache "
+        "shrink, 'overloaded' shedding and cooperative cancellation "
+        "as usage approaches this many bytes; k/M/G suffixes",
+    )
+    p_srv.add_argument(
+        "--max-frame-bytes", default=None, metavar="BYTES",
+        help="largest accepted JSON-lines request frame (default 1M); "
+        "oversized frames get a typed error response",
+    )
+    p_srv.add_argument(
+        "--read-timeout", type=float, default=None, metavar="SECONDS",
+        help="close a TCP connection that stalls mid-frame for this "
+        "long (default: never), so slow clients cannot pin handlers",
     )
     p_srv.add_argument("--chaos-seed", type=int, default=None, metavar="N",
                        help="inject a deterministic randomized fault "
@@ -425,7 +471,11 @@ def _print_stats(res) -> None:
     if stats or solver_stats or cert is not None or bounds:
         payload = dict(stats or {})
         if solver_stats:
-            payload["solver"] = dict(solver_stats)
+            solver_stats = dict(solver_stats)
+            governor = solver_stats.pop("governor", None)
+            payload["solver"] = solver_stats
+            if governor:
+                payload["governor"] = governor
         if cert is not None:
             payload["certify"] = cert.to_dict()
         if bounds:
@@ -473,6 +523,38 @@ def _chaos_from_args(args):
     return schedule
 
 
+def _parse_bytes(text):
+    """Parse a byte size with optional k/M/G (or kB/MB/GB) suffix."""
+    if text is None:
+        return None
+    s = str(text).strip().lower()
+    mult = 1
+    for suffix, m in (("k", 1024), ("m", 1024 ** 2), ("g", 1024 ** 3)):
+        if s.endswith(suffix + "b"):
+            s, mult = s[:-2], m
+            break
+        if s.endswith(suffix):
+            s, mult = s[:-1], m
+            break
+    try:
+        return int(float(s) * mult)
+    except ValueError:
+        raise SystemExit(
+            f"bad byte size {text!r} (want e.g. 262144, 512k, 64M, 2G)"
+        ) from None
+
+
+def _governor_from_args(args):
+    """Build the :class:`~repro.governor.GovernorConfig` from argv."""
+    quota = _parse_bytes(getattr(args, "disk_quota", None))
+    watermark = _parse_bytes(getattr(args, "mem_watermark", None))
+    if quota is None and watermark is None:
+        return None
+    from repro.governor import GovernorConfig
+
+    return GovernorConfig(disk_quota=quota, mem_watermark=watermark)
+
+
 def _request_from_args(args, cfg, objective, budget, checkpoint
                        ) -> SolveRequest:
     """Build the unified :class:`SolveRequest` from solve argv."""
@@ -499,6 +581,7 @@ def _request_from_args(args, cfg, objective, budget, checkpoint
         share_clauses=not args.no_share_clauses,
         chaos=_chaos_from_args(args),
         proof_log=args.proof_log,
+        governor=_governor_from_args(args),
     )
 
 
@@ -733,43 +816,53 @@ def _cmd_sweep(args) -> int:
         raise SystemExit("sweep chaos injection needs --fabric-dir "
                          "(the plain pool has no fault sites)")
     chaos = _chaos_from_args(args)
+    # A governor over the coordinator process: fabric store appends and
+    # sweep checkpoints run here, so the quota bites where the bytes
+    # land; governed(None) is a cheap no-op.
+    from repro.governor import governed
+
     stats = None
-    if args.fabric_dir:
-        from repro.fabric import ResultStore, fabric_sweep
-        from repro.fabric.coordinator import import_sweep_checkpoint
+    with governed(_governor_from_args(args)) as gov:
+        if args.fabric_dir:
+            from repro.fabric import ResultStore, fabric_sweep
+            from repro.fabric.coordinator import import_sweep_checkpoint
 
-        if args.checkpoint:
-            n = import_sweep_checkpoint(args.fabric_dir, args.checkpoint,
-                                        cells)
-            print(f"imported {n} cell(s) from legacy checkpoint "
-                  f"{args.checkpoint}", file=sys.stderr)
-        outcome = fabric_sweep(
-            _sweep_cell, cells,
-            fabric_dir=args.fabric_dir,
-            workers=args.workers,
-            steal=args.steal,
-            lease_ttl=args.lease_ttl,
-            max_attempts=args.retries + 1,
-            job_timeout=args.cell_timeout,
-            run_timeout=args.run_timeout,
-            chaos=chaos,
-        )
-        results, stats = outcome.results, dict(outcome.stats)
-        stats["degraded"] = outcome.degraded
-        if args.compact:
-            store = ResultStore(args.fabric_dir)
-            stats["compaction"] = store.compact()
-    else:
-        from repro.parallel import run_sweep
+            if args.checkpoint:
+                n = import_sweep_checkpoint(args.fabric_dir,
+                                            args.checkpoint, cells)
+                print(f"imported {n} cell(s) from legacy checkpoint "
+                      f"{args.checkpoint}", file=sys.stderr)
+            outcome = fabric_sweep(
+                _sweep_cell, cells,
+                fabric_dir=args.fabric_dir,
+                workers=args.workers,
+                steal=args.steal,
+                lease_ttl=args.lease_ttl,
+                max_attempts=args.retries + 1,
+                job_timeout=args.cell_timeout,
+                run_timeout=args.run_timeout,
+                chaos=chaos,
+            )
+            results, stats = outcome.results, dict(outcome.stats)
+            stats["degraded"] = outcome.degraded
+            if args.compact:
+                store = ResultStore(args.fabric_dir)
+                stats["compaction"] = store.compact()
+        else:
+            from repro.parallel import run_sweep
 
-        results = run_sweep(
-            _sweep_cell, cells,
-            processes=args.workers,
-            cell_timeout=args.cell_timeout,
-            retries=args.retries,
-            checkpoint=args.checkpoint,
-            chaos=chaos,
-        )
+            results = run_sweep(
+                _sweep_cell, cells,
+                processes=args.workers,
+                cell_timeout=args.cell_timeout,
+                retries=args.retries,
+                checkpoint=args.checkpoint,
+                chaos=chaos,
+            )
+        if gov is not None:
+            print("governor: "
+                  + json.dumps(gov.stats_dict(), sort_keys=True),
+                  file=sys.stderr)
     done = [r for r in results if r.ok]
     failed = [r for r in results if not r.ok]
     for util in utils:
@@ -832,6 +925,10 @@ def _cmd_serve(args) -> int:
         certify_default=args.certify,
         bounds=args.bounds,
         chaos=_chaos_from_args(args),
+        disk_quota=_parse_bytes(args.disk_quota),
+        mem_watermark=_parse_bytes(args.mem_watermark),
+        max_frame_bytes=_parse_bytes(args.max_frame_bytes) or (1 << 20),
+        read_timeout=args.read_timeout,
     )
 
     async def run() -> int:

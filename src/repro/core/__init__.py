@@ -27,7 +27,7 @@ from repro.core.api import (
     ExitCode,
     SolveReport,
     SolveRequest,
-    merge_legacy,
+    reject_legacy,
     solve,
 )
 from repro.core.config import EncoderConfig
@@ -60,6 +60,6 @@ __all__ = [
     "BoundsReport",
     "SolveRequest",
     "SolveReport",
-    "merge_legacy",
+    "reject_legacy",
     "solve",
 ]

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.allocation import Allocation
 from repro.analysis.feasibility import FeasibilityReport, check_allocation
-from repro.core.api import SolveRequest
+from repro.core.api import SolveRequest, reject_legacy
 from repro.core.config import EncoderConfig
 from repro.core.encoder import ProblemEncoding
 from repro.core.objectives import Objective
@@ -34,16 +34,13 @@ from repro.robust.checkpoint import SearchCheckpoint
 __all__ = ["Allocator", "AllocationResult"]
 
 
-def _reject_legacy(caller: str, legacy: dict) -> None:
-    """The PR 4 legacy-kwarg shims are gone: fail loud, point forward."""
-    if legacy:
-        names = ", ".join(sorted(legacy))
-        raise TypeError(
-            f"{caller} no longer accepts the legacy solve kwargs "
-            f"({names}); put them on a SolveRequest instead, e.g. "
-            f"{caller}(request=SolveRequest(objective=..., "
-            f"{sorted(legacy)[0]}=...)) -- see docs/SOLVER.md"
-        )
+def _governor_recorder(request: SolveRequest):
+    """The governor's flight-recorder hook for this request (or None)."""
+    if request.governor is None or not request.flight_log:
+        return None
+    from repro.robust.flight import FlightRecorder
+
+    return FlightRecorder(request.flight_log, actor="governor").log
 
 
 @dataclass
@@ -168,7 +165,7 @@ class Allocator:
                     "not both"
                 )
             request, objective = objective, None
-        _reject_legacy("Allocator.minimize", legacy)
+        reject_legacy("Allocator.minimize", legacy)
         request = request if request is not None else SolveRequest()
         if objective is not None:
             request = request.merged(objective=objective)
@@ -176,38 +173,52 @@ class Allocator:
         if objective is None:
             raise TypeError("Allocator.minimize requires an objective")
         from repro.chaos import active
+        from repro.governor import governed
 
-        with active(request.chaos):
-            ckpt = self._as_checkpoint(request.checkpoint)
-            if (
-                request.parallel
-                and request.effective_groups() * request.effective_racers()
-                > 1
-            ):
-                from repro.parallel_solve import speculative_minimize
+        with active(request.chaos), governed(
+            request.governor, recorder=_governor_recorder(request)
+        ) as gov:
+            if gov is not None and request.budget is not None:
+                gov.register_budget(request.budget)
+            res = self._dispatch_minimize(objective, request)
+            if gov is not None:
+                res.solver_stats = dict(res.solver_stats or {})
+                res.solver_stats["governor"] = gov.stats_dict()
+            return res
 
-                return speculative_minimize(
-                    self, objective, request.merged(checkpoint=ckpt)
-                )
-            if request.strategy == "rebuild" or not request.reuse_learned:
-                return self._minimize_rebuild(
-                    objective, request.time_limit, request.verify,
-                    request.budget, request.certify,
-                )
-            proof_log = request.proof_log
-            if proof_log is not None:
-                from repro.certify.proofio import resolve_spool_path
+    def _dispatch_minimize(
+        self, objective: Objective, request: SolveRequest
+    ) -> AllocationResult:
+        ckpt = self._as_checkpoint(request.checkpoint)
+        if (
+            request.parallel
+            and request.effective_groups() * request.effective_racers()
+            > 1
+        ):
+            from repro.parallel_solve import speculative_minimize
 
-                # Concurrent solves may share one --proof-log directory;
-                # namespacing by request fingerprint (+ a per-process
-                # sequence) keeps their spools from clobbering each
-                # other (see docs/SERVING.md).
-                proof_log = resolve_spool_path(
-                    proof_log, request.fingerprint()
-                )
-            return self._minimize_incremental(
-                objective, request, ckpt, proof_log=proof_log,
+            return speculative_minimize(
+                self, objective, request.merged(checkpoint=ckpt)
             )
+        if request.strategy == "rebuild" or not request.reuse_learned:
+            return self._minimize_rebuild(
+                objective, request.time_limit, request.verify,
+                request.budget, request.certify,
+            )
+        proof_log = request.proof_log
+        if proof_log is not None:
+            from repro.certify.proofio import resolve_spool_path
+
+            # Concurrent solves may share one --proof-log directory;
+            # namespacing by request fingerprint (+ a per-process
+            # sequence) keeps their spools from clobbering each
+            # other (see docs/SERVING.md).
+            proof_log = resolve_spool_path(
+                proof_log, request.fingerprint()
+            )
+        return self._minimize_incremental(
+            objective, request, ckpt, proof_log=proof_log,
+        )
 
     @staticmethod
     def _as_checkpoint(
@@ -491,12 +502,21 @@ class Allocator:
         ``budget=``, ``certify=``) are gone; passing one raises
         :class:`TypeError` with a migration hint.
         """
-        _reject_legacy("Allocator.find_feasible", legacy)
+        reject_legacy("Allocator.find_feasible", legacy)
         request = request if request is not None else SolveRequest()
         from repro.chaos import active
+        from repro.governor import governed
 
-        with active(request.chaos):
-            return self._find_feasible(request)
+        with active(request.chaos), governed(
+            request.governor, recorder=_governor_recorder(request)
+        ) as gov:
+            if gov is not None and request.budget is not None:
+                gov.register_budget(request.budget)
+            res = self._find_feasible(request)
+            if gov is not None:
+                res.solver_stats = dict(res.solver_stats or {})
+                res.solver_stats["governor"] = gov.stats_dict()
+            return res
 
     def _find_feasible(self, request: SolveRequest) -> AllocationResult:
         verify = request.verify

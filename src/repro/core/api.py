@@ -7,11 +7,12 @@ checkpoint=, certify=)``, ``SolveSupervisor(..., heuristics=, verify=)``,
 re-invented all of them as flags.  :class:`SolveRequest` is the single
 carrier for all solve options; every public entry point accepts one
 (``request=``), and the CLI builds a request from argv so library and
-command line cannot drift apart.  The ``Allocator`` entry points accept
-*only* a request (the PR 4 legacy-kwarg shims are gone -- passing a
-legacy kwarg raises :class:`TypeError` with a migration hint); the
-supervisor / portfolio shims still deprecation-warn for one more
-release via :func:`merge_legacy`.
+command line cannot drift apart.  Every entry point -- ``Allocator``,
+``SolveSupervisor``, ``solve_portfolio`` -- accepts *only* a request:
+the legacy kwarg shims (and the deprecated ``warm_start`` /
+``warm_allocation`` request fields) are gone, and passing one raises
+:class:`TypeError` with a migration hint (:func:`reject_legacy`).
+Interval hints go through :attr:`SolveRequest.bounds` providers.
 
 :class:`BoundsProvider` / :class:`BoundsReport` are the one sanctioned
 channel for search-interval hints: warm caches, heuristic baselines and
@@ -38,9 +39,7 @@ scattered literals)::
 
 from __future__ import annotations
 
-import sys
-import warnings
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, replace
 from enum import IntEnum
 
 __all__ = [
@@ -49,7 +48,7 @@ __all__ = [
     "BoundsProvider",
     "SolveRequest",
     "SolveReport",
-    "merge_legacy",
+    "reject_legacy",
     "solve",
 ]
 
@@ -187,20 +186,15 @@ class SolveRequest:
     #: before the search; ``"race"`` runs them as a sidecar racer of the
     #: parallel engine whose audited bounds tighten the shared interval
     #: mid-flight (sequential solves treat ``race`` as ``auto``);
-    #: ``"off"`` ignores all providers (including the deprecated warm
-    #: fields below).
+    #: ``"off"`` ignores all providers.
     bounds_mode: str = "auto"
-    #: Deprecated (one-release shim): a cost believed achievable for a
-    #: *related* scenario.  Mapped onto a ``HintBoundsProvider`` with a
-    #: :class:`DeprecationWarning`; pass a provider in :attr:`bounds`
-    #: instead.
-    warm_start: int | None = None
-    #: Deprecated (one-release shim): a JSON allocation payload
-    #: (:func:`repro.io.allocation_to_dict`) believed to remain feasible
-    #: for this instance.  Mapped onto a ``HintBoundsProvider`` with a
-    #: :class:`DeprecationWarning`; pass a provider in :attr:`bounds`
-    #: instead.
-    warm_allocation: dict | None = None
+    #: :class:`repro.governor.GovernorConfig` of resource limits (disk
+    #: quota over the run's state files, memory watermark with graduated
+    #: degradation); picklable, installed for the duration of the solve.
+    #: None = ungoverned.  Like ``chaos``, excluded from
+    #: :meth:`fingerprint` -- governance changes how a run degrades,
+    #: never its answer.
+    governor: object | None = None
     #: Append lifecycle events (supervisor stage transitions, with
     #: timestamps and reasons) to this JSONL flight-recorder log
     #: (:class:`repro.robust.flight.FlightRecorder`); None = off.
@@ -220,11 +214,11 @@ class SolveRequest:
         how far the search may run, and ``certify``.  Execution
         topology (``processes``/``speculate``/``race``) is excluded on
         purpose -- the parallel engine's contract is a bit-identical
-        certified optimum -- as are persistence and fault-injection
-        knobs (``checkpoint``, ``proof_log``, ``chaos``) and the serving
-        hints (``bounds``, ``bounds_mode``, the deprecated
-        ``warm_start``/``warm_allocation``, ``flight_log``), which never
-        change the answer, only how it survives or how fast it arrives.
+        certified optimum -- as are persistence, fault-injection and
+        resource-governance knobs (``checkpoint``, ``proof_log``,
+        ``chaos``, ``governor``) and the serving hints (``bounds``,
+        ``bounds_mode``, ``flight_log``), which never change the
+        answer, only how it survives or how fast it arrives.
         """
         import hashlib
 
@@ -275,63 +269,41 @@ class SolveRequest:
         return max(1, self.race)
 
 
-_REQUEST_FIELDS = {f.name for f in fields(SolveRequest)}
+#: The removed warm-hint fields, rejected by name with a pointer at the
+#: sanctioned replacement (a HintBoundsProvider on ``bounds``).
+_REMOVED_WARM_FIELDS = ("warm_start", "warm_allocation")
+
+_generated_request_init = SolveRequest.__init__
 
 
-def _caller_stacklevel() -> int:
-    """The ``warnings.warn`` stacklevel that lands the report on the
-    first frame *outside* the ``repro`` package.
-
-    A fixed number breaks as soon as an entry point grows an internal
-    hop (``solve_portfolio`` -> ``SolveSupervisor.__init__`` ->
-    ``merge_legacy``): the warning then blames library internals the
-    user cannot act on.  Walking the live stack keeps the report on the
-    user's own call site no matter how deep the shim sits.
-    """
-    level = 2  # stacklevel 2 == merge_legacy's direct caller
-    try:
-        frame = sys._getframe(2)  # 0=this fn, 1=merge_legacy, 2=caller
-    except ValueError:  # pragma: no cover - no caller frame at all
-        return level
-    while frame is not None:
-        module = frame.f_globals.get("__name__", "")
-        if module.partition(".")[0] != "repro":
-            break
-        frame = frame.f_back
-        level += 1
-    return level
+def _checked_request_init(self, *args, **kwargs):
+    removed = sorted(set(kwargs) & set(_REMOVED_WARM_FIELDS))
+    if removed:
+        names = ", ".join(removed)
+        raise TypeError(
+            f"SolveRequest no longer has the deprecated {names} "
+            f"field(s); wrap the hint in a bounds provider instead, "
+            f"e.g. SolveRequest(bounds=(HintBoundsProvider(upper=cost, "
+            f"witness=allocation),)) -- see docs/BOUNDS.md"
+        )
+    _generated_request_init(self, *args, **kwargs)
 
 
-def merge_legacy(
-    request: SolveRequest | None,
-    legacy: dict,
-    caller: str,
-    stacklevel: int | None = None,
-) -> SolveRequest:
-    """Fold legacy kwargs into a request, warning once per call site.
+SolveRequest.__init__ = _checked_request_init
 
-    The shim behind every public entry point: ``legacy`` holds only the
-    kwargs the caller actually passed (callers filter out unset
-    sentinels), so a plain ``minimize(objective)`` stays silent while
-    ``minimize(objective, budget=...)`` deprecation-warns and keeps
-    working.  The warning's reported location is the first stack frame
-    outside ``repro`` -- the user's call site -- unless an explicit
-    ``stacklevel`` overrides the walk.
-    """
-    request = request if request is not None else SolveRequest()
-    if not legacy:
-        return request
-    unknown = sorted(set(legacy) - _REQUEST_FIELDS)
-    if unknown:
-        raise TypeError(f"{caller}: unknown solve option(s) {unknown}")
-    warnings.warn(
-        f"{caller}: pass a SolveRequest instead of the legacy kwargs "
-        f"{sorted(legacy)} (they keep working for now)",
-        DeprecationWarning,
-        stacklevel=stacklevel if stacklevel is not None
-        else _caller_stacklevel(),
-    )
-    return request.merged(**legacy)
+
+def reject_legacy(caller: str, legacy: dict) -> None:
+    """The legacy per-entry-point kwarg shims are gone: fail loud,
+    point forward.  ``legacy`` holds only the kwargs the caller
+    actually passed, so request-only calls stay silent."""
+    if legacy:
+        names = ", ".join(sorted(legacy))
+        raise TypeError(
+            f"{caller} no longer accepts the legacy solve kwargs "
+            f"({names}); put them on a SolveRequest instead, e.g. "
+            f"{caller}(request=SolveRequest(objective=..., "
+            f"{sorted(legacy)[0]}=...)) -- see docs/SOLVER.md"
+        )
 
 
 @dataclass

@@ -24,14 +24,12 @@ from dataclasses import dataclass, field
 
 from repro.baselines.common import evaluate_cost
 from repro.core.allocator import AllocationResult, Allocator
-from repro.core.api import SolveRequest, merge_legacy
+from repro.core.api import SolveRequest, reject_legacy
 from repro.core.objectives import Objective, objective_spec
 from repro.model.architecture import Architecture
 from repro.model.task import TaskSet
 from repro.parallel import run_sweep
 from repro.robust.supervisor import SolveSupervisor
-
-_UNSET = object()
 
 __all__ = [
     "PortfolioEntry",
@@ -114,21 +112,17 @@ def solve_portfolio(
     tasks: TaskSet,
     arch: Architecture,
     objective: Objective | SolveRequest | None = None,
-    config=_UNSET,
-    time_limit=_UNSET,
-    processes=_UNSET,
-    budget=_UNSET,
-    cell_timeout=_UNSET,
-    retries=_UNSET,
     request: SolveRequest | None = None,
+    **legacy,
 ) -> PortfolioResult:
     """Race heuristics against the exact SAT route.
 
     Accepts a :class:`~repro.core.api.SolveRequest` (positionally or as
-    ``request=``); the legacy kwargs deprecation-warn.  ``processes``
-    sizes the baseline sweep *and*, via the request, the speculative
-    exact engine -- a request with ``processes > 1`` (or ``race > 1``)
-    runs the exact route on the parallel solve engine.
+    ``request=``); the legacy per-kwarg shim is gone, and passing one
+    raises :class:`TypeError` with a migration hint.  ``request.
+    processes`` sizes the baseline sweep *and* the speculative exact
+    engine -- a request with ``processes > 1`` (or ``race > 1``) runs
+    the exact route on the parallel solve engine.
 
     Heuristic contenders run in (watchdog-supervised) worker processes;
     the SAT optimization runs in this process, under the supervisor's
@@ -145,20 +139,9 @@ def solve_portfolio(
                 "pass the SolveRequest positionally or as request=, not both"
             )
         request, objective = objective, None
-    legacy = {
-        k: v
-        for k, v in (
-            ("config", config),
-            ("time_limit", time_limit),
-            ("budget", budget),
-            ("cell_timeout", cell_timeout),
-            ("retries", retries),
-        )
-        if v is not _UNSET
-    }
-    if processes is not _UNSET and processes is not None:
-        legacy["processes"] = processes
-    request = merge_legacy(request, legacy, "solve_portfolio")
+    reject_legacy("solve_portfolio", legacy)
+    if request is None:
+        request = SolveRequest()
     if objective is not None:
         request = request.merged(objective=objective)
     objective = request.objective

@@ -42,7 +42,8 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 
-from repro.chaos import chaos_data, chaos_point
+from repro import governor as _governor
+from repro.chaos import ChaosDiskFull, chaos_data, chaos_point
 
 __all__ = [
     "MAGIC",
@@ -174,10 +175,25 @@ class SegmentWriter:
         for _attempt in (0, 1):
             blob = _pack(record)
             try:
+                # Quota rejections are ENOSPC-shaped: the governor never
+                # evicts a fabric segment, so persistent rejection
+                # surfaces as this cell's typed FabricStoreError below.
+                _governor.charge("fabric", len(blob), path=self.path)
                 data, _damage = chaos_data("fabric.store.append", blob)
                 self._fh.seek(self._end)
                 self._fh.write(data)
                 self._fh.flush()
+            except ChaosDiskFull as exc:
+                # ENOSPC mid-write: land the frame prefix that reached
+                # the disk (a torn record read-back must catch), retry.
+                if exc.partial:
+                    try:
+                        self._fh.seek(self._end)
+                        self._fh.write(exc.partial)
+                        self._fh.flush()
+                    except OSError:
+                        pass
+                continue
             except OSError:
                 continue  # transient write failure: one retry
             try:

@@ -1,0 +1,35 @@
+"""Resource-exhaustion governor: disk quotas + memory watermarks.
+
+See :mod:`repro.governor.core` for the model and ``docs/GOVERNOR.md``
+for the quota/eviction/watermark contract.
+"""
+
+from repro.governor.core import (
+    CATEGORIES,
+    LEVELS,
+    DiskQuotaExceeded,
+    Governor,
+    GovernorConfig,
+    charge,
+    current,
+    governed,
+    install,
+    mem_tick,
+    track,
+    uninstall,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "LEVELS",
+    "DiskQuotaExceeded",
+    "Governor",
+    "GovernorConfig",
+    "charge",
+    "current",
+    "governed",
+    "install",
+    "mem_tick",
+    "track",
+    "uninstall",
+]

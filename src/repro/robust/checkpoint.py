@@ -42,7 +42,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.chaos import chaos_data, chaos_point
+from repro import governor as _governor
+from repro.chaos import ChaosDiskFull, chaos_data, chaos_point
 
 __all__ = [
     "SearchCheckpoint",
@@ -107,7 +108,22 @@ def atomic_write_json(path: str, payload: dict) -> None:
     # Serialize before touching the filesystem: an unserializable
     # payload must not even create the temp file.
     data = (json.dumps(payload, indent=2) + "\n").encode()
-    data, damage = chaos_data("checkpoint.write", data)
+    # Quota admission runs before any byte lands; a rejection is an
+    # ENOSPC-shaped OSError that callers already tolerate (the search
+    # degrades to unpersisted, it does not stop).
+    _governor.charge("checkpoint", len(data), path=path)
+    try:
+        data, damage = chaos_data("checkpoint.write", data)
+    except ChaosDiskFull as exc:
+        # ENOSPC mid-write: model the worst case -- the partial frame
+        # lands at the *final* path (a naive writer cut off by the full
+        # disk) -- and raise, so the caller sees the same OSError the
+        # real thing produces while restart-time verification finds the
+        # torn file and quarantines it.
+        if exc.partial:
+            with open(path, "wb") as fh:
+                fh.write(exc.partial)
+        raise
     if damage is not None:
         # Chaos decided these bytes get damaged in transit.  Model the
         # worst case -- the damaged bytes land at the *final* path with

@@ -9,7 +9,12 @@ so the supervisor's stage transitions and the allocation server's
 request lifecycle land in the same kind of log CI can upload.
 
 A recorder must *never* take its host down: every filesystem failure is
-swallowed (the events are observability, not state).
+swallowed (the events are observability, not state).  That includes
+resource exhaustion -- ``flight.append`` is a named chaos data site
+(torn/corrupt/ENOSPC bytes degrade to a torn last line at worst), and
+each append is charged to the resource governor's ``flight`` category,
+whose quota reclaim *rotates* the log (truncate to a marker) rather
+than failing the run.
 """
 
 from __future__ import annotations
@@ -17,6 +22,9 @@ from __future__ import annotations
 import json
 import os
 import time
+
+from repro import governor as _governor
+from repro.chaos import ChaosDiskFull, chaos_data
 
 __all__ = ["FlightRecorder", "read_events"]
 
@@ -46,9 +54,19 @@ class FlightRecorder:
             record = {"ts": record["ts"], "actor": self.actor,
                       "pid": record["pid"], "event": event}
             line = json.dumps(record) + "\n"
+        blob = line.encode("utf-8")
         try:
-            with open(self.path, "a") as fh:
-                fh.write(line)
+            _governor.charge("flight", len(blob), path=self.path)
+            data, _damage = chaos_data("flight.append", blob)
+        except ChaosDiskFull as exc:
+            data = exc.partial  # the prefix that reached the disk
+        except OSError:
+            return  # quota rejection / io-error: drop the event
+        if not data:
+            return
+        try:
+            with open(self.path, "ab") as fh:
+                fh.write(data)
         except OSError:
             pass  # observability must never take the run down
 

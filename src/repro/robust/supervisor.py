@@ -75,11 +75,15 @@ class SupervisedResult:
 class SolveSupervisor:
     """Supervise one allocation solve end-to-end.
 
-    ``heuristics`` names the fallback chain tried (in order) when the
-    exact stages produce no usable result; pass ``()`` when the caller
-    races its own heuristics (as :func:`repro.core.portfolio.
-    solve_portfolio` does).  ``checkpoint`` is forwarded to the
-    incremental stage, so an interrupted supervised run resumes too.
+    All options ride on the :class:`~repro.core.api.SolveRequest`
+    (passed positionally or as ``request=``); the legacy per-kwarg shim
+    is gone and passing one raises :class:`TypeError` with a migration
+    hint.  ``request.heuristics`` names the fallback chain tried (in
+    order) when the exact stages produce no usable result; pass ``()``
+    when the caller races its own heuristics (as :func:`repro.core.
+    portfolio.solve_portfolio` does).  ``request.checkpoint`` is
+    forwarded to the incremental stage, so an interrupted supervised
+    run resumes too.
     """
 
     def __init__(
@@ -87,18 +91,13 @@ class SolveSupervisor:
         tasks,
         arch,
         objective=_UNSET,
-        config=_UNSET,
-        budget=_UNSET,
-        checkpoint=_UNSET,
-        heuristics=_UNSET,
-        verify=_UNSET,
-        certify=_UNSET,
         request: SolveRequest | None = None,
+        **legacy,
     ):
         # Imported lazily: repro.sat pulls in repro.robust for Budget,
         # so a module-level repro.core import here would close an import
         # cycle (arith -> sat -> robust -> core -> arith).
-        from repro.core.api import SolveRequest, merge_legacy
+        from repro.core.api import SolveRequest, reject_legacy
 
         if isinstance(objective, SolveRequest):
             if request is not None:
@@ -107,19 +106,8 @@ class SolveSupervisor:
                     "not both"
                 )
             request, objective = objective, _UNSET
-        legacy = {
-            k: v
-            for k, v in (
-                ("config", config),
-                ("budget", budget),
-                ("checkpoint", checkpoint),
-                ("heuristics", heuristics),
-                ("verify", verify),
-                ("certify", certify),
-            )
-            if v is not _UNSET
-        }
-        request = merge_legacy(request, legacy, "SolveSupervisor")
+        reject_legacy("SolveSupervisor", legacy)
+        request = request if request is not None else SolveRequest()
         if objective is not _UNSET and objective is not None:
             request = request.merged(objective=objective)
         self.request = request

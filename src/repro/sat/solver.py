@@ -46,6 +46,7 @@ import time
 from array import array
 from dataclasses import dataclass
 
+from repro.governor import core as _governor
 from repro.robust.budget import Budget, BudgetExpired
 from repro.sat.core import get_backend
 from repro.sat.literals import (
@@ -353,6 +354,9 @@ class Solver:
         #: permute later -- the hook must copy).  Clause-sharing races use
         #: it to export short lemmas; None keeps the hot path free.
         self.learn_hook = None
+        #: Decisions until the next resource-governor pressure check
+        #: (only decremented while a governor is installed).
+        self._gov_countdown = 0
 
     # ------------------------------------------------------------------
     # Compat views over the arenas (export paths, introspection, tests)
@@ -1157,6 +1161,42 @@ class Solver:
             self._compact_arena()
 
     # ------------------------------------------------------------------
+    # Resource governance
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the solver's typed arenas: per-variable state,
+        trail, clause arena + learnt DB metadata, watcher lists, the PB
+        term slab, and the order heap.  An estimate (arrays may
+        over-allocate), but it tracks the quantities that actually grow
+        without bound -- the memory-watermark input of
+        :mod:`repro.governor`."""
+        total = 0
+        for a in (
+            self.assigns, self.level, self.trail_pos, self.reason,
+            self.activity, self.saved_phase, self._seen, self.trail,
+            self.arena, self.cla_off, self.cla_flags, self.cla_act,
+            self.watch_head, self.watch_next, self.pb_lits,
+            self.pb_coefs, self.pb_owner, self.pb_off, self.pb_len,
+            self.pb_bound, self.pb_slack, self.pb_maxcoef,
+            self.pb_watch_head, self.pb_watch_next, self.order_heap,
+            self.heap_pos,
+        ):
+            total += len(a) * a.itemsize
+        return total
+
+    def _governor_tick(self) -> bool:
+        """One rate-limited pressure check against the installed
+        governor; returns True when the solver should respond with an
+        aggressive learnt-DB reduction (any pressure level at or above
+        ``reduce``)."""
+        gov = _governor.current()
+        if gov is None:
+            return False
+        gov.adopt(self)
+        return gov.mem_tick() is not None
+
+    # ------------------------------------------------------------------
     # Main search
     # ------------------------------------------------------------------
 
@@ -1244,6 +1284,17 @@ class Solver:
                 if len(self._learnt_cids) >= max_learnts + self.trail_n:
                     self._reduce_db()
                     max_learnts *= self.learnt_growth
+                if _governor._ACTIVE:
+                    self._gov_countdown -= 1
+                    if self._gov_countdown <= 0:
+                        self._gov_countdown = 256
+                        if self._governor_tick():
+                            # Memory pressure: reduce aggressively and
+                            # halve the learnt-DB ceiling (it regrows
+                            # through learnt_growth once pressure lifts).
+                            max_learnts = max(256.0, max_learnts / 2)
+                            if len(self._learnt_cids) >= max_learnts:
+                                self._reduce_db()
                 # Re-apply assumptions not yet on the trail.
                 lvl = self._decision_level()
                 if lvl < len(assumptions):

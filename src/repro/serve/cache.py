@@ -31,10 +31,18 @@ The cache exploits both without ever weakening the answer:
 Entries are LRU-evicted.  ``serve.cache`` is a named chaos site: an
 injected fault degrades a lookup to a miss and a store to a no-op --
 the cache can make the server faster, never wrong and never down.
+
+The cache is also a **memory-watermark citizen**: every entry carries
+an approximate byte size (JSON length of envelope + witness), summed by
+:meth:`WarmCache.memory_bytes`, and :meth:`WarmCache.shrink` evicts the
+LRU half on demand -- the ``shrink`` response of the resource governor
+(:mod:`repro.governor`).  Shrinking only ever costs probe count on
+future requests, never correctness.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -54,6 +62,8 @@ class WarmEntry:
     #: JSON allocation payload of the optimum (a warm-start witness for
     #: perturbed requests); None when the solve produced no allocation.
     allocation: dict | None = None
+    #: Approximate in-memory footprint (JSON length), for the governor.
+    approx_bytes: int = 0
 
     def exact_for(self, system_digest: str) -> bool:
         return self.system_digest == system_digest
@@ -71,6 +81,7 @@ class WarmCache:
         self.hits = 0
         self.misses = 0
         self.faults = 0
+        self.shrinks = 0
 
     @staticmethod
     def _key(scenario: str, request_fp: str, code_fp: str | None) -> tuple:
@@ -116,15 +127,44 @@ class WarmCache:
         except OSError:
             self.faults += 1
             return
+        try:
+            approx = len(json.dumps(envelope, default=str)) + (
+                len(json.dumps(allocation, default=str))
+                if allocation is not None else 0
+            ) + 128  # key/tuple/dataclass overhead, roughly
+        except (TypeError, ValueError):
+            approx = 1024
         entry = WarmEntry(
             optimum=optimum, envelope=dict(envelope),
             system_digest=system_digest, allocation=allocation,
+            approx_bytes=approx,
         )
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.size:
                 self._entries.popitem(last=False)
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes held by cached entries (a governor memory
+        source)."""
+        with self._lock:
+            return sum(e.approx_bytes for e in self._entries.values())
+
+    def shrink(self) -> int:
+        """Evict the least-recently-used half of the entries; returns
+        the approximate bytes released.  The governor's ``shrink``
+        response -- a probe-count cost on future requests, never a
+        correctness change."""
+        released = 0
+        with self._lock:
+            drop = len(self._entries) // 2
+            for _ in range(drop):
+                _key, entry = self._entries.popitem(last=False)
+                released += entry.approx_bytes
+            if drop:
+                self.shrinks += 1
+        return released
 
     def stats(self) -> dict:
         with self._lock:
@@ -134,4 +174,8 @@ class WarmCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "faults": self.faults,
+                "shrinks": self.shrinks,
+                "approx_bytes": sum(
+                    e.approx_bytes for e in self._entries.values()
+                ),
             }

@@ -18,6 +18,16 @@ small pool of worker tasks runs the CPU-bound solves in threads via
 - **graceful degradation** -- a :class:`~repro.serve.breaker.
   BackendBreaker` trips the process to the pure propagation core after
   consecutive compiled-core faults and probes its way back.
+- **resource governance** -- ``disk_quota``/``mem_watermark`` arm a
+  process-wide :class:`repro.governor.Governor`: state files stay
+  under quota (checkpoint generations evicted first, flight recorder
+  rotated, proof spools condemned typed rather than truncated), and
+  memory pressure degrades gradually -- learnt-DB reduction, warm-cache
+  shrink, ``overloaded`` shedding, cooperative budget cancellation
+  (see docs/GOVERNOR.md).  The TCP front end bounds frame length
+  (``max_frame_bytes``) and read stalls (``read_timeout``) with typed
+  ``error`` responses, so a hostile or broken client cannot pin a
+  worker or crash a connection handler.
 - **drain, don't drop** -- SIGTERM (or :meth:`drain`) stops admission,
   cancels in-flight budgets cooperatively (the per-probe checkpoints in
   ``state_dir/checkpoints/`` survive), answers every queued request
@@ -48,7 +58,9 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import governor as governor_mod
 from repro.chaos import chaos_point, install, uninstall
+from repro.governor import Governor, GovernorConfig
 from repro.robust.budget import Budget
 from repro.robust.flight import FlightRecorder
 from repro.serve.breaker import BackendBreaker
@@ -96,6 +108,19 @@ class ServeConfig:
     bounds: str = "auto"
     #: Chaos schedule installed process-wide for the server's lifetime.
     chaos: object | None = None
+    #: Disk quota (bytes) over the server's state files -- checkpoints
+    #: and the flight recorder; ``None`` = unlimited.  Enforced by a
+    #: process-wide :class:`repro.governor.Governor` (docs/GOVERNOR.md).
+    disk_quota: int | None = None
+    #: Memory watermark (bytes): solver arenas + warm cache + queue
+    #: backlog, with graduated responses (reduce/shrink/shed/cancel).
+    mem_watermark: int | None = None
+    #: Largest accepted JSON-lines frame on the TCP front end; an
+    #: oversized frame gets a typed ``error`` response, never a raise.
+    max_frame_bytes: int = 1 << 20
+    #: Seconds a TCP connection may stall mid-read before it is closed,
+    #: so a slow client cannot pin a connection handler (None = forever).
+    read_timeout: float | None = None
 
 
 @dataclass
@@ -118,6 +143,12 @@ class ServeJob:
     want_allocation: bool
     future: asyncio.Future
     submitted: float
+
+
+#: Rough in-memory footprint assumed per queued (undispatched) job when
+#: the governor computes memory pressure: parsed system + request + the
+#: wire payload's transient copies.
+_QUEUED_JOB_BYTES = 64 * 1024
 
 
 class AllocationServer:
@@ -147,6 +178,22 @@ class AllocationServer:
         self._started = False
         self._recent_seconds: deque[float] = deque(maxlen=32)
         self._tcp: asyncio.AbstractServer | None = None
+        self.governor: Governor | None = None
+        gc = GovernorConfig(
+            disk_quota=config.disk_quota,
+            mem_watermark=config.mem_watermark,
+        )
+        if gc.enabled:
+            self.governor = Governor(gc, recorder=self.recorder.log)
+            self.governor.track("flight", self.events_path)
+            self.governor.add_memory_source(
+                "warm-cache", self.cache.memory_bytes
+            )
+            self.governor.add_memory_source(
+                "serve-queue",
+                lambda: len(self.queues) * _QUEUED_JOB_BYTES,
+            )
+            self.governor.add_shrinker("warm-cache", self.cache.shrink)
         self.stats = {
             "received": 0, "served": 0, "shed": 0,
             "deadline_exceeded": 0, "errors": 0, "drained": 0,
@@ -160,6 +207,8 @@ class AllocationServer:
         self._started = True
         if self.config.chaos is not None:
             install(self.config.chaos)
+        if self.governor is not None:
+            governor_mod.install(self.governor)
         self._cond = asyncio.Condition()
         for i in range(max(1, self.config.workers)):
             self._workers.append(
@@ -174,7 +223,12 @@ class AllocationServer:
 
     async def start_tcp(self, host: str, port: int) -> tuple[str, int]:
         """Expose the JSON-lines protocol on a TCP socket."""
-        self._tcp = await asyncio.start_server(self._handle_conn, host, port)
+        self._tcp = await asyncio.start_server(
+            self._handle_conn, host, port,
+            # Stream limit = frame bound: an overlong line surfaces as
+            # ValueError from readline(), answered as a typed error.
+            limit=max(1024, self.config.max_frame_bytes),
+        )
         sock = self._tcp.sockets[0].getsockname()
         self.recorder.log("server.listen", host=sock[0], port=sock[1])
         return sock[0], sock[1]
@@ -231,6 +285,8 @@ class AllocationServer:
             self._tcp.close()
             await self._tcp.wait_closed()
             self._tcp = None
+        if self.governor is not None:
+            governor_mod.uninstall(self.governor)
         if self.config.chaos is not None:
             uninstall(self.config.chaos)
         self.recorder.log("server.stop", stats=dict(self.stats))
@@ -259,6 +315,18 @@ class AllocationServer:
             return ServeResponse(
                 id=rid, kind="draining", retry_after=self._retry_after(),
                 detail="server draining; request was not accepted",
+            )
+        # One watermark evaluation per admission: runs the shrink/cancel
+        # responses as a side effect and sheds at "shed" or above.
+        if (self.governor is not None
+                and self.governor.mem_tick() in ("shed", "cancel")):
+            self.stats["shed"] += 1
+            self.recorder.log(
+                "request.shed", id=rid, reason="mem-pressure"
+            )
+            return ServeResponse(
+                id=rid, kind="overloaded", retry_after=self._retry_after(),
+                detail="memory watermark exceeded; shedding new requests",
             )
         try:
             job = self._admit(rid, payload)
@@ -379,12 +447,16 @@ class AllocationServer:
                 return
             await asyncio.to_thread(self.breaker.maybe_probe)
             resp = await asyncio.to_thread(self._solve_job, job)
-            self._inflight.pop(job.id, None)
+            done_budget = self._inflight.pop(job.id, None)
+            if done_budget is not None and self.governor is not None:
+                self.governor.unregister_budget(done_budget)
             self._recent_seconds.append(resp.seconds)
             if resp.kind == "ok":
                 self.stats["served"] += 1
             elif resp.kind == "deadline_exceeded":
                 self.stats["deadline_exceeded"] += 1
+            elif resp.kind == "overloaded":
+                self.stats["shed"] += 1
             elif resp.kind == "error":
                 self.stats["errors"] += 1
             self._finish(job, resp)
@@ -453,6 +525,10 @@ class AllocationServer:
         if self._draining:
             # Drain may have snapshotted _inflight before we registered.
             budget.expired_reason = "server draining"
+        if self.governor is not None:
+            # Cooperative-cancel target while in flight: the governor's
+            # "cancel" level sets expired_reason like a drain does.
+            self.governor.register_budget(budget)
 
         from repro.bounds import HintBoundsProvider, RelaxationBoundsProvider
 
@@ -535,6 +611,17 @@ class AllocationServer:
                         "resubmit to the restarted server to resume"
                     ),
                 )
+            if budget.expired_reason == "memory watermark exceeded":
+                # Governor "cancel" response: typed shed, checkpointed
+                # like a drain -- resubmission resumes the search.
+                return ServeResponse(
+                    id=job.id, kind="overloaded",
+                    retry_after=self._retry_after(), seconds=seconds,
+                    detail=(
+                        "solve cancelled by memory watermark; search "
+                        "checkpointed -- resubmit when pressure clears"
+                    ),
+                )
             if job.deadline_at is not None or job.conflict_budget is not None:
                 return ServeResponse(
                     id=job.id, kind="deadline_exceeded", seconds=seconds,
@@ -603,7 +690,26 @@ class AllocationServer:
         wlock = asyncio.Lock()
         pending: set[asyncio.Task] = set()
 
+        async def send(resp: ServeResponse) -> None:
+            data = (json.dumps(resp.to_dict()) + "\n").encode()
+            try:
+                async with wlock:
+                    writer.write(data)
+                    await writer.drain()
+            except OSError:
+                pass  # client went away mid-answer; nothing to do
+
         async def answer(line: bytes) -> None:
+            if len(line) > self.config.max_frame_bytes:
+                resp = ServeResponse(
+                    id="", kind="error",
+                    detail=(
+                        f"frame of {len(line)} bytes exceeds the "
+                        f"{self.config.max_frame_bytes}-byte limit"
+                    ),
+                )
+                await send(resp)
+                return
             try:
                 payload = json.loads(line)
                 if not isinstance(payload, dict):
@@ -614,14 +720,50 @@ class AllocationServer:
                 )
             else:
                 resp = await self.submit(payload)
-            data = (json.dumps(resp.to_dict()) + "\n").encode()
-            async with wlock:
-                writer.write(data)
-                await writer.drain()
+            await send(resp)
 
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    if self.config.read_timeout is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(),
+                            timeout=self.config.read_timeout,
+                        )
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    # Slow-client guard: a stalled socket must not pin
+                    # this handler (or, transitively, queue slots).
+                    self.recorder.log(
+                        "conn.timeout", timeout=self.config.read_timeout
+                    )
+                    await send(ServeResponse(
+                        id="", kind="error",
+                        detail=(
+                            f"no complete frame within "
+                            f"{self.config.read_timeout}s; closing "
+                            f"stalled connection"
+                        ),
+                    ))
+                    break
+                except ValueError:
+                    # readline() overran the stream limit: the frame is
+                    # oversized and the stream can no longer be framed
+                    # reliably, so answer typed and close.
+                    self.recorder.log(
+                        "conn.oversized",
+                        limit=self.config.max_frame_bytes,
+                    )
+                    await send(ServeResponse(
+                        id="", kind="error",
+                        detail=(
+                            f"frame exceeds the "
+                            f"{self.config.max_frame_bytes}-byte limit; "
+                            f"closing connection"
+                        ),
+                    ))
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -646,4 +788,8 @@ class AllocationServer:
             "stats": dict(self.stats),
             "cache": self.cache.stats(),
             "breaker": self.breaker.status(),
+            "governor": (
+                self.governor.stats_dict()
+                if self.governor is not None else None
+            ),
         }

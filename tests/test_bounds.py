@@ -467,23 +467,31 @@ class TestSumRespNeverTrustedLower:
 
 
 class TestResolveShim:
-    def test_warm_kwargs_map_onto_hint_provider(self):
+    def test_warm_kwargs_removed_with_migration_hint(self):
+        # The one-release shim has been removed: the fields are gone
+        # from SolveRequest and the TypeError names the replacement.
+        with pytest.raises(TypeError, match="HintBoundsProvider"):
+            SolveRequest(warm_start=3)
+        with pytest.raises(TypeError, match="docs/BOUNDS.md"):
+            SolveRequest(warm_allocation={"task_ecu": {}})
+
+    def test_hint_provider_replaces_warm_kwargs(self):
+        # The migration target works: a HintBoundsProvider carrying the
+        # old warm payload resolves to the same audited upper bound.
         tasks, arch = ring_system()
         obj = MinimizeTRT("ring")
         cold = Allocator(tasks, arch).minimize(obj)
-        with pytest.deprecated_call():
-            rb, witness, meta = resolve_bounds(
-                tasks, arch, obj,
-                SolveRequest(
-                    objective=obj,
-                    warm_start=cold.cost,
-                    warm_allocation=allocation_to_dict(cold.allocation),
+        rb, witness, meta = resolve_bounds(
+            tasks, arch, obj,
+            SolveRequest(objective=obj, bounds=(
+                HintBoundsProvider(
+                    upper=cold.cost,
+                    witness=allocation_to_dict(cold.allocation),
                 ),
-            )
-        assert rb.upper == cold.cost and witness is not None
-        assert any(
-            e["provider"] == "legacy-warm" for e in meta["providers"]
+            )),
         )
+        assert rb.upper == cold.cost and witness is not None
+        assert any(e["provider"] == "hint" for e in meta["providers"])
 
     def test_request_is_frozen_and_carries_bounds(self):
         req = SolveRequest(bounds=(HintBoundsProvider(upper=3),))

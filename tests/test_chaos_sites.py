@@ -11,7 +11,7 @@ Covers, in order:
    self-healing appends, quarantine;
 5. atomic_write_json litter-freedom (failure leaves no temp files and
    the previous file intact);
-6. merge_legacy DeprecationWarning location (points at the caller);
+6. legacy solve kwargs raising TypeError with a migration hint;
 7. worker IPC retry helpers and the engine / supervisor degradation
    paths under injected faults.
 
@@ -582,38 +582,17 @@ class TestAtomicWriteLitter:
 
 
 # ---------------------------------------------------------------------------
-# 6. Legacy-kwarg warnings point at the caller
+# 6. Legacy kwargs raise TypeError with a migration hint
 # ---------------------------------------------------------------------------
 
 
-class TestDeprecationLocation:
-    def _single_warning(self, recorded):
-        deps = [w for w in recorded
-                if issubclass(w.category, DeprecationWarning)]
-        assert len(deps) == 1, [str(w.message) for w in deps]
-        return deps[0]
-
-    def test_warm_start_shim_warning_names_this_file(self, tiny):
-        tasks, arch = tiny
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
-            Allocator(tasks, arch).minimize(
-                MinimizeTRT("ring"), request=SolveRequest(warm_start=999)
-            )
-        w = self._single_warning(rec)
-        assert w.filename == __file__
-        assert "HintBoundsProvider" in str(w.message)
-
-    def test_warm_allocation_shim_warning_names_this_file(self, tiny):
-        tasks, arch = tiny
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
-            Allocator(tasks, arch).minimize(
-                MinimizeTRT("ring"),
-                request=SolveRequest(warm_start=999,
-                                     warm_allocation={"task_ecu": {}}),
-            )
-        assert self._single_warning(rec).filename == __file__
+class TestLegacyKwargRemoval:
+    def test_warm_fields_removed_from_request(self):
+        with pytest.raises(TypeError, match="HintBoundsProvider"):
+            SolveRequest(warm_start=999)
+        with pytest.raises(TypeError, match="docs/BOUNDS.md"):
+            SolveRequest(warm_start=999,
+                         warm_allocation={"task_ecu": {}})
 
     def test_legacy_solve_kwargs_raise_with_migration_hint(self, tiny):
         tasks, arch = tiny
@@ -624,33 +603,28 @@ class TestDeprecationLocation:
         with pytest.raises(TypeError, match="SolveRequest"):
             Allocator(tasks, arch).find_feasible(verify=False)
 
-    def test_supervisor_warning_names_this_file(self, tiny):
+    def test_supervisor_legacy_kwargs_raise(self, tiny):
         from repro.robust import Budget, SolveSupervisor
 
         tasks, arch = tiny
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
+        with pytest.raises(TypeError, match="SolveSupervisor"):
             SolveSupervisor(tasks, arch, MinimizeTRT("ring"),
                             budget=Budget(wall_seconds=300.0))
-        assert self._single_warning(rec).filename == __file__
 
-    def test_portfolio_warning_names_this_file(self, tiny):
+    def test_portfolio_legacy_kwargs_raise(self, tiny):
         from repro.core.portfolio import solve_portfolio
 
         tasks, arch = tiny
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
+        with pytest.raises(TypeError, match="solve_portfolio"):
             solve_portfolio(tasks, arch, MinimizeTRT("ring"), retries=0)
-        assert self._single_warning(rec).filename == __file__
 
-    def test_explicit_stacklevel_still_honoured(self):
-        from repro.core.api import merge_legacy
+    def test_hint_names_the_first_offending_kwarg(self):
+        from repro.core.api import reject_legacy
 
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
-            merge_legacy(None, {"verify": False}, "test", stacklevel=1)
-        w = self._single_warning(rec)
-        assert w.filename.endswith("api.py")
+        with pytest.raises(TypeError, match=r"budget=\.\.\."):
+            reject_legacy("caller", {"budget": 1, "verify": False})
+        # Empty legacy dict: a no-op, the modern call path.
+        reject_legacy("caller", {})
 
 
 # ---------------------------------------------------------------------------

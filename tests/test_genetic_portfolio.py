@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines.genetic import genetic_allocator
-from repro.core import Allocator, MinimizeTRT
+from repro.core import Allocator, MinimizeTRT, SolveRequest
 from repro.core.portfolio import solve_portfolio
 from repro.model import (
     TOKEN_RING,
@@ -86,7 +86,8 @@ class TestPortfolio:
         arch = tindell_architecture()
         ts = tindell_partition(7)
         out = solve_portfolio(
-            ts, arch, MinimizeTRT("ring"), processes=2
+            ts, arch, MinimizeTRT("ring"),
+            request=SolveRequest(processes=2),
         )
         methods = {e.method for e in out.entries}
         assert methods == {"greedy", "annealing", "genetic", "sat"}
@@ -103,6 +104,7 @@ class TestPortfolio:
             Task("b", 100, {"p0": 40, "p1": 40}, 100),
         ])
         out = solve_portfolio(
-            ts, arch, MinimizeTRT("ring"), processes=1
+            ts, arch, MinimizeTRT("ring"),
+            request=SolveRequest(processes=1),
         )
         assert out.exact is not None and out.exact.feasible

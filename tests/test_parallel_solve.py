@@ -507,30 +507,39 @@ class TestLegacyShim:
         with pytest.raises(TypeError, match="verify"):
             Allocator(tasks, arch).find_feasible(verify=False)
 
-    def test_supervisor_legacy_kwargs_warn(self, small_system):
+    def test_supervisor_legacy_kwargs_raise(self, small_system):
         from repro.robust import Budget, SolveSupervisor
 
         tasks, arch, obj = small_system
-        with pytest.deprecated_call():
-            sup = SolveSupervisor(
+        with pytest.raises(TypeError, match="SolveRequest"):
+            SolveSupervisor(
                 tasks, arch, obj, budget=Budget(wall_seconds=300.0)
             )
+        sup = SolveSupervisor(
+            tasks, arch,
+            request=SolveRequest(
+                objective=obj, budget=Budget(wall_seconds=300.0)
+            ),
+        )
         assert sup.budget is not None
         assert sup.request.objective is obj
 
-    def test_portfolio_legacy_kwargs_warn(self, small_system):
+    def test_portfolio_legacy_kwargs_raise(self, small_system):
         from repro.core.portfolio import solve_portfolio
 
         tasks, arch, obj = small_system
-        with pytest.deprecated_call():
-            res = solve_portfolio(tasks, arch, obj, retries=0)
+        with pytest.raises(TypeError, match="SolveRequest"):
+            solve_portfolio(tasks, arch, obj, retries=0)
+        res = solve_portfolio(
+            tasks, arch, obj, request=SolveRequest(retries=0)
+        )
         assert res.exact is not None and res.exact.feasible
 
     def test_unknown_legacy_kwarg_raises(self):
-        from repro.core.api import merge_legacy
+        from repro.core.api import reject_legacy
 
-        with pytest.raises(TypeError):
-            merge_legacy(None, {"bogus": 1}, "test")
+        with pytest.raises(TypeError, match="bogus"):
+            reject_legacy("test", {"bogus": 1})
 
     def test_solve_entry_point_routes_parallel(self, small_system,
                                                sequential_result):

@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.core import Allocator, MinimizeTRT
+from repro.core import Allocator, MinimizeTRT, SolveRequest
 from repro.core.portfolio import (
     PortfolioInvariantError,
     solve_portfolio,
@@ -63,8 +63,11 @@ class TestEscalationChain:
     def test_budget_starved_solve_degrades_to_heuristic(self):
         tasks, arch = feasible_system()
         out = SolveSupervisor(
-            tasks, arch, MinimizeTRT("ring"),
-            budget=Budget(max_decisions=1),
+            tasks, arch,
+            request=SolveRequest(
+                objective=MinimizeTRT("ring"),
+                budget=Budget(max_decisions=1),
+            ),
         ).solve()
         assert out.usable
         assert out.status in ("upper_bound", "heuristic")
@@ -113,7 +116,10 @@ class TestEscalationChain:
                 RuntimeError("injected exact failure")),
         )
         out = SolveSupervisor(
-            tasks, arch, MinimizeTRT("ring"), heuristics=()
+            tasks, arch,
+            request=SolveRequest(
+                objective=MinimizeTRT("ring"), heuristics=()
+            ),
         ).solve()
         assert out.status == "unknown"
         assert not out.usable
@@ -143,8 +149,11 @@ class TestEscalationChain:
                 RuntimeError("injected greedy failure")),
         )
         out = SolveSupervisor(
-            tasks, arch, MinimizeTRT("ring"),
-            heuristics=("greedy", "annealing"),
+            tasks, arch,
+            request=SolveRequest(
+                objective=MinimizeTRT("ring"),
+                heuristics=("greedy", "annealing"),
+            ),
         ).solve()
         assert out.status == "heuristic"  # annealing caught the ball
         stages = {s.stage: s.status for s in out.stages}
@@ -166,7 +175,7 @@ class TestPortfolioDegradation:
 
         monkeypatch.setattr(pf, "_baseline_cell", faulty)
         res = solve_portfolio(tasks, arch, MinimizeTRT("ring"),
-                              processes=1)
+                              request=SolveRequest(processes=1))
         by_method = {e.method: e for e in res.entries}
         bad = by_method["greedy"]
         assert not bad.feasible
@@ -188,7 +197,8 @@ class TestPortfolioDegradation:
             lambda param: (True, exact.cost - 1, 0.0),
         )
         with pytest.raises(PortfolioInvariantError, match="beat the proven"):
-            solve_portfolio(tasks, arch, MinimizeTRT("ring"), processes=1)
+            solve_portfolio(tasks, arch, MinimizeTRT("ring"),
+                            request=SolveRequest(processes=1))
 
     def test_unproven_bound_may_be_beaten(self, monkeypatch):
         # An anytime (unproven) exact bound is allowed to lose to a
@@ -200,8 +210,10 @@ class TestPortfolioDegradation:
             pf, "_baseline_cell", lambda param: (True, 0, 0.0)
         )
         res = solve_portfolio(
-            tasks, arch, MinimizeTRT("ring"), processes=1,
-            budget=Budget(max_decisions=1),
+            tasks, arch, MinimizeTRT("ring"),
+            request=SolveRequest(
+                processes=1, budget=Budget(max_decisions=1)
+            ),
         )
         by_method = {e.method: e for e in res.entries}
         assert not by_method["sat"].optimal
@@ -209,8 +221,12 @@ class TestPortfolioDegradation:
 
     def test_supervised_portfolio_with_healthy_budget(self):
         tasks, arch = feasible_system()
-        res = solve_portfolio(tasks, arch, MinimizeTRT("ring"),
-                              processes=1, budget=Budget(wall_seconds=60))
+        res = solve_portfolio(
+            tasks, arch, MinimizeTRT("ring"),
+            request=SolveRequest(
+                processes=1, budget=Budget(wall_seconds=60)
+            ),
+        )
         by_method = {e.method: e for e in res.entries}
         assert by_method["sat"].optimal
         assert res.exact is not None and res.exact.proven

@@ -501,23 +501,13 @@ class TestWarmStarts:
         # UNSAT fence: a certified run keeps the [R, R] probe.
         assert any(p.kind == "sat" for p in cert.probes)
 
-    def test_warm_kwarg_shim_still_works_with_warning(self):
-        # One release of grace: the deprecated warm kwargs are mapped
-        # onto a HintBoundsProvider and behave identically.
-        from repro.io import allocation_to_dict
-
-        tasks, arch = feasible_system()
-        req = SolveRequest(objective=MinimizeTRT("ring"))
-        cold = solve(tasks, arch, req)
-        with pytest.deprecated_call():
-            warm = solve(tasks, arch, req.merged(
-                warm_start=cold.cost,
-                warm_allocation=allocation_to_dict(cold.allocation),
-            ))
-        assert (warm.cost, warm.proven, warm.status) == (
-            cold.cost, cold.proven, cold.status
-        )
-        assert len(warm.result.outcome.probes) == 1
+    def test_warm_kwargs_removed_with_migration_hint(self):
+        # The deprecated warm kwargs are gone: constructing a request
+        # with them raises TypeError pointing at HintBoundsProvider.
+        with pytest.raises(TypeError, match="HintBoundsProvider"):
+            SolveRequest(warm_start=7)
+        with pytest.raises(TypeError, match="warm_allocation"):
+            SolveRequest(warm_allocation={"task_ecu": {}})
 
     def test_code_fingerprint_change_defeats_cache(self, tmp_path,
                                                    monkeypatch):
@@ -577,3 +567,106 @@ class TestTcpFrontEnd:
         resp = asyncio.run(main())
         assert resp["kind"] == "error"
         assert "bad request line" in resp["detail"]
+
+    def test_in_limit_oversized_frame_answered_not_closed(self, tmp_path):
+        """A frame over ``max_frame_bytes`` but under the stream limit
+        gets a typed error, and the connection keeps serving."""
+        async def main():
+            server = await started_server(tmp_path, max_frame_bytes=512)
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"x" * 700 + b"\n")
+            await writer.drain()
+            first = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            # Same connection: an in-limit frame is still served (the
+            # framing survived, so the handler did not close).
+            writer.write(b"still not json\n")
+            await writer.drain()
+            second = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            writer.close()
+            await server.stop()
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert first["kind"] == "error"
+        assert "exceeds the 512-byte limit" in first["detail"]
+        assert second["kind"] == "error"
+        assert "bad request line" in second["detail"]
+
+    def test_stream_limit_overrun_answered_then_closed(self, tmp_path):
+        """A frame that overruns the stream limit itself cannot be
+        framed reliably: typed error, then the server closes."""
+        async def main():
+            server = await started_server(tmp_path, max_frame_bytes=2048)
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"y" * 100_000 + b"\n")
+            await writer.drain()
+            first = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            rest = await asyncio.wait_for(reader.read(), 30)
+            writer.close()
+            await server.stop()
+            return first, rest
+
+        first, rest = asyncio.run(main())
+        assert first["kind"] == "error"
+        assert "closing connection" in first["detail"]
+        assert rest == b""  # EOF: the server hung up after answering
+
+    def test_read_timeout_closes_stalled_connection(self, tmp_path):
+        async def main():
+            server = await started_server(tmp_path, read_timeout=0.2)
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            # Send nothing: the slow-client guard must fire on its own.
+            first = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            rest = await asyncio.wait_for(reader.read(), 30)
+            writer.close()
+            await server.stop()
+            return first, rest
+
+        first, rest = asyncio.run(main())
+        assert first["kind"] == "error"
+        assert "stalled connection" in first["detail"]
+        assert rest == b""
+
+
+class TestServeGovernor:
+    def test_mem_watermark_sheds_admission_typed(self, tmp_path):
+        """Past the shed watermark, new submissions get a typed
+        ``overloaded`` (with retry_after), never a queue timeout."""
+        tasks, arch = feasible_system()
+        p = payload_for(tasks, arch, deadline=30)
+
+        async def main():
+            server = await started_server(
+                tmp_path, mem_watermark=1_000_000
+            )
+            # Pin reported memory far past the watermark.
+            server.governor.add_memory_source(
+                "test-ballast", lambda: 10_000_000
+            )
+            resp = await server.submit(dict(p, id="shed-me"))
+            status = server.status()
+            await server.stop()
+            return resp, status
+
+        resp, status = asyncio.run(main())
+        assert resp.kind == "overloaded"
+        assert resp.retry_after is not None
+        assert "memory watermark" in resp.detail
+        assert status["stats"]["shed"] >= 1
+        assert status["governor"]["mem_watermark"] == 1_000_000
+        responses = status["governor"]["responses"]
+        assert responses.get("shed", 0) + responses.get("cancel", 0) >= 1
+
+    def test_governor_off_by_default(self, tmp_path):
+        async def main():
+            server = await started_server(tmp_path)
+            status = server.status()
+            await server.stop()
+            return server, status
+
+        server, status = asyncio.run(main())
+        assert server.governor is None
+        assert status["governor"] is None
